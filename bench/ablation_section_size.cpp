@@ -1,0 +1,47 @@
+// Ablation A4: sensitivity of the HiSM transposition to the section size s
+// (the paper fixes s = 64; §II notes s < 256 keeps positions in 8 bits).
+// Larger sections mean fewer, denser blocks (less per-block penalty) but a
+// bigger s x s memory; smaller sections shrink the hardware but multiply
+// hierarchy levels and block overheads.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "kernels/hism_transpose.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smtu;
+  CommandLine cli(argc, argv);
+  const bench::BenchOptions options = bench::parse_options(cli);
+
+  constexpr u32 kSections[] = {16, 32, 64, 128, 256};
+
+  std::printf("== Ablation A4: HiSM transpose vs section size (locality set) ==\n");
+  suite::SuiteOptions suite_options = options.suite;
+  suite_options.scale = std::min(suite_options.scale, 0.3);
+  const auto set = suite::build_dsab_set(suite::kSetLocality, suite_options);
+
+  TextTable table({"matrix", "s=16", "s=32", "s=64", "s=128", "s=256"});
+  std::vector<double> totals(std::size(kSections), 0.0);
+  for (const auto& entry : set) {
+    std::vector<std::string> row = {entry.name};
+    usize column = 0;
+    for (const u32 section : kSections) {
+      vsim::MachineConfig config;
+      config.section = section;
+      const HismMatrix hism = HismMatrix::from_coo(entry.matrix, section);
+      const u64 cycles = kernels::time_hism_transpose(hism, config).cycles;
+      const double per_nnz =
+          static_cast<double>(cycles) / static_cast<double>(std::max<usize>(1, entry.matrix.nnz()));
+      totals[column++] += per_nnz;
+      row.push_back(format("%.2f", per_nnz));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> avg_row = {"AVERAGE cyc/nnz"};
+  for (const double total : totals) {
+    avg_row.push_back(format("%.2f", total / static_cast<double>(set.size())));
+  }
+  table.add_row(std::move(avg_row));
+  bench::emit(table, options.csv_path);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation A6: the CRS kernel's scalar short-row path. Phase 3 processes
+// each row with four gather/scatter instructions; a 1-3 element row pays
+// the full vector startups for almost no work, so our hand-coded kernel
+// (like any vector-machine hand-coder) falls back to scalar code below a
+// length threshold. This sweep shows the threshold's effect per ANZ —
+// threshold 0 is the naive all-vector kernel.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "kernels/crs_transpose.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smtu;
+  CommandLine cli(argc, argv);
+  const bench::BenchOptions options = bench::parse_options(cli);
+  const vsim::MachineConfig config;
+
+  constexpr u32 kThresholds[] = {0, 2, 4, 8, 16, 64};
+
+  std::printf("== Ablation A6: CRS phase-3 short-row threshold (cycles/nnz, ANZ set) ==\n");
+  suite::SuiteOptions suite_options = options.suite;
+  suite_options.scale = std::min(suite_options.scale, 0.5);
+  const auto set = suite::build_dsab_set(suite::kSetAnz, suite_options);
+
+  TextTable table({"matrix", "nnz/row", "t=0", "t=2", "t=4", "t=8", "t=16", "t=64"});
+  for (const auto& entry : set) {
+    const Csr csr = Csr::from_coo(entry.matrix);
+    std::vector<std::string> row = {entry.name,
+                                    format("%.1f", entry.metrics.avg_nnz_per_row)};
+    for (const u32 threshold : kThresholds) {
+      kernels::CrsKernelOptions kernel_options;
+      kernel_options.short_row_threshold = threshold;
+      const u64 cycles = kernels::time_crs_transpose(csr, config, kernel_options).cycles;
+      row.push_back(format("%.1f", static_cast<double>(cycles) /
+                                       static_cast<double>(entry.matrix.nnz())));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options.csv_path);
+  std::printf(
+      "\nreading: the naive all-vector kernel (t=0) is brutal on short-row matrices;\n"
+      "t=4 captures nearly all of the gain, and very large thresholds de-vectorize\n"
+      "long rows and lose again. Figs. 11-13 use t=4. (Disabling the scalar path\n"
+      "would only *widen* the reported HiSM speedups.)\n");
+  return 0;
+}

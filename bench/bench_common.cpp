@@ -1,0 +1,150 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "formats/matrix_market.hpp"
+#include "hism/transpose.hpp"
+#include "kernels/crs_transpose.hpp"
+#include "kernels/hism_transpose.hpp"
+#include "kernels/utilization.hpp"
+#include "support/assert.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace smtu::bench {
+
+BenchOptions parse_options(CommandLine& cli) {
+  BenchOptions options;
+  options.suite.scale = cli.get_double("scale", 1.0);
+  options.suite.seed = static_cast<u64>(cli.get_int("seed", 0xD5ABD5ABll));
+  const std::string csv = cli.get_string("csv", "");
+  if (!csv.empty()) options.csv_path = csv;
+  const std::string json = cli.get_string("json", "");
+  if (!json.empty()) options.json_path = json;
+  options.verify = cli.get_flag("verify");
+  cli.finish();
+  return options;
+}
+
+TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
+                                       const vsim::MachineConfig& config, bool verify) {
+  const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
+  const Csr csr = Csr::from_coo(entry.matrix);
+
+  TransposeComparison comparison;
+  if (verify) {
+    const Coo expected = entry.matrix.transposed();
+    const auto hism_result = kernels::run_hism_transpose(hism, config);
+    SMTU_CHECK_MSG(structurally_equal(hism_result.transposed.to_coo(), expected),
+                   "HiSM kernel produced a wrong transpose for " + entry.name);
+    comparison.hism_cycles = hism_result.stats.cycles;
+    const auto crs_result = kernels::run_crs_transpose(csr, config);
+    SMTU_CHECK_MSG(structurally_equal(crs_result.transposed, expected),
+                   "CRS kernel produced a wrong transpose for " + entry.name);
+    comparison.crs_cycles = crs_result.stats.cycles;
+  } else {
+    comparison.hism_cycles = kernels::time_hism_transpose(hism, config).cycles;
+    comparison.crs_cycles = kernels::time_crs_transpose(csr, config).cycles;
+  }
+
+  const double nnz = static_cast<double>(std::max<usize>(entry.matrix.nnz(), 1));
+  comparison.hism_cycles_per_nnz = static_cast<double>(comparison.hism_cycles) / nnz;
+  comparison.crs_cycles_per_nnz = static_cast<double>(comparison.crs_cycles) / nnz;
+  comparison.speedup = comparison.hism_cycles == 0
+                           ? 0.0
+                           : static_cast<double>(comparison.crs_cycles) /
+                                 static_cast<double>(comparison.hism_cycles);
+  return comparison;
+}
+
+double buffer_utilization(const HismMatrix& hism, const StmConfig& config) {
+  return kernels::stm_utilization(hism, config).utilization;
+}
+
+std::vector<suite::SuiteMatrix> load_external_suite(const std::string& dir) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".mtx") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  SMTU_CHECK_MSG(!paths.empty(), "no .mtx files in " + dir);
+
+  std::vector<suite::SuiteMatrix> external;
+  u32 index = 0;
+  for (const auto& path : paths) {
+    suite::SuiteMatrix entry;
+    entry.name = path.stem().string();
+    entry.set = "external";
+    entry.index = index++;
+    entry.matrix = read_matrix_market_file(path.string());
+    entry.metrics = suite::compute_metrics(entry.matrix);
+    external.push_back(std::move(entry));
+  }
+  return external;
+}
+
+void emit(const TextTable& table, const std::optional<std::string>& csv_path) {
+  table.print(std::cout);
+  if (!csv_path) return;
+  std::ofstream out(*csv_path);
+  SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open CSV output " + *csv_path);
+  CsvWriter csv(out);
+  csv.write_row(table.header());
+  for (usize r = 0; r < table.rows(); ++r) csv.write_row(table.row(r));
+  std::fprintf(stderr, "wrote CSV to %s\n", csv_path->c_str());
+}
+
+void emit(const TextTable& table, const BenchOptions& options) {
+  emit(table, options.csv_path);
+  if (!options.json_path) return;
+  std::ofstream out(*options.json_path);
+  SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open JSON output " + *options.json_path);
+  write_table_as_json(out, table);
+  std::fprintf(stderr, "wrote JSON to %s\n", options.json_path->c_str());
+}
+
+int run_figure_bench(int argc, const char* const* argv, const FigureSeries& series) {
+  CommandLine cli(argc, argv);
+  const BenchOptions options = parse_options(cli);
+  const vsim::MachineConfig config;  // the paper's §IV-A machine
+
+  std::printf("== %s set: HiSM (STM, B=%u, L=%u) vs CRS transposition, s=%u ==\n",
+              series.set.c_str(), config.stm.bandwidth, config.stm.lines, config.section);
+  if (options.suite.scale != 1.0) {
+    std::printf("(suite scaled by %.3f; paper scale is --scale=1)\n", options.suite.scale);
+  }
+
+  const auto set = suite::build_dsab_set(series.set, options.suite);
+  TextTable table({"matrix", series.metric_header, "nnz", "HiSM cyc/nnz", "CRS cyc/nnz",
+                   "speedup"});
+  double min_speedup = 1e30;
+  double max_speedup = 0.0;
+  double sum_speedup = 0.0;
+  for (const auto& entry : set) {
+    const TransposeComparison comparison = compare_transposes(entry, config, options.verify);
+    table.add_row({entry.name, format("%.2f", series.metric(entry.metrics)),
+                   format("%zu", entry.matrix.nnz()),
+                   format("%.2f", comparison.hism_cycles_per_nnz),
+                   format("%.2f", comparison.crs_cycles_per_nnz),
+                   format("%.1f", comparison.speedup)});
+    min_speedup = std::min(min_speedup, comparison.speedup);
+    max_speedup = std::max(max_speedup, comparison.speedup);
+    sum_speedup += comparison.speedup;
+  }
+  emit(table, options);
+
+  const double avg_speedup = sum_speedup / static_cast<double>(set.size());
+  std::printf("\nmeasured speedup: min %.1f  max %.1f  avg %.1f\n", min_speedup, max_speedup,
+              avg_speedup);
+  std::printf("paper (IPPS'04):  min %.1f  max %.1f  avg %.1f\n", series.paper_min,
+              series.paper_max, series.paper_avg);
+  return 0;
+}
+
+}  // namespace smtu::bench

@@ -1,0 +1,83 @@
+// Shared plumbing for the figure-reproduction benchmark binaries.
+//
+// Every binary accepts:
+//   --scale=<0..1>   shrink the suite for quick runs (default 1 = paper scale)
+//   --seed=<u64>     suite generation seed
+//   --csv=<path>     also write the table as CSV
+//   --json=<path>    also write the table as a JSON array of row objects
+//   --verify         decode results from simulated memory and check them
+//
+// summary_speedup additionally accepts --mtxdir=<dir>: run on every .mtx
+// file found there (e.g. the original D-SAB matrices) instead of the
+// synthetic suite.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "hism/hism.hpp"
+#include "stm/unit.hpp"
+#include "suite/dsab.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "vsim/config.hpp"
+
+namespace smtu::bench {
+
+struct BenchOptions {
+  suite::SuiteOptions suite;
+  std::optional<std::string> csv_path;
+  std::optional<std::string> json_path;
+  bool verify = false;
+};
+
+// Parses the standard flags; calls cli.finish() so unknown flags fail fast.
+BenchOptions parse_options(CommandLine& cli);
+
+// One matrix through both transposition paths on the simulated machine.
+struct TransposeComparison {
+  u64 hism_cycles = 0;
+  u64 crs_cycles = 0;
+  double hism_cycles_per_nnz = 0.0;
+  double crs_cycles_per_nnz = 0.0;
+  double speedup = 0.0;
+};
+
+TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
+                                       const vsim::MachineConfig& config, bool verify);
+
+// Buffer-bandwidth utilization of the STM over every block-array of a HiSM
+// matrix, mimicking the kernel's pass structure (one pass per level-0 block,
+// two passes — lengths + elements — per higher-level block).
+//
+// §IV-C defines BU = (Z/C)/B. Elements traverse the unit twice (fill +
+// drain), so we count transfers (in + out) against C*B, the reading under
+// which B = 1 approaches 1.0 with only the 6-cycle block penalty missing —
+// exactly the behaviour Fig. 10 reports (see DESIGN.md).
+double buffer_utilization(const HismMatrix& hism, const StmConfig& config);
+
+// Prints one of the Fig. 11/12/13 per-matrix tables and the set summary.
+struct FigureSeries {
+  std::string set;                 // suite set name
+  std::string metric_header;      // e.g. "locality"
+  double (*metric)(const suite::MatrixMetrics&);
+  // Paper-reported speedup statistics for the closing comparison line.
+  double paper_min, paper_max, paper_avg;
+};
+
+int run_figure_bench(int argc, const char* const* argv, const FigureSeries& series);
+
+// Loads every MatrixMarket file in `dir` as a suite (set = "external",
+// sorted by filename); computes the paper's metrics for each.
+std::vector<suite::SuiteMatrix> load_external_suite(const std::string& dir);
+
+// Emits a table to stdout and, if requested, as CSV and/or JSON files.
+void emit(const TextTable& table, const BenchOptions& options);
+
+// Back-compatible overload used by older call sites (CSV only).
+void emit(const TextTable& table, const std::optional<std::string>& csv_path);
+
+}  // namespace smtu::bench

@@ -1,0 +1,51 @@
+// Extension E2: the §II motivation, quantified. A dense matrix transposes
+// trivially with strided addressing; applying that method to a *sparse*
+// matrix costs O(rows*cols) regardless of how few non-zeros it has. This
+// bench sweeps density on a fixed 512x512 matrix and finds the crossover
+// where the dense strided method overtakes HiSM+STM — far beyond any
+// realistic sparse-matrix density.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "formats/dense.hpp"
+#include "kernels/dense_transpose.hpp"
+#include "kernels/hism_transpose.hpp"
+#include "suite/generators.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smtu;
+  CommandLine cli(argc, argv);
+  const bench::BenchOptions options = bench::parse_options(cli);
+  const vsim::MachineConfig config;
+  constexpr Index kDim = 512;
+
+  std::printf("== Extension E2: dense strided transpose vs HiSM+STM, %llux%llu ==\n",
+              static_cast<unsigned long long>(kDim), static_cast<unsigned long long>(kDim));
+
+  // The dense method's cost is density-independent; measure it once.
+  Rng rng(options.suite.seed);
+  const Coo probe = suite::gen_random_uniform(kDim, kDim, 1000, rng);
+  const u64 dense_cycles =
+      kernels::time_dense_transpose(Dense::from_coo(probe), config).cycles;
+
+  TextTable table({"density", "nnz", "HiSM cycles", "dense cycles", "HiSM wins by"});
+  for (const double density : {0.001, 0.005, 0.02, 0.08, 0.3, 0.6}) {
+    const usize nnz = static_cast<usize>(density * static_cast<double>(kDim) * kDim);
+    const Coo coo = suite::gen_random_uniform(kDim, kDim, nnz, rng);
+    const u64 hism_cycles =
+        kernels::time_hism_transpose(HismMatrix::from_coo(coo, config.section), config)
+            .cycles;
+    table.add_row({format("%.3f", density), format("%zu", nnz),
+                   format("%llu", static_cast<unsigned long long>(hism_cycles)),
+                   format("%llu", static_cast<unsigned long long>(dense_cycles)),
+                   format("%.1fx", static_cast<double>(dense_cycles) /
+                                       static_cast<double>(hism_cycles))});
+  }
+  bench::emit(table, options.csv_path);
+  std::printf(
+      "\nreading: the strided dense method costs O(n^2) cycles at 1 element/cycle\n"
+      "(bank-conflicted stride) no matter the sparsity; HiSM touches only stored\n"
+      "elements. Real sparse matrices (density <<1%%) sit far left of the crossover.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 13: transposition performance across the ten matrices selected by
+// size (total non-zeros, 48 .. 3.75M).
+//
+// Paper result: speedup 3.4 .. 28.2, average 15.5; neither method's
+// per-element cost shows a particular dependence on matrix size.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const smtu::bench::FigureSeries series{
+      .set = smtu::suite::kSetSize,
+      .metric_header = "nnz",
+      .metric = [](const smtu::suite::MatrixMetrics& m) { return static_cast<double>(m.nnz); },
+      .paper_min = 3.4,
+      .paper_max = 28.2,
+      .paper_avg = 15.5,
+  };
+  return smtu::bench::run_figure_bench(argc, argv, series);
+}

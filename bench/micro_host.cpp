@@ -1,0 +1,114 @@
+// google-benchmark micro-benchmarks of the host-side library primitives:
+// format construction/conversion, reference transposes, the STM functional
+// model, and the non-zero locator. These gauge the simulator's own speed
+// (how fast experiments run), not simulated cycle counts.
+#include <benchmark/benchmark.h>
+
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "hism/image.hpp"
+#include "hism/transpose.hpp"
+#include "stm/locator.hpp"
+#include "stm/unit.hpp"
+#include "support/rng.hpp"
+
+namespace smtu {
+namespace {
+
+Coo make_matrix(Index dim, usize nnz, u64 seed) {
+  Rng rng(seed);
+  Coo coo(dim, dim);
+  for (const u64 cell : rng.sample_without_replacement(dim * dim, nnz)) {
+    coo.add(cell / dim, cell % dim, static_cast<float>(rng.uniform(0.5, 1.5)));
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+void BM_CsrFromCoo(benchmark::State& state) {
+  const Coo coo = make_matrix(2048, static_cast<usize>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Csr::from_coo(coo));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CsrFromCoo)->Arg(10000)->Arg(100000);
+
+void BM_PissanetskyTranspose(benchmark::State& state) {
+  const Csr csr = Csr::from_coo(make_matrix(2048, static_cast<usize>(state.range(0)), 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr.transposed_pissanetsky());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PissanetskyTranspose)->Arg(10000)->Arg(100000);
+
+void BM_HismFromCoo(benchmark::State& state) {
+  const Coo coo = make_matrix(2048, static_cast<usize>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HismMatrix::from_coo(coo, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HismFromCoo)->Arg(10000)->Arg(100000);
+
+void BM_HismTransposeReference(benchmark::State& state) {
+  const HismMatrix hism =
+      HismMatrix::from_coo(make_matrix(2048, static_cast<usize>(state.range(0)), 4), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transposed(hism));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HismTransposeReference)->Arg(10000)->Arg(100000);
+
+void BM_HismImageBuild(benchmark::State& state) {
+  const HismMatrix hism =
+      HismMatrix::from_coo(make_matrix(2048, static_cast<usize>(state.range(0)), 5), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_hism_image(hism, 0x10000));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HismImageBuild)->Arg(100000);
+
+void BM_StmTransposeBlock(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<StmEntry> entries;
+  for (const u64 cell :
+       rng.sample_without_replacement(64 * 64, static_cast<usize>(state.range(0)))) {
+    entries.push_back(
+        {static_cast<u8>(cell / 64), static_cast<u8>(cell % 64), static_cast<u32>(cell)});
+  }
+  StmConfig config;
+  StmUnit unit(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.transpose_block(entries));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StmTransposeBlock)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_NonzeroLocatorCircuit(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<bool> bits(64);
+  for (usize i = 0; i < 64; ++i) bits[i] = rng.chance(0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locate_first_ones_circuit(bits, 4));
+  }
+}
+BENCHMARK(BM_NonzeroLocatorCircuit);
+
+void BM_CooCanonicalize(benchmark::State& state) {
+  const Coo coo = make_matrix(2048, 100000, 8);
+  for (auto _ : state) {
+    Coo copy = coo;
+    copy.canonicalize();
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_CooCanonicalize);
+
+}  // namespace
+}  // namespace smtu

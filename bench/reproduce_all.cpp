@@ -1,0 +1,171 @@
+// One-shot paper reproduction: runs every figure of §IV plus the headline
+// and the storage claim, and writes a single Markdown report with measured
+// numbers next to the paper's. The per-figure binaries remain the tools for
+// focused runs and sweeps; this produces the shareable artifact.
+//
+//   ./reproduce_all [--out=REPORT.md] [--scale=1.0] [--seed=...]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hism/stats.hpp"
+#include "kernels/utilization.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace smtu;
+
+void markdown_table(std::ostream& out, const TextTable& table) {
+  table.print_markdown(out);
+  out << '\n';
+}
+
+struct SetSummary {
+  double min_speedup = 1e300;
+  double max_speedup = 0.0;
+  double sum_speedup = 0.0;
+  usize count = 0;
+};
+
+SetSummary run_set(std::ostream& out, const std::string& set_name,
+                   const std::string& metric_header,
+                   double (*metric)(const suite::MatrixMetrics&),
+                   const suite::SuiteOptions& suite_options,
+                   const vsim::MachineConfig& config) {
+  const auto set = suite::build_dsab_set(set_name, suite_options);
+  TextTable table({"matrix", metric_header, "nnz", "HiSM cyc/nnz", "CRS cyc/nnz", "speedup"});
+  SetSummary summary;
+  for (const auto& entry : set) {
+    const auto comparison = bench::compare_transposes(entry, config, /*verify=*/false);
+    table.add_row({entry.name, format("%.2f", metric(entry.metrics)),
+                   format("%zu", entry.matrix.nnz()),
+                   format("%.2f", comparison.hism_cycles_per_nnz),
+                   format("%.2f", comparison.crs_cycles_per_nnz),
+                   format("%.1f", comparison.speedup)});
+    summary.min_speedup = std::min(summary.min_speedup, comparison.speedup);
+    summary.max_speedup = std::max(summary.max_speedup, comparison.speedup);
+    summary.sum_speedup += comparison.speedup;
+    summary.count++;
+    std::fprintf(stderr, "  %s done\n", entry.name.c_str());
+  }
+  markdown_table(out, table);
+  return summary;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const std::string out_path = cli.get_string("out", "REPORT.md");
+  bench::BenchOptions options = bench::parse_options(cli);
+  const vsim::MachineConfig config;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+
+  out << "# Reproduction report — Sparse Matrix Transpose Unit (IPPS 2004)\n\n";
+  out << format(
+      "Machine: s = %u, p = %u, memory startup %u cycles (%u B/cycle contiguous, "
+      "%u elem/cycle indexed), chaining %s; STM B = %u, L = %u. Suite scale %.2f.\n\n",
+      config.section, config.lanes, config.mem_startup, config.mem_bytes_per_cycle,
+      config.mem_indexed_elems_per_cycle, config.chaining ? "on" : "off",
+      config.stm.bandwidth, config.stm.lines, options.suite.scale);
+
+  // ---- Fig. 10 -----------------------------------------------------------
+  std::fprintf(stderr, "Fig. 10 ...\n");
+  out << "## Fig. 10 — buffer bandwidth utilization\n\n";
+  {
+    const auto suite_matrices = suite::build_dsab_suite(options.suite);
+    std::vector<HismMatrix> hisms;
+    for (const auto& entry : suite_matrices) {
+      hisms.push_back(HismMatrix::from_coo(entry.matrix, config.section));
+    }
+    TextTable table({"B", "L=1", "L=2", "L=4", "L=8"});
+    for (const u32 bandwidth : {1u, 2u, 4u, 8u}) {
+      std::vector<std::string> row = {format("%u", bandwidth)};
+      for (const u32 lines : {1u, 2u, 4u, 8u}) {
+        StmConfig stm;
+        stm.bandwidth = bandwidth;
+        stm.lines = lines;
+        double sum = 0.0;
+        for (const HismMatrix& hism : hisms) {
+          sum += kernels::stm_utilization(hism, stm).utilization;
+        }
+        row.push_back(format("%.3f", sum / static_cast<double>(hisms.size())));
+      }
+      table.add_row(std::move(row));
+    }
+    markdown_table(out, table);
+    out << "Paper: BU max at B=1 (short of 1.0 only by the 6-cycle block penalty); "
+           "grows with L, saturates past L=4 — the basis for fixing L=4.\n\n";
+  }
+
+  // ---- Figs. 11-13 ---------------------------------------------------------
+  struct Figure {
+    const char* title;
+    const char* set;
+    const char* metric_header;
+    double (*metric)(const suite::MatrixMetrics&);
+    double paper_min, paper_max, paper_avg;
+  };
+  const Figure figures[] = {
+      {"Fig. 11 — performance vs. locality", suite::kSetLocality, "locality",
+       [](const suite::MatrixMetrics& m) { return m.locality; }, 1.8, 32.0, 16.5},
+      {"Fig. 12 — performance vs. avg non-zeros/row", suite::kSetAnz, "nnz/row",
+       [](const suite::MatrixMetrics& m) { return m.avg_nnz_per_row; }, 11.9, 28.9, 20.0},
+      {"Fig. 13 — performance vs. size", suite::kSetSize, "nnz",
+       [](const suite::MatrixMetrics& m) { return static_cast<double>(m.nnz); }, 3.4, 28.2,
+       15.5},
+  };
+  SetSummary overall;
+  for (const Figure& figure : figures) {
+    std::fprintf(stderr, "%s ...\n", figure.title);
+    out << "## " << figure.title << "\n\n";
+    const SetSummary summary = run_set(out, figure.set, figure.metric_header, figure.metric,
+                                       options.suite, config);
+    out << format("measured speedup: min %.1f, max %.1f, avg %.1f — paper: %.1f / %.1f / %.1f\n\n",
+                  summary.min_speedup, summary.max_speedup,
+                  summary.sum_speedup / static_cast<double>(summary.count), figure.paper_min,
+                  figure.paper_max, figure.paper_avg);
+    overall.min_speedup = std::min(overall.min_speedup, summary.min_speedup);
+    overall.max_speedup = std::max(overall.max_speedup, summary.max_speedup);
+    overall.sum_speedup += summary.sum_speedup;
+    overall.count += summary.count;
+  }
+
+  // ---- Headline + storage --------------------------------------------------
+  out << "## Headline\n\n";
+  out << format("All 30 matrices: speedup %.1f .. %.1f, average %.1f "
+                "(paper: 1.8 .. 32.0, average 17.6).\n\n",
+                overall.min_speedup, overall.max_speedup,
+                overall.sum_speedup / static_cast<double>(overall.count));
+
+  std::fprintf(stderr, "storage ...\n");
+  out << "## Storage (§II claim)\n\n";
+  {
+    double ratio_sum = 0.0;
+    double overhead_sum = 0.0;
+    usize count = 0;
+    for (const auto& entry : suite::build_dsab_suite(options.suite)) {
+      const Csr csr = Csr::from_coo(entry.matrix);
+      const HismStats stats = compute_stats(HismMatrix::from_coo(entry.matrix, config.section));
+      ratio_sum += static_cast<double>(stats.storage_bytes) /
+                   static_cast<double>(csr.storage_bytes());
+      overhead_sum += stats.overhead_fraction;
+      ++count;
+    }
+    out << format("HiSM/CRS byte ratio averages %.2f over the suite; hierarchy overhead "
+                  "averages %.1f%% (paper: ~2-5%% at s = 64).\n",
+                  ratio_sum / static_cast<double>(count),
+                  100.0 * overhead_sum / static_cast<double>(count));
+  }
+
+  std::fprintf(stderr, "report written to %s\n", out_path.c_str());
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

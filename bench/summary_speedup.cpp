@@ -1,0 +1,43 @@
+// Headline result (abstract / §IV-D): HiSM-based transposition speedup over
+// CRS across the full 30-matrix suite.
+//
+// Paper: range 1.8 .. 32.0, average 17.6.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smtu;
+  CommandLine cli(argc, argv);
+  const std::string mtxdir = cli.get_string("mtxdir", "");
+  const bench::BenchOptions options = bench::parse_options(cli);
+  const vsim::MachineConfig config;
+
+  const auto suite_matrices =
+      mtxdir.empty() ? suite::build_dsab_suite(options.suite)
+                     : bench::load_external_suite(mtxdir);
+  std::printf("== Headline: HiSM vs CRS transposition over %zu matrices (%s) ==\n",
+              suite_matrices.size(),
+              mtxdir.empty() ? "synthetic D-SAB stand-in" : mtxdir.c_str());
+
+  TextTable table({"matrix", "set", "nnz", "HiSM cyc/nnz", "CRS cyc/nnz", "speedup"});
+  std::vector<double> speedups;
+  for (const auto& entry : suite_matrices) {
+    const auto comparison = bench::compare_transposes(entry, config, options.verify);
+    speedups.push_back(comparison.speedup);
+    table.add_row({entry.name, entry.set, format("%zu", entry.matrix.nnz()),
+                   format("%.2f", comparison.hism_cycles_per_nnz),
+                   format("%.2f", comparison.crs_cycles_per_nnz),
+                   format("%.1f", comparison.speedup)});
+  }
+  bench::emit(table, options);
+
+  const auto [min_it, max_it] = std::minmax_element(speedups.begin(), speedups.end());
+  double sum = 0.0;
+  for (const double s : speedups) sum += s;
+  std::printf("\nmeasured: speedup %.1f .. %.1f, average %.1f (%zu matrices)\n", *min_it,
+              *max_it, sum / static_cast<double>(speedups.size()), speedups.size());
+  std::printf("paper:    speedup 1.8 .. 32.0, average 17.6 (30 matrices)\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+# Transpose one s^2-block through the STM — the inner code of the paper's
+# Fig. 7, verbatim structure: fill the s x s memory row-wise (v_ldb +
+# v_stcr), then drain it column-wise (v_ldcc + v_stb), in place.
+#
+# Inputs:  r1 = block-array position base, r2 = block length n,
+#          r3 = block-array value base (= r1 + align4(2n))
+#
+# Run with: ./vsim_run programs/block_transpose.s --r1=4096 --r2=0 --r3=4096
+main:
+    beq   r2, r0, done
+    icm                      # clear the non-zero indicators
+    mv    r4, r1             # position cursor
+    mv    r5, r3             # value cursor
+    mv    r6, r2             # remaining
+fill:
+    ssvl  r6                 # set vector length, decrement remaining
+    v_ldb vr1, vr2, r4, r5   # load block elements      (Fig. 7: v_ldb)
+    v_stcr vr1, vr2          # store row-wise in s x s  (Fig. 7: v_stcr)
+    bne   r6, r0, fill
+    mv    r4, r1
+    mv    r5, r3
+    mv    r6, r2
+drain:
+    ssvl  r6
+    v_ldcc vr1, vr2          # load column-wise         (Fig. 7: v_ldcc)
+    v_stb vr1, vr2, r4, r5   # store block elements     (Fig. 7: v_stb)
+    bne   r6, r0, drain
+done:
+    halt

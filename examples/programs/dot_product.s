@@ -1,0 +1,23 @@
+# Vector dot product of two 256-element arrays.
+#
+# Inputs:  r1 = &a, r2 = &b, r3 = element count
+# Output:  r4 = float bits of sum(a[i] * b[i])
+#
+# Run with: ./vsim_run programs/dot_product.s --r1=4096 --r2=8192 --r3=256 --dump-regs
+main:
+    li    r4, 0              # accumulator (0.0f)
+loop:
+    beq   r3, r0, done
+    setvl r5, r3
+    sub   r3, r3, r5
+    v_ld  vr1, (r1)
+    v_ld  vr2, (r2)
+    v_fmul vr3, vr1, vr2
+    v_fredsum r6, vr3
+    fadd  r4, r4, r6
+    slli  r7, r5, 2
+    add   r1, r1, r7
+    add   r2, r2, r7
+    beq   r0, r0, loop
+done:
+    halt

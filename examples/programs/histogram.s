@@ -1,0 +1,22 @@
+# Scalar histogram: counts[v]++ for every v in the input — exactly the code
+# shape of the CRS transposition's phase 1 (the part §IV-A of the paper
+# deliberately left scalar). Watch the load-latency-bound dependent chain
+# with --timeline.
+#
+# Inputs:  r1 = &values (u32), r2 = count, r3 = &bins (u32, zeroed)
+#
+# Run with: ./vsim_run programs/histogram.s --r1=4096 --r2=256 --r3=16384 --timeline
+main:
+    beq   r2, r0, done
+loop:
+    lw    r4, (r1)           # v
+    slli  r4, r4, 2
+    add   r4, r4, r3         # &bins[v]
+    lw    r5, (r4)
+    addi  r5, r5, 1
+    sw    r5, (r4)
+    addi  r1, r1, 4
+    addi  r2, r2, -1
+    bne   r2, r0, loop
+done:
+    halt

@@ -1,0 +1,37 @@
+# Vectorized inclusive scan-add (prefix sum) over a u32 array — the Wang et
+# al. log-step scheme used by phase 2 of the CRS transposition kernel:
+# within each 64-element strip, log2(64) = 6 slide-and-add rounds; a scalar
+# carry links strips.
+#
+# Inputs:  r1 = &array, r2 = element count
+# Effect:  array[i] = sum of array[0..i]
+#
+# Run with: ./vsim_run programs/scan.s --r1=4096 --r2=200 --timeline
+main:
+    li    r3, 0              # carry
+loop:
+    beq   r2, r0, done
+    setvl r4, r2
+    sub   r2, r2, r4
+    v_ld  vr1, (r1)
+    v_slideup vr2, vr1, 1
+    v_add vr1, vr1, vr2
+    v_slideup vr2, vr1, 2
+    v_add vr1, vr1, vr2
+    v_slideup vr2, vr1, 4
+    v_add vr1, vr1, vr2
+    v_slideup vr2, vr1, 8
+    v_add vr1, vr1, vr2
+    v_slideup vr2, vr1, 16
+    v_add vr1, vr1, vr2
+    v_slideup vr2, vr1, 32
+    v_add vr1, vr1, vr2
+    v_adds vr1, vr1, r3      # fold in the carry from the previous strip
+    v_st  vr1, (r1)
+    addi  r5, r4, -1
+    v_extract r3, vr1, r5    # carry = last element of this strip
+    slli  r5, r4, 2
+    add   r1, r1, r5
+    beq   r0, r0, loop
+done:
+    halt

@@ -1,0 +1,20 @@
+# One s^2-block of the HiSM sparse matrix-vector product: stream the
+# block-array, gather x by each element's 8-bit column position, multiply,
+# and scatter-accumulate into y by the row position — the positional
+# multiply-accumulate of the HiSM ISA extension.
+#
+# Inputs:  r1 = position base, r2 = element count, r3 = value base,
+#          r4 = &x window, r5 = &y window
+#
+# Run with: ./vsim_run programs/spmv_block.s --r1=4096 --r2=0 --r3=4096 --r4=8192 --r5=12288
+main:
+    beq   r2, r0, done
+loop:
+    ssvl  r2
+    v_ldb vr1, vr2, r1, r3   # values + packed positions
+    v_gthc vr3, (r4), vr2    # x[col(pos)]
+    v_fmul vr4, vr1, vr3
+    v_scar vr4, (r5), vr2    # y[row(pos)] += product
+    bne   r2, r0, loop
+done:
+    halt

@@ -1,0 +1,92 @@
+// vsim demo: assemble and run a small vector program, showing the paper's
+// machine model at work — strip mining with ssvl, the 20-cycle memory
+// startup, the contiguous-vs-indexed bandwidth gap, and vector chaining.
+//
+//   ./vsim_demo [--trace]
+#include <cstdio>
+
+#include "support/cli.hpp"
+#include "vsim/assembler.hpp"
+#include "vsim/machine.hpp"
+
+namespace {
+
+// A vectorized SAXPY over 1000 elements: y[i] += 2 * x[i], strip-mined by
+// the section size.
+constexpr const char* kSaxpy = R"asm(
+    li   r1, 1000          # elements remaining
+    li   r2, 0x10000       # &x
+    li   r3, 0x20000       # &y
+loop:
+    setvl r4, r1           # vl = min(s, remaining)
+    sub  r1, r1, r4
+    v_ld vr1, (r2)         # x slice
+    v_ld vr2, (r3)         # y slice
+    v_add vr3, vr1, vr1    # 2*x (integer lanes in this demo)
+    v_add vr4, vr2, vr3
+    v_st vr4, (r3)
+    slli r5, r4, 2
+    add  r2, r2, r5
+    add  r3, r3, r5
+    bne  r1, r0, loop
+    halt
+)asm";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smtu;
+  CommandLine cli(argc, argv);
+  const bool trace = cli.get_flag("trace");
+  cli.finish();
+
+  const vsim::Program program = vsim::assemble(kSaxpy);
+  std::printf("assembled %zu instructions\n", program.size());
+
+  auto run_with = [&](bool chaining) {
+    vsim::MachineConfig config;
+    config.chaining = chaining;
+    vsim::Machine machine(config);
+    for (u32 i = 0; i < 1000; ++i) {
+      machine.memory().write_u32(0x10000 + 4 * i, i);
+      machine.memory().write_u32(0x20000 + 4 * i, 1000 - i);
+    }
+    if (trace && chaining) machine.enable_trace(40);
+    const vsim::RunStats stats = machine.run(program);
+    // Spot-check the result: y[i] = (1000 - i) + 2i = 1000 + i.
+    for (u32 i = 0; i < 1000; ++i) {
+      if (machine.memory().read_u32(0x20000 + 4 * i) != 1000 + i) {
+        std::fprintf(stderr, "wrong result at %u\n", i);
+        std::exit(1);
+      }
+    }
+    return stats;
+  };
+
+  const vsim::RunStats chained = run_with(true);
+  const vsim::RunStats unchained = run_with(false);
+
+  std::printf("\nsaxpy over 1000 elements (16 strips of s = 64):\n");
+  std::printf("  with chaining:    %6llu cycles  (%llu instructions, %llu vector)\n",
+              static_cast<unsigned long long>(chained.cycles),
+              static_cast<unsigned long long>(chained.instructions),
+              static_cast<unsigned long long>(chained.vector_instructions));
+  std::printf("  without chaining: %6llu cycles  (+%.0f%%)\n",
+              static_cast<unsigned long long>(unchained.cycles),
+              100.0 * (static_cast<double>(unchained.cycles) /
+                           static_cast<double>(chained.cycles) -
+                       1.0));
+  std::printf("\nmemory model sanity (paper examples):\n");
+
+  vsim::Machine machine{vsim::MachineConfig{}};
+  machine.memory().ensure(0, 1 << 20);
+  const auto contiguous = machine.run(vsim::assemble(
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nv_ld vr1, (r2)\nhalt\n"));
+  const auto indexed = machine.run(vsim::assemble(
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nv_bcasti vr0, 0\nv_ldx vr1, (r2), vr0\nhalt\n"));
+  std::printf("  contiguous 64-word load: %llu cycles (paper: 20 + 64/4 = 36)\n",
+              static_cast<unsigned long long>(contiguous.cycles));
+  std::printf("  indexed 64-element load: %llu cycles (paper: 20 + 64 = 84)\n",
+              static_cast<unsigned long long>(indexed.cycles));
+  return 0;
+}

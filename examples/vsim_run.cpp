@@ -1,0 +1,95 @@
+// vsim_run: assemble and execute a vector-assembly program from a file —
+// the simulator as a standalone tool for writing custom kernels.
+//
+//   ./vsim_run program.s [--r1=value ... --r9=value] [--section=64]
+//               [--no-chaining] [--trace=N] [--dump-regs] [--listing]
+//               [--timeline] [--events]
+//
+// Scalar registers r1..r29 can be preset via --rN=value (decimal or hex).
+// After the run, cycle statistics are printed; --dump-regs adds the final
+// scalar register file.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "vsim/assembler.hpp"
+#include "vsim/machine.hpp"
+#include "vsim/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smtu;
+  CommandLine cli(argc, argv);
+  const i64 section = cli.get_int("section", 64);
+  const bool no_chaining = cli.get_flag("no-chaining");
+  const i64 trace = cli.get_int("trace", 0);
+  const bool dump_regs = cli.get_flag("dump-regs");
+  const bool listing = cli.get_flag("listing");
+  const bool timeline = cli.get_flag("timeline");
+  const bool events = cli.get_flag("events");
+
+  vsim::MachineConfig config;
+  config.section = static_cast<u32>(section);
+  config.chaining = !no_chaining;
+  vsim::Machine machine(config);
+
+  for (u32 r = 1; r < vsim::kNumScalarRegs - 2; ++r) {
+    const std::string key = "r" + std::to_string(r);
+    const i64 preset = cli.get_int(key, -1);
+    if (preset >= 0) machine.set_sreg(r, static_cast<u64>(preset));
+  }
+  cli.finish();
+
+  if (cli.positional().size() != 1) {
+    std::fprintf(stderr, "usage: vsim_run <program.s> [--rN=value ...]\n");
+    return 2;
+  }
+  std::ifstream in(cli.positional()[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", cli.positional()[0].c_str());
+    return 2;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  vsim::Program program;
+  try {
+    program = vsim::assemble(source.str());
+  } catch (const vsim::AssemblyError& e) {
+    std::fprintf(stderr, "%s: %s\n", cli.positional()[0].c_str(), e.what());
+    return 1;
+  }
+  if (listing) std::fputs(program.listing().c_str(), stdout);
+
+  machine.set_sreg(vsim::kRegSp, 0x10000);  // stack below the usual image base
+  machine.memory().ensure(0, 1 << 20);      // a scratch megabyte
+  if (trace > 0) machine.enable_trace(static_cast<u64>(trace));
+  vsim::ExecutionTrace execution_trace(512);
+  if (timeline || events) machine.attach_trace(&execution_trace);
+
+  const vsim::RunStats stats =
+      machine.run(program, program.has_label("main") ? program.label("main") : 0);
+  std::fputs(vsim::run_stats_summary(stats).c_str(), stdout);
+  if (events) {
+    std::ostringstream table;
+    execution_trace.print_table(table);
+    std::fputs(table.str().c_str(), stdout);
+  }
+  if (timeline) {
+    std::ostringstream gantt;
+    execution_trace.print_timeline(gantt);
+    std::fputs(gantt.str().c_str(), stdout);
+  }
+
+  if (dump_regs) {
+    for (u32 r = 1; r < vsim::kNumScalarRegs; ++r) {
+      const u64 value = machine.sreg(r);
+      if (value != 0) {
+        std::printf("r%-2u = %llu (0x%llx)\n", r, static_cast<unsigned long long>(value),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+  }
+  return 0;
+}

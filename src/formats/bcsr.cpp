@@ -1,0 +1,125 @@
+#include "formats/bcsr.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace smtu {
+
+Bcsr Bcsr::from_coo(const Coo& coo, u32 block_rows, u32 block_cols) {
+  SMTU_CHECK_MSG(block_rows >= 1 && block_cols >= 1, "tile dimensions must be positive");
+  Coo canonical = coo;
+  canonical.canonicalize();
+
+  Bcsr bcsr;
+  bcsr.rows_ = canonical.rows();
+  bcsr.cols_ = canonical.cols();
+  bcsr.nnz_ = canonical.nnz();
+  bcsr.block_rows_ = block_rows;
+  bcsr.block_cols_ = block_cols;
+
+  const Index grid_rows = ceil_div(canonical.rows(), block_rows);
+
+  // Tiles keyed by (block row, block col); map is ordered, giving block-CSR
+  // order directly.
+  std::map<std::pair<Index, Index>, std::vector<float>> tiles;
+  for (const CooEntry& e : canonical.entries()) {
+    const auto key = std::make_pair(e.row / block_rows, e.col / block_cols);
+    auto [it, inserted] = tiles.try_emplace(key);
+    if (inserted) it->second.assign(static_cast<usize>(block_rows) * block_cols, 0.0f);
+    it->second[(e.row % block_rows) * block_cols + (e.col % block_cols)] = e.value;
+  }
+
+  bcsr.block_row_ptr_.assign(grid_rows + 1, 0);
+  bcsr.block_col_.reserve(tiles.size());
+  bcsr.values_.reserve(tiles.size() * block_rows * block_cols);
+  for (const auto& [key, tile] : tiles) {
+    bcsr.block_row_ptr_[key.first + 1]++;
+    bcsr.block_col_.push_back(static_cast<u32>(key.second));
+    bcsr.values_.insert(bcsr.values_.end(), tile.begin(), tile.end());
+  }
+  for (Index g = 0; g < grid_rows; ++g) bcsr.block_row_ptr_[g + 1] += bcsr.block_row_ptr_[g];
+  return bcsr;
+}
+
+Coo Bcsr::to_coo() const {
+  Coo coo(rows_, cols_);
+  const usize tile_size = static_cast<usize>(block_rows_) * block_cols_;
+  const Index grid_rows = block_row_ptr_.empty() ? 0 : block_row_ptr_.size() - 1;
+  for (Index g = 0; g < grid_rows; ++g) {
+    for (u32 t = block_row_ptr_[g]; t < block_row_ptr_[g + 1]; ++t) {
+      const Index row0 = g * block_rows_;
+      const Index col0 = static_cast<Index>(block_col_[t]) * block_cols_;
+      for (u32 br = 0; br < block_rows_; ++br) {
+        for (u32 bc = 0; bc < block_cols_; ++bc) {
+          const float v = values_[t * tile_size + br * block_cols_ + bc];
+          if (v != 0.0f) coo.entries().push_back({row0 + br, col0 + bc, v});
+        }
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+double Bcsr::fill_ratio() const {
+  if (nnz_ == 0) return 0.0;
+  return static_cast<double>(values_.size()) / static_cast<double>(nnz_);
+}
+
+u64 Bcsr::storage_bytes() const {
+  return values_.size() * sizeof(float) + block_col_.size() * sizeof(u32) +
+         block_row_ptr_.size() * sizeof(u32);
+}
+
+bool Bcsr::validate() const {
+  const Index grid_rows = ceil_div(rows_, block_rows_);
+  const Index grid_cols = ceil_div(cols_, block_cols_);
+  if (block_row_ptr_.size() != grid_rows + 1) return false;
+  if (block_row_ptr_.front() != 0 || block_row_ptr_.back() != block_col_.size()) return false;
+  if (values_.size() != block_col_.size() * static_cast<usize>(block_rows_) * block_cols_) {
+    return false;
+  }
+  for (Index g = 0; g < grid_rows; ++g) {
+    if (block_row_ptr_[g] > block_row_ptr_[g + 1]) return false;
+    for (u32 t = block_row_ptr_[g]; t < block_row_ptr_[g + 1]; ++t) {
+      if (block_col_[t] >= grid_cols) return false;
+      if (t > block_row_ptr_[g] && block_col_[t - 1] >= block_col_[t]) return false;
+    }
+  }
+  return true;
+}
+
+Bcsr Bcsr::transposed() const {
+  // Straightforward and clear: transpose via COO, then rebuild with swapped
+  // tile dimensions. (A production in-place tile-transpose would avoid the
+  // round trip; the COO path keeps this reference implementation obviously
+  // correct, which is its role here.)
+  Bcsr out = from_coo(to_coo().transposed(), block_cols_, block_rows_);
+  return out;
+}
+
+std::vector<float> Bcsr::spmv(const std::vector<float>& x) const {
+  SMTU_CHECK_MSG(x.size() == cols_, "spmv dimension mismatch");
+  std::vector<float> y(rows_, 0.0f);
+  const usize tile_size = static_cast<usize>(block_rows_) * block_cols_;
+  const Index grid_rows = block_row_ptr_.empty() ? 0 : block_row_ptr_.size() - 1;
+  for (Index g = 0; g < grid_rows; ++g) {
+    for (u32 t = block_row_ptr_[g]; t < block_row_ptr_[g + 1]; ++t) {
+      const Index row0 = g * block_rows_;
+      const Index col0 = static_cast<Index>(block_col_[t]) * block_cols_;
+      for (u32 br = 0; br < block_rows_ && row0 + br < rows_; ++br) {
+        float acc = 0.0f;
+        for (u32 bc = 0; bc < block_cols_ && col0 + bc < cols_; ++bc) {
+          acc += values_[t * tile_size + br * block_cols_ + bc] * x[col0 + bc];
+        }
+        y[row0 + br] += acc;
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace smtu

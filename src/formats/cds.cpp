@@ -1,0 +1,91 @@
+#include "formats/cds.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace smtu {
+
+Cds Cds::from_coo(const Coo& coo) {
+  Coo canonical = coo;
+  canonical.canonicalize();
+
+  Cds cds;
+  cds.rows_ = canonical.rows();
+  cds.cols_ = canonical.cols();
+  cds.nnz_ = canonical.nnz();
+
+  std::map<i64, usize> diagonal_index;
+  for (const CooEntry& e : canonical.entries()) {
+    diagonal_index.emplace(static_cast<i64>(e.col) - static_cast<i64>(e.row), 0);
+  }
+  cds.offsets_.reserve(diagonal_index.size());
+  for (auto& [offset, index] : diagonal_index) {
+    index = cds.offsets_.size();
+    cds.offsets_.push_back(offset);
+  }
+
+  cds.values_.assign(cds.offsets_.size() * cds.rows_, 0.0f);
+  for (const CooEntry& e : canonical.entries()) {
+    const i64 offset = static_cast<i64>(e.col) - static_cast<i64>(e.row);
+    cds.values_[diagonal_index[offset] * cds.rows_ + e.row] = e.value;
+  }
+  return cds;
+}
+
+Coo Cds::to_coo() const {
+  Coo coo(rows_, cols_);
+  for (usize d = 0; d < offsets_.size(); ++d) {
+    for (Index r = 0; r < rows_; ++r) {
+      const float v = values_[d * rows_ + r];
+      if (v == 0.0f) continue;
+      const i64 c = static_cast<i64>(r) + offsets_[d];
+      SMTU_CHECK(c >= 0 && c < static_cast<i64>(cols_));
+      coo.entries().push_back({r, static_cast<Index>(c), v});
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+double Cds::fill_ratio() const {
+  if (nnz_ == 0) return 0.0;
+  return static_cast<double>(values_.size()) / static_cast<double>(nnz_);
+}
+
+bool Cds::validate() const {
+  if (values_.size() != offsets_.size() * rows_) return false;
+  for (usize d = 1; d < offsets_.size(); ++d) {
+    if (offsets_[d - 1] >= offsets_[d]) return false;
+  }
+  // Every stored non-zero must map inside the matrix.
+  for (usize d = 0; d < offsets_.size(); ++d) {
+    for (Index r = 0; r < rows_; ++r) {
+      if (values_[d * rows_ + r] == 0.0f) continue;
+      const i64 c = static_cast<i64>(r) + offsets_[d];
+      if (c < 0 || c >= static_cast<i64>(cols_)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<float> Cds::spmv(const std::vector<float>& x) const {
+  SMTU_CHECK_MSG(x.size() == cols_, "spmv dimension mismatch");
+  std::vector<float> y(rows_, 0.0f);
+  for (usize d = 0; d < offsets_.size(); ++d) {
+    const i64 offset = offsets_[d];
+    const Index begin = offset < 0 ? static_cast<Index>(-offset) : 0;
+    const Index end =
+        std::min<Index>(rows_, offset >= 0 ? (cols_ >= static_cast<u64>(offset)
+                                                  ? cols_ - static_cast<u64>(offset)
+                                                  : 0)
+                                           : rows_);
+    for (Index r = begin; r < end; ++r) {
+      y[r] += values_[d * rows_ + r] * x[static_cast<Index>(static_cast<i64>(r) + offset)];
+    }
+  }
+  return y;
+}
+
+}  // namespace smtu

@@ -1,0 +1,49 @@
+// Compressed Diagonal Storage (CDS) — the classic vector-machine format for
+// banded matrices (SPARSKIT's DIA): every non-empty diagonal is stored as a
+// dense column of length n, so SpMV runs as pure stride-1 vector work.
+// Degenerates badly when many diagonals are sparsely populated, which is
+// exactly the trade-off HiSM targets; kept here as a comparison point.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/types.hpp"
+
+namespace smtu {
+
+class Cds {
+ public:
+  Cds() = default;
+
+  static Cds from_coo(const Coo& coo);
+
+  Coo to_coo() const;
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  usize nnz() const { return nnz_; }
+  usize num_diagonals() const { return offsets_.size(); }
+
+  // Diagonal offsets (col - row), ascending.
+  const std::vector<i64>& offsets() const { return offsets_; }
+  // values()[d * rows + r] is element (r, r + offset[d]), 0 when absent.
+  const std::vector<float>& values() const { return values_; }
+
+  // Stored elements (including explicit zeros) / non-zeros: the format's
+  // waste factor on this matrix.
+  double fill_ratio() const;
+
+  bool validate() const;
+
+  std::vector<float> spmv(const std::vector<float>& x) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  usize nnz_ = 0;
+  std::vector<i64> offsets_;
+  std::vector<float> values_;
+};
+
+}  // namespace smtu

@@ -1,0 +1,43 @@
+// Compressed Column Storage: the column-major dual of CSR. Converting a CSR
+// matrix to CSC *is* a transposition of the index structure, which gives an
+// independent second reference for the transpose tests.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/types.hpp"
+
+namespace smtu {
+
+class Csc {
+ public:
+  Csc() = default;
+
+  static Csc from_coo(const Coo& coo);
+
+  Coo to_coo() const;
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  usize nnz() const { return values_.size(); }
+
+  const std::vector<u32>& col_ptr() const { return col_ptr_; }
+  const std::vector<u32>& row_idx() const { return row_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  bool validate() const;
+
+  // Reinterprets the CSC structure of A as the CSR structure of A^T — an O(1)
+  // relabeling that yields the transpose in COO form.
+  Coo transposed_coo() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<u32> col_ptr_;
+  std::vector<u32> row_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace smtu

@@ -1,0 +1,58 @@
+// Compressed Row Storage (CRS/CSR): the baseline format of the paper.
+//
+// Terminology follows the paper (Fig. 8): AN is the array of non-zeros stored
+// row-wise, JA the per-element column index, IA the per-row start pointers
+// (length rows+1 here; the paper's Fig. 8 uses the same convention with a
+// final sentinel).
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/types.hpp"
+
+namespace smtu {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds from a (not necessarily canonical) COO matrix.
+  static Csr from_coo(const Coo& coo);
+
+  Coo to_coo() const;
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  usize nnz() const { return values_.size(); }
+
+  const std::vector<u32>& row_ptr() const { return row_ptr_; }  // IA
+  const std::vector<u32>& col_idx() const { return col_idx_; }  // JA
+  const std::vector<float>& values() const { return values_; }  // AN
+
+  // Number of stored bytes (AN + JA + IA) for the storage-footprint ablation.
+  u64 storage_bytes() const;
+
+  // Checks the structural invariants (monotone IA, in-range JA, sorted rows).
+  // `require_sorted_rows` may be false for freshly transposed output whose
+  // rows are populated in source-row order (they are in fact sorted for the
+  // Pissanetsky algorithm, but callers converting from simulator memory may
+  // not guarantee it).
+  bool validate(bool require_sorted_rows = true) const;
+
+  // The paper's baseline: Pissanetsky's CSR transposition (Fig. 9). Builds
+  // IAT/JAT/ANT with a column histogram, a scan-add, and a permutation pass.
+  Csr transposed_pissanetsky() const;
+
+  // y = A*x convenience routine (used by examples and JD cross-checks).
+  std::vector<float> spmv(const std::vector<float>& x) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<u32> row_ptr_;
+  std::vector<u32> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace smtu

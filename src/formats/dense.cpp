@@ -1,0 +1,44 @@
+#include "formats/dense.hpp"
+
+#include "support/assert.hpp"
+
+namespace smtu {
+
+Dense Dense::from_coo(const Coo& coo) {
+  Coo canonical = coo;
+  canonical.canonicalize();
+  Dense dense(canonical.rows(), canonical.cols());
+  for (const CooEntry& e : canonical.entries()) dense.at(e.row, e.col) = e.value;
+  return dense;
+}
+
+Coo Dense::to_coo() const {
+  Coo coo(rows_, cols_);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index c = 0; c < cols_; ++c) {
+      const float v = at(r, c);
+      if (v != 0.0f) coo.entries().push_back({r, c, v});
+    }
+  }
+  return coo;
+}
+
+float& Dense::at(Index row, Index col) {
+  SMTU_DCHECK(row < rows_ && col < cols_);
+  return data_[row * cols_ + col];
+}
+
+float Dense::at(Index row, Index col) const {
+  SMTU_DCHECK(row < rows_ && col < cols_);
+  return data_[row * cols_ + col];
+}
+
+Dense Dense::transposed() const {
+  Dense out(cols_, rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+}  // namespace smtu

@@ -1,0 +1,91 @@
+#include "formats/ell.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace smtu {
+
+Ell Ell::from_coo(const Coo& coo) {
+  Coo canonical = coo;
+  canonical.canonicalize();
+
+  Ell ell;
+  ell.rows_ = canonical.rows();
+  ell.cols_ = canonical.cols();
+  ell.nnz_ = canonical.nnz();
+
+  std::vector<u32> row_fill(canonical.rows(), 0);
+  for (const CooEntry& e : canonical.entries()) row_fill[e.row]++;
+  ell.width_ = row_fill.empty() ? 0 : *std::max_element(row_fill.begin(), row_fill.end());
+
+  ell.col_idx_.assign(static_cast<usize>(ell.rows_) * ell.width_, kPad);
+  ell.values_.assign(static_cast<usize>(ell.rows_) * ell.width_, 0.0f);
+  std::fill(row_fill.begin(), row_fill.end(), 0);
+  for (const CooEntry& e : canonical.entries()) {
+    const usize slot = e.row * ell.width_ + row_fill[e.row]++;
+    ell.col_idx_[slot] = static_cast<u32>(e.col);
+    ell.values_[slot] = e.value;
+  }
+  return ell;
+}
+
+Coo Ell::to_coo() const {
+  Coo coo(rows_, cols_);
+  coo.entries().reserve(nnz_);
+  for (Index r = 0; r < rows_; ++r) {
+    for (u32 k = 0; k < width_; ++k) {
+      const usize slot = r * width_ + k;
+      if (col_idx_[slot] == kPad) break;  // row slots fill left to right
+      coo.entries().push_back({r, col_idx_[slot], values_[slot]});
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+double Ell::fill_ratio() const {
+  if (nnz_ == 0) return 0.0;
+  return static_cast<double>(col_idx_.size()) / static_cast<double>(nnz_);
+}
+
+u64 Ell::storage_bytes() const {
+  return col_idx_.size() * sizeof(u32) + values_.size() * sizeof(float);
+}
+
+bool Ell::validate() const {
+  if (col_idx_.size() != static_cast<usize>(rows_) * width_) return false;
+  if (values_.size() != col_idx_.size()) return false;
+  usize counted = 0;
+  for (Index r = 0; r < rows_; ++r) {
+    bool in_padding = false;
+    for (u32 k = 0; k < width_; ++k) {
+      const usize slot = r * width_ + k;
+      if (col_idx_[slot] == kPad) {
+        in_padding = true;
+        if (values_[slot] != 0.0f) return false;
+      } else {
+        if (in_padding) return false;  // data after padding
+        if (col_idx_[slot] >= cols_) return false;
+        ++counted;
+      }
+    }
+  }
+  return counted == nnz_;
+}
+
+std::vector<float> Ell::spmv(const std::vector<float>& x) const {
+  SMTU_CHECK_MSG(x.size() == cols_, "spmv dimension mismatch");
+  std::vector<float> y(rows_, 0.0f);
+  // Column-of-slots order: the vectorizable ELL traversal.
+  for (u32 k = 0; k < width_; ++k) {
+    for (Index r = 0; r < rows_; ++r) {
+      const usize slot = r * width_ + k;
+      if (col_idx_[slot] == kPad) continue;
+      y[r] += values_[slot] * x[col_idx_[slot]];
+    }
+  }
+  return y;
+}
+
+}  // namespace smtu

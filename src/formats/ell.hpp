@@ -1,0 +1,51 @@
+// ELLPACK (ELL) storage — the other classic vector/SIMD sparse format: every
+// row is padded to the length of the longest row, giving two dense
+// rows x width arrays (column indices and values) that vectorize trivially.
+// Catastrophic when one row is much longer than the rest — the skew JD
+// fixes with its permutation, and HiSM sidesteps entirely.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/types.hpp"
+
+namespace smtu {
+
+class Ell {
+ public:
+  Ell() = default;
+
+  static Ell from_coo(const Coo& coo);
+
+  Coo to_coo() const;
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  usize nnz() const { return nnz_; }
+  u32 width() const { return width_; }  // max row length
+
+  // Row-major rows x width; padding slots carry column == kPad, value 0.
+  static constexpr u32 kPad = 0xffffffffu;
+  const std::vector<u32>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  // Stored slots / non-zeros — the padding waste.
+  double fill_ratio() const;
+
+  u64 storage_bytes() const;
+
+  bool validate() const;
+
+  std::vector<float> spmv(const std::vector<float>& x) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  usize nnz_ = 0;
+  u32 width_ = 0;
+  std::vector<u32> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace smtu

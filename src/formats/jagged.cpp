@@ -1,0 +1,88 @@
+#include "formats/jagged.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "formats/csr.hpp"
+#include "support/assert.hpp"
+
+namespace smtu {
+
+Jagged Jagged::from_coo(const Coo& coo) {
+  const Csr csr = Csr::from_coo(coo);
+
+  Jagged jd;
+  jd.rows_ = csr.rows();
+  jd.cols_ = csr.cols();
+
+  jd.perm_.resize(csr.rows());
+  std::iota(jd.perm_.begin(), jd.perm_.end(), 0u);
+  auto row_len = [&](u32 r) { return csr.row_ptr()[r + 1] - csr.row_ptr()[r]; };
+  std::stable_sort(jd.perm_.begin(), jd.perm_.end(),
+                   [&](u32 a, u32 b) { return row_len(a) > row_len(b); });
+
+  const u32 max_len = jd.perm_.empty() ? 0 : row_len(jd.perm_.front());
+  jd.diag_ptr_.assign(max_len + 1, 0);
+  jd.col_idx_.reserve(csr.nnz());
+  jd.values_.reserve(csr.nnz());
+
+  for (u32 d = 0; d < max_len; ++d) {
+    jd.diag_ptr_[d] = static_cast<u32>(jd.values_.size());
+    for (const u32 row : jd.perm_) {
+      if (row_len(row) <= d) break;  // rows are sorted by decreasing length
+      const u32 k = csr.row_ptr()[row] + d;
+      jd.col_idx_.push_back(csr.col_idx()[k]);
+      jd.values_.push_back(csr.values()[k]);
+    }
+  }
+  if (!jd.diag_ptr_.empty()) jd.diag_ptr_[max_len] = static_cast<u32>(jd.values_.size());
+  return jd;
+}
+
+Coo Jagged::to_coo() const {
+  Coo coo(rows_, cols_);
+  coo.entries().reserve(nnz());
+  for (usize d = 0; d + 1 < diag_ptr_.size(); ++d) {
+    const u32 begin = diag_ptr_[d];
+    const u32 end = diag_ptr_[d + 1];
+    for (u32 k = begin; k < end; ++k) {
+      coo.entries().push_back({perm_[k - begin], col_idx_[k], values_[k]});
+    }
+  }
+  return coo;
+}
+
+bool Jagged::validate() const {
+  if (perm_.size() != rows_) return false;
+  std::vector<bool> seen(rows_, false);
+  for (const u32 row : perm_) {
+    if (row >= rows_ || seen[row]) return false;
+    seen[row] = true;
+  }
+  u32 prev_len = 0xffffffffu;
+  for (usize d = 0; d + 1 < diag_ptr_.size(); ++d) {
+    if (diag_ptr_[d] > diag_ptr_[d + 1]) return false;
+    const u32 len = diag_ptr_[d + 1] - diag_ptr_[d];
+    if (len > prev_len) return false;  // diagonals shrink monotonically
+    prev_len = len;
+  }
+  for (const u32 col : col_idx_) {
+    if (col >= cols_) return false;
+  }
+  return diag_ptr_.empty() || diag_ptr_.back() == values_.size();
+}
+
+std::vector<float> Jagged::spmv(const std::vector<float>& x) const {
+  SMTU_CHECK_MSG(x.size() == cols_, "spmv dimension mismatch");
+  std::vector<float> y(rows_, 0.0f);
+  for (usize d = 0; d + 1 < diag_ptr_.size(); ++d) {
+    const u32 begin = diag_ptr_[d];
+    const u32 end = diag_ptr_[d + 1];
+    for (u32 k = begin; k < end; ++k) {
+      y[perm_[k - begin]] += values_[k] * x[col_idx_[k]];
+    }
+  }
+  return y;
+}
+
+}  // namespace smtu

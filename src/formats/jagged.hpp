@@ -1,0 +1,47 @@
+// Jagged Diagonal (JD) storage — the other vector-processor format the paper
+// cites as a comparison point for HiSM (via [5]). Rows are sorted by length,
+// then the k-th non-zero of every row forms one dense "jagged diagonal" that
+// vectorizes across rows.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/types.hpp"
+
+namespace smtu {
+
+class Jagged {
+ public:
+  Jagged() = default;
+
+  static Jagged from_coo(const Coo& coo);
+
+  Coo to_coo() const;
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  usize nnz() const { return values_.size(); }
+  usize diagonals() const { return diag_ptr_.empty() ? 0 : diag_ptr_.size() - 1; }
+
+  // Permutation: perm_[i] is the original row stored at sorted position i.
+  const std::vector<u32>& perm() const { return perm_; }
+  const std::vector<u32>& diag_ptr() const { return diag_ptr_; }
+  const std::vector<u32>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  bool validate() const;
+
+  // y = A*x computed diagonal-by-diagonal (the vectorizable JD kernel).
+  std::vector<float> spmv(const std::vector<float>& x) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<u32> perm_;
+  std::vector<u32> diag_ptr_;   // start of each jagged diagonal
+  std::vector<u32> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace smtu

@@ -1,0 +1,144 @@
+#include "hism/access.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace smtu {
+namespace {
+
+constexpr u32 digit(Index coord, u32 level, u32 section) {
+  return static_cast<u32>((coord / ipow(section, level)) % section);
+}
+
+// Range of entries in a row-major-sorted block whose row position equals r.
+std::pair<usize, usize> row_range(const BlockArray& block, u8 r) {
+  const auto begin = std::lower_bound(
+      block.pos.begin(), block.pos.end(), r,
+      [](const BlockPos& pos, u8 row) { return pos.row < row; });
+  const auto end = std::upper_bound(
+      block.pos.begin(), block.pos.end(), r,
+      [](u8 row, const BlockPos& pos) { return row < pos.row; });
+  return {static_cast<usize>(begin - block.pos.begin()),
+          static_cast<usize>(end - block.pos.begin())};
+}
+
+// Index of the entry at exactly (r, c), or npos. Binary search requires
+// row-major order, which only level 0 guarantees (higher levels may be
+// column-major); `linear` forces a scan there.
+usize find_entry(const BlockArray& block, u8 r, u8 c, bool linear) {
+  const BlockPos target{r, c};
+  if (linear) {
+    for (usize i = 0; i < block.size(); ++i) {
+      if (block.pos[i] == target) return i;
+    }
+    return static_cast<usize>(-1);
+  }
+  const auto it = std::lower_bound(block.pos.begin(), block.pos.end(), target,
+                                   [](const BlockPos& a, const BlockPos& b) {
+                                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                                   });
+  if (it == block.pos.end() || !(*it == target)) return static_cast<usize>(-1);
+  return static_cast<usize>(it - block.pos.begin());
+}
+
+}  // namespace
+
+std::optional<float> hism_get(const HismMatrix& hism, Index row, Index col) {
+  SMTU_CHECK_MSG(row < hism.rows() && col < hism.cols(), "hism_get out of bounds");
+  const u32 section = hism.section();
+  u32 level = hism.num_levels() - 1;
+  const BlockArray* block = &hism.root();
+  while (true) {
+    const usize at = find_entry(*block, static_cast<u8>(digit(row, level, section)),
+                                static_cast<u8>(digit(col, level, section)),
+                                /*linear=*/level > 0);
+    if (at == static_cast<usize>(-1)) return std::nullopt;
+    if (level == 0) return std::bit_cast<float>(block->slot[at]);
+    block = &hism.level(level - 1)[block->slot[at]];
+    --level;
+  }
+}
+
+std::vector<std::pair<Index, float>> hism_extract_row(const HismMatrix& hism, Index row) {
+  SMTU_CHECK_MSG(row < hism.rows(), "hism_extract_row out of bounds");
+  std::vector<std::pair<Index, float>> out;
+  const u32 section = hism.section();
+
+  struct Walker {
+    const HismMatrix& hism;
+    Index row;
+    u32 section;
+    std::vector<std::pair<Index, float>>& out;
+
+    void walk(const BlockArray& block, u32 level, Index col_offset) {
+      const u8 r = static_cast<u8>(digit(row, level, section));
+      const u64 span = ipow(section, level);
+      if (level == 0) {
+        // Level 0 is always row-major: one contiguous, ordered range.
+        const auto [begin, end] = row_range(block, r);
+        for (usize i = begin; i < end; ++i) {
+          out.emplace_back(col_offset + block.pos[i].col * span,
+                           std::bit_cast<float>(block.slot[i]));
+        }
+        return;
+      }
+      // Higher levels may be column-major; collect matches in column order
+      // so the output stays sorted either way.
+      std::vector<usize> matches;
+      for (usize i = 0; i < block.size(); ++i) {
+        if (block.pos[i].row == r) matches.push_back(i);
+      }
+      std::sort(matches.begin(), matches.end(), [&](usize a, usize b) {
+        return block.pos[a].col < block.pos[b].col;
+      });
+      for (const usize i : matches) {
+        walk(hism.level(level - 1)[block.slot[i]], level - 1,
+             col_offset + block.pos[i].col * span);
+      }
+    }
+  };
+  Walker{hism, row, section, out}.walk(hism.root(), hism.num_levels() - 1, 0);
+  return out;
+}
+
+std::vector<std::pair<Index, float>> hism_extract_col(const HismMatrix& hism, Index col) {
+  SMTU_CHECK_MSG(col < hism.cols(), "hism_extract_col out of bounds");
+  std::vector<std::pair<Index, float>> out;
+  const u32 section = hism.section();
+
+  struct Walker {
+    const HismMatrix& hism;
+    Index col;
+    u32 section;
+    std::vector<std::pair<Index, float>>& out;
+
+    void walk(const BlockArray& block, u32 level, Index row_offset) {
+      const u8 c = static_cast<u8>(digit(col, level, section));
+      const u64 span = ipow(section, level);
+      // Collect matches in row order so the output stays sorted whatever
+      // the block's internal ordering.
+      std::vector<usize> matches;
+      for (usize i = 0; i < block.size(); ++i) {
+        if (block.pos[i].col == c) matches.push_back(i);
+      }
+      std::sort(matches.begin(), matches.end(), [&](usize a, usize b) {
+        return block.pos[a].row < block.pos[b].row;
+      });
+      for (const usize i : matches) {
+        const Index row = row_offset + block.pos[i].row * span;
+        if (level == 0) {
+          out.emplace_back(row, std::bit_cast<float>(block.slot[i]));
+        } else {
+          walk(hism.level(level - 1)[block.slot[i]], level - 1, row);
+        }
+      }
+    }
+  };
+  Walker{hism, col, section, out}.walk(hism.root(), hism.num_levels() - 1, 0);
+  return out;
+}
+
+}  // namespace smtu

@@ -1,0 +1,27 @@
+// Random access into a HiSM matrix: element lookup and row/column
+// extraction by hierarchical descent. These are the access primitives a
+// format needs to be adoptable beyond whole-matrix kernels; their cost
+// profile (log_s descent per element, block-local scans for slices) is
+// itself part of the format's story.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hism/hism.hpp"
+
+namespace smtu {
+
+// Value at (row, col), or nullopt when the position holds no stored
+// element. O(q * log s^2): one binary search per hierarchy level.
+std::optional<float> hism_get(const HismMatrix& hism, Index row, Index col);
+
+// All stored elements of one row as (column, value), ascending columns.
+// Visits only the block-arrays whose row range intersects `row`.
+std::vector<std::pair<Index, float>> hism_extract_row(const HismMatrix& hism, Index row);
+
+// All stored elements of one column as (row, value), ascending rows.
+std::vector<std::pair<Index, float>> hism_extract_col(const HismMatrix& hism, Index col);
+
+}  // namespace smtu

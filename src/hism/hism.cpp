@@ -1,0 +1,258 @@
+#include "hism/hism.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace smtu {
+namespace {
+
+// Base-s digit k of a coordinate: the position of the element at hierarchy
+// level k (§III of the paper: i = i_0 + i_1 s + ... + i_q s^q).
+constexpr u32 digit(Index coord, u32 level, u32 section) {
+  return static_cast<u32>((coord / ipow(section, level)) % section);
+}
+
+// Hierarchical sort key: most-significant digits first, row before column, so
+// sorting groups entries into top-level blocks, then sub-blocks, and leaves
+// each level-0 block row-major.
+u64 hierarchical_key(Index row, Index col, u32 levels, u32 section) {
+  u64 key = 0;
+  for (u32 k = levels; k-- > 0;) {
+    key = (key * section + digit(row, k, section)) * section + digit(col, k, section);
+  }
+  return key;
+}
+
+}  // namespace
+
+namespace {
+
+void sort_block(BlockArray& block, bool row_major) {
+  const usize n = block.size();
+  std::vector<u32> order(n);
+  for (u32 i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+    const BlockPos& pa = block.pos[a];
+    const BlockPos& pb = block.pos[b];
+    if (row_major) return pa.row != pb.row ? pa.row < pb.row : pa.col < pb.col;
+    return pa.col != pb.col ? pa.col < pb.col : pa.row < pb.row;
+  });
+
+  BlockArray sorted;
+  sorted.pos.reserve(n);
+  sorted.slot.reserve(n);
+  if (!block.child_len.empty()) sorted.child_len.reserve(n);
+  for (const u32 i : order) {
+    sorted.pos.push_back(block.pos[i]);
+    sorted.slot.push_back(block.slot[i]);
+    if (!block.child_len.empty()) sorted.child_len.push_back(block.child_len[i]);
+  }
+  block = std::move(sorted);
+}
+
+}  // namespace
+
+void sort_block_row_major(BlockArray& block) { sort_block(block, /*row_major=*/true); }
+
+HismMatrix HismMatrix::from_coo(const Coo& coo, u32 section, HighLevelOrder high_order) {
+  SMTU_CHECK_MSG(section >= 2 && section <= kMaxSection, "section size must be in [2, 256]");
+
+  Coo canonical = coo;
+  canonical.canonicalize();
+
+  HismMatrix hism;
+  hism.section_ = section;
+  hism.rows_ = canonical.rows();
+  hism.cols_ = canonical.cols();
+
+  const Index max_dim = std::max<Index>({canonical.rows(), canonical.cols(), 1});
+  const u32 levels = std::max<u32>(1, log_ceil(max_dim, section));
+  hism.levels_.resize(levels);
+
+  // Sort entries by hierarchical key so each block at every level is a
+  // contiguous range, row-major within its parent. Keys are precomputed —
+  // evaluating the digit decomposition inside the comparator would dominate
+  // construction time for paper-scale matrices.
+  std::vector<std::pair<u64, CooEntry>> keyed;
+  keyed.reserve(canonical.nnz());
+  for (const CooEntry& e : canonical.entries()) {
+    keyed.emplace_back(hierarchical_key(e.row, e.col, levels, section), e);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<CooEntry> entries;
+  entries.reserve(keyed.size());
+  for (const auto& [key, entry] : keyed) entries.push_back(entry);
+
+  // Recursive bottom-up construction over the sorted range.
+  struct Builder {
+    HismMatrix& hism;
+    const std::vector<CooEntry>& entries;
+    u32 section;
+
+    // Builds the block covering entries [begin, end) at `level`; returns its
+    // id within the level's pool.
+    u32 build(usize begin, usize end, u32 level) {
+      BlockArray block;
+      if (level == 0) {
+        block.pos.reserve(end - begin);
+        block.slot.reserve(end - begin);
+        for (usize i = begin; i < end; ++i) {
+          block.pos.push_back({static_cast<u8>(digit(entries[i].row, 0, section)),
+                               static_cast<u8>(digit(entries[i].col, 0, section))});
+          block.slot.push_back(std::bit_cast<u32>(entries[i].value));
+        }
+      } else {
+        usize i = begin;
+        while (i < end) {
+          const u32 r = digit(entries[i].row, level, section);
+          const u32 c = digit(entries[i].col, level, section);
+          usize j = i;
+          while (j < end && digit(entries[j].row, level, section) == r &&
+                 digit(entries[j].col, level, section) == c) {
+            ++j;
+          }
+          const u32 child = build(i, j, level - 1);
+          block.pos.push_back({static_cast<u8>(r), static_cast<u8>(c)});
+          block.slot.push_back(child);
+          // Length of the child block-array itself (its entry count), not of
+          // the element range it covers — they differ above level 1.
+          block.child_len.push_back(static_cast<u32>(hism.levels_[level - 1][child].size()));
+          i = j;
+        }
+      }
+      auto& pool = hism.levels_[level];
+      pool.push_back(std::move(block));
+      return static_cast<u32>(pool.size() - 1);
+    }
+  };
+
+  Builder builder{hism, entries, section};
+  hism.root_id_ = builder.build(0, entries.size(), levels - 1);
+  if (high_order == HighLevelOrder::kColMajor) {
+    for (u32 k = 1; k < levels; ++k) {
+      for (BlockArray& block : hism.levels_[k]) sort_block(block, /*row_major=*/false);
+    }
+  }
+  return hism;
+}
+
+HismMatrix HismMatrix::assemble(u32 section, Index rows, Index cols,
+                                std::vector<std::vector<BlockArray>> levels, u32 root_id) {
+  HismMatrix hism;
+  hism.section_ = section;
+  hism.rows_ = rows;
+  hism.cols_ = cols;
+  hism.levels_ = std::move(levels);
+  hism.root_id_ = root_id;
+  SMTU_CHECK_MSG(hism.validate(), "assembled HiSM matrix is structurally invalid");
+  return hism;
+}
+
+Coo HismMatrix::to_coo() const {
+  Coo coo(rows_, cols_);
+  coo.entries().reserve(nnz());
+
+  struct Walker {
+    const HismMatrix& hism;
+    Coo& coo;
+
+    void walk(const BlockArray& block, u32 level, Index row_off, Index col_off) {
+      const u64 span = ipow(hism.section_, level);
+      for (usize i = 0; i < block.size(); ++i) {
+        const Index row = row_off + block.pos[i].row * span;
+        const Index col = col_off + block.pos[i].col * span;
+        if (level == 0) {
+          coo.entries().push_back({row, col, std::bit_cast<float>(block.slot[i])});
+        } else {
+          walk(hism.levels_[level - 1][block.slot[i]], level - 1, row, col);
+        }
+      }
+    }
+  };
+
+  if (!levels_.empty()) {
+    Walker{*this, coo}.walk(root(), num_levels() - 1, 0, 0);
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+usize HismMatrix::nnz() const {
+  usize total = 0;
+  if (!levels_.empty()) {
+    for (const BlockArray& block : levels_[0]) total += block.size();
+  }
+  return total;
+}
+
+const std::vector<BlockArray>& HismMatrix::level(u32 k) const {
+  SMTU_CHECK(k < levels_.size());
+  return levels_[k];
+}
+
+std::vector<BlockArray>& HismMatrix::level(u32 k) {
+  SMTU_CHECK(k < levels_.size());
+  return levels_[k];
+}
+
+bool HismMatrix::validate() const {
+  if (levels_.empty()) return false;
+  if (section_ < 2 || section_ > kMaxSection) return false;
+  if (root_id_ >= levels_.back().size()) return false;
+
+  // The padded dimension s^q must cover the matrix.
+  if (ipow(section_, num_levels()) < std::max<Index>({rows_, cols_, 1})) return false;
+
+  std::vector<std::vector<u32>> reference_count(levels_.size());
+  for (u32 k = 0; k + 1 < num_levels(); ++k) {
+    reference_count[k].assign(levels_[k].size(), 0);
+  }
+
+  for (u32 k = 0; k < num_levels(); ++k) {
+    for (const BlockArray& block : levels_[k]) {
+      if (block.slot.size() != block.pos.size()) return false;
+      const bool has_children = k > 0;
+      if (has_children && block.child_len.size() != block.pos.size()) return false;
+      if (!has_children && !block.child_len.empty()) return false;
+      if (block.size() > static_cast<usize>(section_) * section_) return false;
+      // Entries must be strictly sorted: row-major always qualifies; levels
+      // above 0 may instead be column-major (the paper's free choice).
+      bool row_major_ok = true;
+      bool col_major_ok = k > 0;
+      for (usize i = 1; i < block.size(); ++i) {
+        const BlockPos& prev = block.pos[i - 1];
+        const BlockPos& cur = block.pos[i];
+        if (!(prev.row != cur.row ? prev.row < cur.row : prev.col < cur.col)) {
+          row_major_ok = false;
+        }
+        if (!(prev.col != cur.col ? prev.col < cur.col : prev.row < cur.row)) {
+          col_major_ok = false;
+        }
+      }
+      if (!row_major_ok && !col_major_ok) return false;
+      for (usize i = 0; i < block.size(); ++i) {
+        if (block.pos[i].row >= section_ || block.pos[i].col >= section_) return false;
+        if (has_children) {
+          const u32 child = block.slot[i];
+          if (child >= levels_[k - 1].size()) return false;
+          if (block.child_len[i] != levels_[k - 1][child].size()) return false;
+          reference_count[k - 1][child]++;
+        }
+      }
+    }
+  }
+
+  // Every non-root block must be referenced exactly once (tree shape).
+  for (u32 k = 0; k + 1 < num_levels(); ++k) {
+    for (const u32 count : reference_count[k]) {
+      if (count != 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace smtu

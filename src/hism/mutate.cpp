@@ -1,0 +1,191 @@
+#include "hism/mutate.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace smtu {
+namespace {
+
+constexpr u32 digit(Index coord, u32 level, u32 section) {
+  return static_cast<u32>((coord / ipow(section, level)) % section);
+}
+
+bool pos_less(const BlockPos& a, const BlockPos& b) {
+  return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+
+// Index where (r, c) is or should be inserted (row-major order).
+usize lower_bound_pos(const BlockArray& block, BlockPos target) {
+  const auto it = std::lower_bound(block.pos.begin(), block.pos.end(), target, pos_less);
+  return static_cast<usize>(it - block.pos.begin());
+}
+
+void insert_entry(BlockArray& block, usize at, BlockPos pos, u32 slot, bool has_lengths,
+                  u32 child_len) {
+  block.pos.insert(block.pos.begin() + static_cast<std::ptrdiff_t>(at), pos);
+  block.slot.insert(block.slot.begin() + static_cast<std::ptrdiff_t>(at), slot);
+  if (has_lengths) {
+    block.child_len.insert(block.child_len.begin() + static_cast<std::ptrdiff_t>(at),
+                           child_len);
+  }
+}
+
+void erase_entry(BlockArray& block, usize at, bool has_lengths) {
+  block.pos.erase(block.pos.begin() + static_cast<std::ptrdiff_t>(at));
+  block.slot.erase(block.slot.begin() + static_cast<std::ptrdiff_t>(at));
+  if (has_lengths) {
+    block.child_len.erase(block.child_len.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+}
+
+}  // namespace
+
+void hism_set(HismMatrix& hism, Index row, Index col, float value) {
+  SMTU_CHECK_MSG(row < hism.rows() && col < hism.cols(), "hism_set out of bounds");
+  SMTU_CHECK_MSG(value != 0.0f, "hism_set with zero; use hism_remove");
+  const u32 section = hism.section();
+
+  // Descent path: (level, pool index, entry index within the block).
+  struct PathStep {
+    u32 level;
+    u32 block_id;
+    usize entry;
+  };
+  std::vector<PathStep> path;
+
+  u32 level = hism.num_levels() - 1;
+  u32 block_id = hism.root_id();
+  while (true) {
+    BlockArray& block = hism.level(level)[block_id];
+    const BlockPos pos{static_cast<u8>(digit(row, level, section)),
+                       static_cast<u8>(digit(col, level, section))};
+    const usize at = lower_bound_pos(block, pos);
+    const bool present = at < block.size() && block.pos[at] == pos;
+
+    if (level == 0) {
+      const u32 bits = std::bit_cast<u32>(value);
+      if (present) {
+        block.slot[at] = bits;  // overwrite, structure unchanged
+        return;
+      }
+      insert_entry(block, at, pos, bits, /*has_lengths=*/false, 0);
+      break;
+    }
+
+    if (present) {
+      path.push_back({level, block_id, at});
+      block_id = block.slot[at];
+      --level;
+      continue;
+    }
+
+    // Materialize the missing chain: a fresh single-entry block-array at
+    // every level below, then the level-0 element.
+    u32 child_id = 0;
+    for (u32 k = 0; k < level; ++k) {
+      BlockArray fresh;
+      fresh.pos.push_back({static_cast<u8>(digit(row, k, section)),
+                           static_cast<u8>(digit(col, k, section))});
+      if (k == 0) {
+        fresh.slot.push_back(std::bit_cast<u32>(value));
+      } else {
+        fresh.slot.push_back(child_id);
+        fresh.child_len.push_back(1);
+      }
+      hism.level(k).push_back(std::move(fresh));
+      child_id = static_cast<u32>(hism.level(k).size() - 1);
+    }
+    // The push_back above may reallocate pools; re-take the reference.
+    BlockArray& parent = hism.level(level)[block_id];
+    insert_entry(parent, lower_bound_pos(parent, pos), pos, child_id,
+                 /*has_lengths=*/true, 1);
+    break;
+  }
+
+  // Fix the lengths vector along the descent path (child sizes grew).
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    BlockArray& block = hism.level(it->level)[it->block_id];
+    block.child_len[it->entry] =
+        static_cast<u32>(hism.level(it->level - 1)[block.slot[it->entry]].size());
+  }
+  SMTU_DCHECK(hism.validate());
+}
+
+bool hism_remove(HismMatrix& hism, Index row, Index col) {
+  SMTU_CHECK_MSG(row < hism.rows() && col < hism.cols(), "hism_remove out of bounds");
+  const u32 section = hism.section();
+
+  struct PathStep {
+    u32 level;
+    u32 block_id;
+    usize entry;
+  };
+  std::vector<PathStep> path;
+
+  u32 level = hism.num_levels() - 1;
+  u32 block_id = hism.root_id();
+  while (true) {
+    BlockArray& block = hism.level(level)[block_id];
+    const BlockPos pos{static_cast<u8>(digit(row, level, section)),
+                       static_cast<u8>(digit(col, level, section))};
+    const usize at = lower_bound_pos(block, pos);
+    if (at >= block.size() || !(block.pos[at] == pos)) return false;
+    path.push_back({level, block_id, at});
+    if (level == 0) break;
+    block_id = block.slot[at];
+    --level;
+  }
+
+  // Remove bottom-up, pruning blocks that become empty (the root may stay
+  // empty; it is the matrix handle).
+  bool remove_child = true;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    BlockArray& block = hism.level(it->level)[it->block_id];
+    if (remove_child) {
+      erase_entry(block, it->entry, /*has_lengths=*/it->level > 0);
+      remove_child = block.size() == 0 && it->level + 1 < hism.num_levels();
+    } else {
+      block.child_len[it->entry] =
+          static_cast<u32>(hism.level(it->level - 1)[block.slot[it->entry]].size());
+    }
+  }
+  hism_compact(hism);
+  return true;
+}
+
+void hism_compact(HismMatrix& hism) {
+  std::vector<std::vector<BlockArray>> pools(hism.num_levels());
+
+  struct Copier {
+    const HismMatrix& hism;
+    std::vector<std::vector<BlockArray>>& pools;
+
+    u32 copy(const BlockArray& block, u32 level) {
+      BlockArray clone;
+      clone.pos = block.pos;
+      if (level == 0) {
+        clone.slot = block.slot;
+      } else {
+        clone.slot.reserve(block.size());
+        clone.child_len.reserve(block.size());
+        for (usize i = 0; i < block.size(); ++i) {
+          const u32 child = copy(hism.level(level - 1)[block.slot[i]], level - 1);
+          clone.slot.push_back(child);
+          clone.child_len.push_back(static_cast<u32>(pools[level - 1][child].size()));
+        }
+      }
+      pools[level].push_back(std::move(clone));
+      return static_cast<u32>(pools[level].size() - 1);
+    }
+  };
+
+  Copier copier{hism, pools};
+  const u32 root = copier.copy(hism.root(), hism.num_levels() - 1);
+  hism = HismMatrix::assemble(hism.section(), hism.rows(), hism.cols(), std::move(pools),
+                              root);
+}
+
+}  // namespace smtu

@@ -1,0 +1,31 @@
+// Incremental mutation of a HiSM matrix: set (insert or overwrite) and
+// remove single elements while maintaining every format invariant — sorted
+// block-arrays, consistent lengths vectors, and a hierarchy with no
+// orphaned block-arrays.
+//
+// Insertion descends the hierarchy, growing block-arrays and materializing
+// missing blocks along the path; ancestors' lengths-vector entries are
+// fixed up on the way back. Removal deletes the element and prunes emptied
+// blocks upward, then compacts the pools (dropping unreferenced arrays) so
+// validate() holds after every operation.
+//
+// These routines require the default row-major ordering at every level
+// (HighLevelOrder::kRowMajor — binary search relies on it); matrices built
+// column-major are for kernel-facing layouts and are read-only here.
+#pragma once
+
+#include "hism/hism.hpp"
+
+namespace smtu {
+
+// Sets (row, col) to `value` (non-zero); overwrites an existing element.
+void hism_set(HismMatrix& hism, Index row, Index col, float value);
+
+// Removes the element at (row, col); returns false when absent.
+bool hism_remove(HismMatrix& hism, Index row, Index col);
+
+// Rebuilds the block-array pools keeping only arrays reachable from the
+// root (removal can orphan arrays). Idempotent; called by hism_remove.
+void hism_compact(HismMatrix& hism);
+
+}  // namespace smtu

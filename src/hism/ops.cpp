@@ -1,0 +1,128 @@
+#include "hism/ops.hpp"
+
+#include <bit>
+
+#include "support/assert.hpp"
+
+namespace smtu {
+namespace {
+
+// Recursive block merge. Returns the id of the merged block-array in
+// `pools` at `level`, or -1 when everything cancelled.
+struct Merger {
+  const HismMatrix& a;
+  const HismMatrix& b;
+  std::vector<std::vector<BlockArray>>& pools;
+
+  // Copies a subtree of one operand verbatim into the result pools.
+  u32 copy_subtree(const HismMatrix& source, const BlockArray& block, u32 level) {
+    BlockArray clone;
+    clone.pos = block.pos;
+    if (level == 0) {
+      clone.slot = block.slot;
+    } else {
+      clone.slot.reserve(block.size());
+      clone.child_len.reserve(block.size());
+      for (usize i = 0; i < block.size(); ++i) {
+        const u32 child =
+            copy_subtree(source, source.level(level - 1)[block.slot[i]], level - 1);
+        clone.slot.push_back(child);
+        clone.child_len.push_back(static_cast<u32>(pools[level - 1][child].size()));
+      }
+    }
+    pools[level].push_back(std::move(clone));
+    return static_cast<u32>(pools[level].size() - 1);
+  }
+
+  // Merges two position-sorted block-arrays at `level`; -1 on full cancel.
+  i64 merge(const BlockArray& lhs, const BlockArray& rhs, u32 level) {
+    BlockArray merged;
+    usize i = 0;
+    usize j = 0;
+    auto less = [](const BlockPos& x, const BlockPos& y) {
+      return x.row != y.row ? x.row < y.row : x.col < y.col;
+    };
+    while (i < lhs.size() || j < rhs.size()) {
+      const bool take_lhs =
+          j >= rhs.size() || (i < lhs.size() && less(lhs.pos[i], rhs.pos[j]));
+      const bool take_rhs =
+          i >= lhs.size() || (j < rhs.size() && less(rhs.pos[j], lhs.pos[i]));
+      if (take_lhs) {
+        merged.pos.push_back(lhs.pos[i]);
+        if (level == 0) {
+          merged.slot.push_back(lhs.slot[i]);
+        } else {
+          const u32 child = copy_subtree(a, a.level(level - 1)[lhs.slot[i]], level - 1);
+          merged.slot.push_back(child);
+          merged.child_len.push_back(static_cast<u32>(pools[level - 1][child].size()));
+        }
+        ++i;
+      } else if (take_rhs) {
+        merged.pos.push_back(rhs.pos[j]);
+        if (level == 0) {
+          merged.slot.push_back(rhs.slot[j]);
+        } else {
+          const u32 child = copy_subtree(b, b.level(level - 1)[rhs.slot[j]], level - 1);
+          merged.slot.push_back(child);
+          merged.child_len.push_back(static_cast<u32>(pools[level - 1][child].size()));
+        }
+        ++j;
+      } else {
+        // Same position in both operands.
+        if (level == 0) {
+          const float sum = std::bit_cast<float>(lhs.slot[i]) +
+                            std::bit_cast<float>(rhs.slot[j]);
+          if (sum != 0.0f) {
+            merged.pos.push_back(lhs.pos[i]);
+            merged.slot.push_back(std::bit_cast<u32>(sum));
+          }
+        } else {
+          const i64 child = merge(a.level(level - 1)[lhs.slot[i]],
+                                  b.level(level - 1)[rhs.slot[j]], level - 1);
+          if (child >= 0) {
+            merged.pos.push_back(lhs.pos[i]);
+            merged.slot.push_back(static_cast<u32>(child));
+            merged.child_len.push_back(
+                static_cast<u32>(pools[level - 1][static_cast<usize>(child)].size()));
+          }
+        }
+        ++i;
+        ++j;
+      }
+    }
+    if (merged.size() == 0 && level != pools.size() - 1) return -1;
+    pools[level].push_back(std::move(merged));
+    return static_cast<i64>(pools[level].size() - 1);
+  }
+};
+
+}  // namespace
+
+HismMatrix hism_add(const HismMatrix& a, const HismMatrix& b) {
+  SMTU_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "hism_add operand dimensions differ");
+  SMTU_CHECK_MSG(a.section() == b.section(), "hism_add operand sections differ");
+  SMTU_CHECK_MSG(a.num_levels() == b.num_levels(), "hism_add operand level counts differ");
+
+  std::vector<std::vector<BlockArray>> pools(a.num_levels());
+  Merger merger{a, b, pools};
+  const i64 root = merger.merge(a.root(), b.root(), a.num_levels() - 1);
+  SMTU_CHECK(root >= 0);  // the top level always materializes, possibly empty
+  return HismMatrix::assemble(a.section(), a.rows(), a.cols(), std::move(pools),
+                              static_cast<u32>(root));
+}
+
+HismMatrix hism_scale(const HismMatrix& a, float alpha) {
+  if (alpha == 0.0f) {
+    return HismMatrix::from_coo(Coo(a.rows(), a.cols()), a.section());
+  }
+  HismMatrix scaled = a;
+  for (BlockArray& block : scaled.level(0)) {
+    for (u32& bits : block.slot) {
+      bits = std::bit_cast<u32>(std::bit_cast<float>(bits) * alpha);
+    }
+  }
+  return scaled;
+}
+
+}  // namespace smtu

@@ -1,0 +1,18 @@
+// Block-structured HiSM operations beyond transposition: addition and
+// scaling. Addition merges the hierarchies block-by-block (union of block
+// sparsity patterns, element-wise sums at level 0), staying within the
+// format the whole way — no round trip through a flat representation.
+#pragma once
+
+#include "hism/hism.hpp"
+
+namespace smtu {
+
+// C = A + B. Both operands must share dimensions and section size.
+// Elements cancelling to exactly 0.0f are dropped, like Coo::canonicalize.
+HismMatrix hism_add(const HismMatrix& a, const HismMatrix& b);
+
+// C = alpha * A (alpha != 0 keeps the structure; alpha == 0 yields empty).
+HismMatrix hism_scale(const HismMatrix& a, float alpha);
+
+}  // namespace smtu

@@ -1,0 +1,36 @@
+#include "hism/stats.hpp"
+
+namespace smtu {
+
+HismStats compute_stats(const HismMatrix& hism) {
+  HismStats stats;
+  stats.nnz = hism.nnz();
+  stats.levels = hism.num_levels();
+  stats.blocks_per_level.resize(stats.levels);
+  stats.entries_per_level.resize(stats.levels);
+
+  for (u32 k = 0; k < stats.levels; ++k) {
+    usize entries = 0;
+    for (const BlockArray& block : hism.level(k)) entries += block.size();
+    stats.blocks_per_level[k] = hism.level(k).size();
+    stats.entries_per_level[k] = entries;
+
+    const u64 per_entry = k == 0 ? 6 : 10;  // pos(2) + slot(4) [+ length(4)]
+    const u64 bytes = per_entry * entries;
+    stats.storage_bytes += bytes;
+    if (k == 0) stats.level0_bytes = bytes;
+  }
+
+  if (stats.storage_bytes > 0) {
+    stats.overhead_fraction =
+        static_cast<double>(stats.storage_bytes - stats.level0_bytes) /
+        static_cast<double>(stats.storage_bytes);
+  }
+  if (!stats.blocks_per_level.empty() && stats.blocks_per_level[0] > 0) {
+    stats.avg_block_fill = static_cast<double>(stats.entries_per_level[0]) /
+                           static_cast<double>(stats.blocks_per_level[0]);
+  }
+  return stats;
+}
+
+}  // namespace smtu

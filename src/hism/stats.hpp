@@ -1,0 +1,28 @@
+// Storage statistics for HiSM, backing the paper's §II claims (8-bit
+// positions vs. 32-bit CRS indices; 2-5% higher-level overhead at s = 64).
+#pragma once
+
+#include "hism/hism.hpp"
+
+namespace smtu {
+
+struct HismStats {
+  usize nnz = 0;
+  u32 levels = 0;
+  // Per-level block-array count and total stored entries.
+  std::vector<usize> blocks_per_level;
+  std::vector<usize> entries_per_level;
+  // Paper layout bytes: 2 per position pair + 4 per slot, + 4 per length
+  // entry at levels >= 1 (padding excluded).
+  u64 storage_bytes = 0;
+  u64 level0_bytes = 0;
+  // Fraction of storage spent on the hierarchy above level 0. The paper
+  // reports ~2-5% for s = 64.
+  double overhead_fraction = 0.0;
+  // Mean entries per non-empty level-0 block (vector-filling efficiency).
+  double avg_block_fill = 0.0;
+};
+
+HismStats compute_stats(const HismMatrix& hism);
+
+}  // namespace smtu

@@ -1,0 +1,21 @@
+#include "hism/transpose.hpp"
+
+namespace smtu {
+
+BlockArray block_transposed(const BlockArray& block) {
+  BlockArray out = block;
+  for (BlockPos& pos : out.pos) std::swap(pos.row, pos.col);
+  sort_block_row_major(out);
+  return out;
+}
+
+HismMatrix transposed(const HismMatrix& hism) {
+  HismMatrix out = hism;
+  for (u32 k = 0; k < out.num_levels(); ++k) {
+    for (BlockArray& block : out.level(k)) block = block_transposed(block);
+  }
+  out.swap_dims();
+  return out;
+}
+
+}  // namespace smtu

@@ -1,0 +1,23 @@
+// Software reference for HiSM transposition.
+//
+// §III of the paper proves that transposing every s^2-block at every level —
+// swapping each stored (row, col) pair — transposes the whole matrix. These
+// routines implement that directly in C++ and serve as the oracle the
+// simulated STM kernel is verified against.
+#pragma once
+
+#include "hism/hism.hpp"
+
+namespace smtu {
+
+// Transposes one block-array: swaps row/col of every position and restores
+// row-major order (the order in which the STM drains the s x s memory:
+// column-wise in old coordinates is row-wise in new ones).
+BlockArray block_transposed(const BlockArray& block);
+
+// Whole-matrix transpose: every block at every level, dimensions swapped.
+// Pool ids are untouched, mirroring the paper's in-place property (the
+// transposed matrix occupies exactly the original storage).
+HismMatrix transposed(const HismMatrix& hism);
+
+}  // namespace smtu

@@ -1,0 +1,225 @@
+// Software-pipelined HiSM transposition for the double-buffered STM
+// (extension E4): while level-0 child k drains from one s x s memory bank,
+// child k+1 fills the other. Level >= 1 blocks (a few percent of the work,
+// §IV-A) keep the sequential structure; the leaf-children loop of every
+// level-1 parent is pipelined.
+//
+// Requires StmConfig::double_buffer — with a single bank, the second icm
+// would clear a block that is still draining (the functional model checks
+// exactly that).
+#include "kernels/hism_transpose.hpp"
+#include "kernels/layout.hpp"
+#include "support/assert.hpp"
+#include "vsim/assembler.hpp"
+
+namespace smtu::kernels {
+
+std::string hism_transpose_pipelined_source() {
+  // Register use: as the sequential kernel for the block passes, plus in
+  // the pipelined children loop —
+  //   r9 k (child being filled)   r13/r14/r15 fill pos/val/remaining
+  //   r16/r17/r18 drain pos/val/remaining   r19..r21 temporaries
+  // Fill moves through vr1/vr2, drain through vr3/vr4 (no hazards between
+  // the overlapped phases).
+  static const std::string source = R"asm(
+main:
+    jal   transpose_block
+    halt
+
+# ---- transpose_block(r1 = BSA, r2 = BSL, r3 = LVL) --------------------
+transpose_block:
+    beq   r2, r0, tb_done
+
+    add   r4, r2, r2
+    addi  r4, r4, 3
+    andi  r4, r4, -4
+    add   r4, r1, r4             # value/pointer array
+    slli  r5, r2, 2
+    add   r5, r4, r5             # lengths array (levels >= 1)
+
+    beq   r3, r0, tb_elems
+
+    # ---- lengths pass (sequential, as in the base kernel) --------------
+    icm
+    mv    r6, r1
+    mv    r7, r5
+    mv    r8, r2
+tb_len_fill:
+    ssvl  r8
+    v_ldb vr1, vr2, r6, r7
+    v_stcr vr1, vr2
+    bne   r8, r0, tb_len_fill
+    mv    r7, r5
+    mv    r8, r2
+tb_len_drain:
+    ssvl  r8
+    v_ldcc vr3, vr4
+    v_stbv vr3, r7
+    bne   r8, r0, tb_len_drain
+
+tb_elems:
+    # ---- element pass (sequential) --------------------------------------
+    icm
+    mv    r6, r1
+    mv    r7, r4
+    mv    r8, r2
+tb_elem_fill:
+    ssvl  r8
+    v_ldb vr1, vr2, r6, r7
+    v_stcr vr1, vr2
+    bne   r8, r0, tb_elem_fill
+    mv    r6, r1
+    mv    r7, r4
+    mv    r8, r2
+tb_elem_drain:
+    ssvl  r8
+    v_ldcc vr3, vr4
+    v_stb vr3, vr4, r6, r7
+    bne   r8, r0, tb_elem_drain
+
+    beq   r3, r0, tb_done
+
+    addi  r10, r3, -1
+    beq   r10, r0, tb_pipe       # children are leaves: pipeline them
+
+    # ---- recursion for LVL > 1 (sequential, as in the base kernel) ------
+    li    r9, 0
+tb_child_loop:
+    bge   r9, r2, tb_done
+    addi  sp, sp, -24
+    sw    ra, 0(sp)
+    sw    r2, 4(sp)
+    sw    r3, 8(sp)
+    sw    r4, 12(sp)
+    sw    r5, 16(sp)
+    sw    r9, 20(sp)
+    slli  r10, r9, 2
+    add   r11, r4, r10
+    lw    r1, (r11)
+    add   r11, r5, r10
+    lw    r2, (r11)
+    addi  r3, r3, -1
+    jal   transpose_block
+    lw    ra, 0(sp)
+    lw    r2, 4(sp)
+    lw    r3, 8(sp)
+    lw    r4, 12(sp)
+    lw    r5, 16(sp)
+    lw    r9, 20(sp)
+    addi  sp, sp, 24
+    addi  r9, r9, 1
+    beq   r0, r0, tb_child_loop
+
+    # ---- software-pipelined leaf children (LVL == 1) --------------------
+tb_pipe:
+    # prime: set child 0 as the fill target; nothing drains yet
+    li    r9, 0
+    lw    r19, (r4)              # child-0 pointer
+    lw    r20, (r5)              # child-0 length
+    icm                          # switch to a fresh bank for child 0
+    mv    r13, r19               # fill position cursor
+    add   r21, r20, r20
+    addi  r21, r21, 3
+    andi  r21, r21, -4
+    add   r14, r19, r21          # fill value cursor
+    mv    r15, r20               # fill remaining
+    li    r18, 0                 # drain remaining (none yet)
+tb_pipe_loop:
+    # one step: a drain section of the previous child (other bank), then a
+    # fill section of the current child (fill bank)
+    beq   r18, r0, tb_pipe_fill
+    ssvl  r18
+    v_ldcc vr3, vr4
+    v_stb vr3, vr4, r16, r17
+tb_pipe_fill:
+    beq   r15, r0, tb_pipe_check
+    ssvl  r15
+    v_ldb vr1, vr2, r13, r14
+    v_stcr vr1, vr2
+tb_pipe_check:
+    or    r21, r15, r18
+    bne   r21, r0, tb_pipe_loop
+
+    # fill of child k and drain of child k-1 both finished: child k becomes
+    # the drain target, child k+1 (if any) the new fill target
+    slli  r21, r9, 2
+    add   r19, r4, r21
+    lw    r19, (r19)             # pointer of child k
+    add   r20, r5, r21
+    lw    r20, (r20)             # length of child k
+    mv    r16, r19               # drain position cursor
+    add   r21, r20, r20
+    addi  r21, r21, 3
+    andi  r21, r21, -4
+    add   r17, r19, r21          # drain value cursor
+    mv    r18, r20               # drain remaining
+    addi  r9, r9, 1
+    bge   r9, r2, tb_pipe_tail
+    slli  r21, r9, 2
+    add   r19, r4, r21
+    lw    r19, (r19)             # pointer of child k+1
+    add   r20, r5, r21
+    lw    r20, (r20)             # length of child k+1
+    icm                          # ping-pong to the drained bank
+    mv    r13, r19
+    add   r21, r20, r20
+    addi  r21, r21, 3
+    andi  r21, r21, -4
+    add   r14, r19, r21
+    mv    r15, r20
+    beq   r0, r0, tb_pipe_loop
+
+tb_pipe_tail:
+    # last child drains with no fill to overlap
+    beq   r18, r0, tb_done
+tb_pipe_tail_loop:
+    ssvl  r18
+    v_ldcc vr3, vr4
+    v_stb vr3, vr4, r16, r17
+    bne   r18, r0, tb_pipe_tail_loop
+
+tb_done:
+    ret
+)asm";
+  return source;
+}
+
+namespace {
+
+vsim::Machine make_pipelined_machine(const HismMatrix& hism,
+                                     const vsim::MachineConfig& config, HismImage& image) {
+  SMTU_CHECK_MSG(hism.section() == config.section,
+                 "HiSM section size must match the machine section size");
+  SMTU_CHECK_MSG(config.stm.double_buffer,
+                 "the software-pipelined kernel needs the double-buffered STM");
+  vsim::Machine machine(config);
+  image = stage_hism(machine, hism);
+  machine.set_sreg(1, image.root_addr);
+  machine.set_sreg(2, image.root_len);
+  machine.set_sreg(3, image.levels - 1);
+  machine.set_sreg(vsim::kRegSp, kStackTop);
+  return machine;
+}
+
+}  // namespace
+
+HismTransposeResult run_hism_transpose_pipelined(const HismMatrix& hism,
+                                                 const vsim::MachineConfig& config) {
+  const vsim::Program program = vsim::assemble(hism_transpose_pipelined_source());
+  HismImage image;
+  vsim::Machine machine = make_pipelined_machine(hism, config, image);
+  HismTransposeResult result;
+  result.stats = machine.run(program);
+  result.transposed = read_back_hism(machine, image, /*swap_dims=*/true);
+  return result;
+}
+
+vsim::RunStats time_hism_transpose_pipelined(const HismMatrix& hism,
+                                             const vsim::MachineConfig& config) {
+  const vsim::Program program = vsim::assemble(hism_transpose_pipelined_source());
+  HismImage image;
+  vsim::Machine machine = make_pipelined_machine(hism, config, image);
+  return machine.run(program);
+}
+
+}  // namespace smtu::kernels

@@ -1,0 +1,85 @@
+#include "kernels/layout.hpp"
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace smtu::kernels {
+namespace {
+
+Addr align16(Addr addr) { return round_up(addr, 16); }
+
+}  // namespace
+
+CrsImage stage_crs(vsim::Machine& machine, const Csr& csr, Addr base) {
+  SMTU_CHECK_MSG(csr.validate(), "refusing to stage an invalid CSR matrix");
+  vsim::Memory& mem = machine.memory();
+
+  CrsImage image;
+  image.rows = csr.rows();
+  image.cols = csr.cols();
+  image.nnz = csr.nnz();
+
+  Addr cursor = align16(base);
+  auto reserve = [&](u64 bytes) {
+    const Addr at = cursor;
+    cursor = align16(cursor + bytes);
+    return at;
+  };
+  image.an = reserve(4 * image.nnz);
+  image.ja = reserve(4 * image.nnz);
+  image.ia = reserve(4 * (image.rows + 1));
+  image.ant = reserve(4 * image.nnz);
+  image.jat = reserve(4 * image.nnz);
+  image.iat = reserve(4 * (image.cols + 1));
+  image.end = cursor;
+  mem.ensure(base, cursor - base);
+
+  for (usize k = 0; k < image.nnz; ++k) {
+    mem.write_f32(image.an + 4 * k, csr.values()[k]);
+    mem.write_u32(image.ja + 4 * k, csr.col_idx()[k]);
+  }
+  for (Index r = 0; r <= image.rows; ++r) {
+    mem.write_u32(image.ia + 4 * r, csr.row_ptr()[r]);
+  }
+  return image;
+}
+
+Coo read_back_crs_transpose(const vsim::Machine& machine, const CrsImage& image) {
+  const vsim::Memory& mem = machine.memory();
+  Coo coo(image.cols, image.rows);
+  coo.entries().reserve(image.nnz);
+
+  u32 begin = mem.read_u32(image.iat);
+  SMTU_CHECK_MSG(begin == 0, "IAT[0] must be zero after the transpose kernel");
+  for (Index row = 0; row < image.cols; ++row) {
+    const u32 end = mem.read_u32(image.iat + 4 * (row + 1));
+    SMTU_CHECK_MSG(begin <= end && end <= image.nnz, "IAT is not monotone");
+    for (u32 k = begin; k < end; ++k) {
+      coo.entries().push_back({row, mem.read_u32(image.jat + 4 * k),
+                               mem.read_f32(image.ant + 4 * k)});
+    }
+    begin = end;
+  }
+  SMTU_CHECK_MSG(begin == image.nnz, "IAT does not cover every non-zero");
+  return coo;
+}
+
+HismImage stage_hism(vsim::Machine& machine, const HismMatrix& hism, Addr base) {
+  HismImage image = build_hism_image(hism, align16(base));
+  machine.memory().write_block(image.base, image.bytes);
+  return image;
+}
+
+HismMatrix read_back_hism(const vsim::Machine& machine, const HismImage& image,
+                          bool swap_dims) {
+  const vsim::Memory& mem = machine.memory();
+  const std::span<const u8> raw = mem.raw();
+  SMTU_CHECK(image.base + image.bytes.size() <= raw.size());
+  const std::span<const u8> window = raw.subspan(image.base, image.bytes.size());
+  const Index rows = swap_dims ? image.cols : image.rows;
+  const Index cols = swap_dims ? image.rows : image.cols;
+  return decode_hism_image(window, image.base, image.root_addr, image.root_len,
+                           image.levels, image.section, rows, cols);
+}
+
+}  // namespace smtu::kernels

@@ -1,0 +1,39 @@
+#include "kernels/utilization.hpp"
+
+namespace smtu::kernels {
+
+UtilizationBreakdown stm_utilization(const HismMatrix& hism, const StmConfig& config) {
+  StmConfig stm_config = config;
+  stm_config.section = hism.section();
+  StmUnit unit(stm_config);
+
+  UtilizationBreakdown breakdown;
+  auto push_block = [&](const BlockArray& block, bool lengths_pass) {
+    std::vector<StmEntry> entries;
+    entries.reserve(block.size());
+    for (usize i = 0; i < block.size(); ++i) {
+      const u32 payload = lengths_pass ? block.child_len[i] : block.slot[i];
+      entries.push_back({block.pos[i].row, block.pos[i].col, payload});
+    }
+    const StmUnit::BlockResult result = unit.transpose_block(entries);
+    breakdown.transfers += 2 * block.size();
+    breakdown.cycles += result.cycles;
+    breakdown.block_passes += 1;
+  };
+
+  for (u32 level = 0; level < hism.num_levels(); ++level) {
+    for (const BlockArray& block : hism.level(level)) {
+      if (block.size() == 0) continue;
+      if (level > 0) push_block(block, /*lengths_pass=*/true);
+      push_block(block, /*lengths_pass=*/false);
+    }
+  }
+  if (breakdown.cycles > 0) {
+    breakdown.utilization =
+        static_cast<double>(breakdown.transfers) /
+        (static_cast<double>(breakdown.cycles) * static_cast<double>(config.bandwidth));
+  }
+  return breakdown;
+}
+
+}  // namespace smtu::kernels

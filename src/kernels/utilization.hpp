@@ -1,0 +1,25 @@
+// STM buffer-bandwidth utilization analysis (§IV-C of the paper).
+//
+// Streams every block-array of a HiSM matrix through a cycle-accurate
+// StmUnit, mimicking the transpose kernel's pass structure: one pass per
+// level-0 block, two passes (lengths vector + elements) per higher-level
+// block. Utilization counts element transfers (fill + drain) against
+// cycles * B — the reading of the paper's BU = (Z/C)/B under which B = 1
+// approaches 1.0 with only the 6-cycle block penalty missing (DESIGN.md §1).
+#pragma once
+
+#include "hism/hism.hpp"
+#include "stm/unit.hpp"
+
+namespace smtu::kernels {
+
+struct UtilizationBreakdown {
+  u64 transfers = 0;     // elements in + elements out, all passes
+  u64 cycles = 0;        // fill + drain + pipeline tails, all passes
+  u64 block_passes = 0;
+  double utilization = 0.0;  // transfers / (cycles * B)
+};
+
+UtilizationBreakdown stm_utilization(const HismMatrix& hism, const StmConfig& config);
+
+}  // namespace smtu::kernels

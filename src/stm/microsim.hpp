@@ -1,0 +1,35 @@
+// Cycle-by-cycle micro-simulation of the STM's drain phase, driving the
+// actual Non-zero Locator circuit of Fig. 4 against the s x s memory's
+// indicator lines.
+//
+// This is an *independent* implementation of the unit's timing policy: each
+// cycle the control logic presents a window of up to L consecutive columns
+// (or any L non-empty columns in the relaxed variant) to the locator bank,
+// extracts up to B located non-zeros, clears them, and advances on
+// overflow. The schedule-based engine in stm/unit.cpp must produce exactly
+// the same cycle counts and drain order; the property tests enforce that.
+// The same machinery simulates the fill phase by treating the incoming
+// element stream's row ids as indicator lines.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stm/unit.hpp"
+
+namespace smtu {
+
+struct MicrosimResult {
+  std::vector<StmEntry> drained;  // transposed coordinates, drain order
+  u32 cycles = 0;                 // I/O-buffer cycles (no pipeline tails)
+};
+
+// Fills a scratch s x s memory with `entries`, then drains it column-wise
+// through the locator, one cycle at a time.
+MicrosimResult microsim_drain(std::span<const StmEntry> entries, const StmConfig& config);
+
+// Streams `entries` (already ordered as stored in the block-array) into the
+// unit, counting fill cycles under the same window/bandwidth policy.
+u32 microsim_fill_cycles(std::span<const StmEntry> entries, const StmConfig& config);
+
+}  // namespace smtu

@@ -1,0 +1,73 @@
+#include "stm/sxs_memory.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace smtu {
+
+SxsMemory::SxsMemory(u32 section)
+    : section_(section),
+      values_(static_cast<usize>(section) * section, 0),
+      stamp_(static_cast<usize>(section) * section, 0),
+      row_count_(section, 0),
+      col_count_(section, 0) {
+  SMTU_CHECK_MSG(section >= 2 && section <= 256, "section size must be in [2, 256]");
+}
+
+usize SxsMemory::cell(u32 row, u32 col) const {
+  SMTU_DCHECK(row < section_ && col < section_);
+  return static_cast<usize>(row) * section_ + col;
+}
+
+void SxsMemory::clear() {
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wrap-around: do the full clear once per 2^32
+    stamp_.assign(stamp_.size(), 0);
+    epoch_ = 1;
+  }
+  row_count_.assign(section_, 0);
+  col_count_.assign(section_, 0);
+  occupied_count_ = 0;
+}
+
+void SxsMemory::insert(u32 row, u32 col, u32 value_bits) {
+  const usize c = cell(row, col);
+  SMTU_CHECK_MSG(stamp_[c] != epoch_,
+                 format("duplicate position (%u,%u) in s^2-block", row, col));
+  stamp_[c] = epoch_;
+  values_[c] = value_bits;
+  row_count_[row]++;
+  col_count_[col]++;
+  occupied_count_++;
+}
+
+void SxsMemory::erase(u32 row, u32 col) {
+  const usize c = cell(row, col);
+  SMTU_CHECK_MSG(stamp_[c] == epoch_, "erasing an empty s x s memory cell");
+  stamp_[c] = epoch_ - 1;
+  row_count_[row]--;
+  col_count_[col]--;
+  occupied_count_--;
+}
+
+bool SxsMemory::occupied(u32 row, u32 col) const { return stamp_[cell(row, col)] == epoch_; }
+
+u32 SxsMemory::value_bits(u32 row, u32 col) const {
+  const usize c = cell(row, col);
+  SMTU_CHECK_MSG(stamp_[c] == epoch_, "reading an empty s x s memory cell");
+  return values_[c];
+}
+
+std::vector<bool> SxsMemory::row_indicators(u32 row) const {
+  std::vector<bool> bits(section_);
+  for (u32 col = 0; col < section_; ++col) bits[col] = occupied(row, col);
+  return bits;
+}
+
+std::vector<bool> SxsMemory::col_indicators(u32 col) const {
+  std::vector<bool> bits(section_);
+  for (u32 row = 0; row < section_; ++row) bits[row] = occupied(row, col);
+  return bits;
+}
+
+}  // namespace smtu

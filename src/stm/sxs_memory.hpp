@@ -1,0 +1,58 @@
+// The s x s in-processor memory at the heart of the STM (Fig. 3).
+//
+// Each cell holds a 32-bit word (an element value or a block pointer) plus a
+// non-zero indicator bit. Data enters row-wise and leaves column-wise (or
+// vice versa), which performs the per-block transposition.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace smtu {
+
+class SxsMemory {
+ public:
+  explicit SxsMemory(u32 section);
+
+  u32 section() const { return section_; }
+  usize occupancy() const { return occupied_count_; }
+
+  // The `icm` instruction: resets every non-zero indicator.
+  void clear();
+
+  // Inserts a value; inserting into an occupied cell aborts (a valid
+  // block-array never stores a position twice).
+  void insert(u32 row, u32 col, u32 value_bits);
+
+  // Clears one indicator — the locator "sets located non-zeros to zero"
+  // after extracting them (§III). Aborts if the cell is empty.
+  void erase(u32 row, u32 col);
+
+  bool occupied(u32 row, u32 col) const;
+  u32 value_bits(u32 row, u32 col) const;
+
+  // Indicator line images, as presented to the Non-zero Locator.
+  std::vector<bool> row_indicators(u32 row) const;
+  std::vector<bool> col_indicators(u32 col) const;
+
+  // Per-line population, used by the timing engine to skip empty lines.
+  u32 row_count(u32 row) const { return row_count_[row]; }
+  u32 col_count(u32 col) const { return col_count_[col]; }
+
+ private:
+  usize cell(u32 row, u32 col) const;
+
+  u32 section_;
+  usize occupied_count_ = 0;
+  std::vector<u32> values_;
+  // Non-zero indicators as generation stamps: a cell is occupied iff its
+  // stamp equals the current epoch, making `icm` O(s) instead of O(s^2) —
+  // the hardware's flash clear, without the simulator paying per-cell cost.
+  std::vector<u32> stamp_;
+  u32 epoch_ = 1;
+  std::vector<u32> row_count_;
+  std::vector<u32> col_count_;
+};
+
+}  // namespace smtu

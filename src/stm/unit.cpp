@@ -1,0 +1,187 @@
+#include "stm/unit.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace smtu {
+namespace {
+
+// Cumulative I/O-buffer cycle after which each entry has moved, for a stream
+// of entries tagged with their line id. One cycle moves at most B entries,
+// all within a window of L lines (consecutive indices under the strict rule,
+// any L distinct lines otherwise).
+std::vector<u32> stream_schedule(std::span<const u8> lines, const StmConfig& config) {
+  std::vector<u32> schedule(lines.size());
+  u32 cycles = 0;
+  usize i = 0;
+  while (i < lines.size()) {
+    u32 taken = 0;
+    const u32 anchor = lines[i];
+    u32 distinct = 0;
+    i32 last = -1;
+    ++cycles;
+    while (i < lines.size() && taken < config.bandwidth) {
+      const u32 line = lines[i];
+      if (config.strict_consecutive_lines &&
+          (line < anchor || line >= anchor + config.lines)) {
+        break;
+      }
+      if (static_cast<i32>(line) != last) {
+        if (distinct == config.lines) break;
+        ++distinct;
+        last = static_cast<i32>(line);
+      }
+      schedule[i] = cycles;
+      ++taken;
+      ++i;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+u32 stream_cycles(std::span<const u8> lines, const StmConfig& config) {
+  const auto schedule = stream_schedule(lines, config);
+  return schedule.empty() ? 0 : schedule.back();
+}
+
+StmUnit::StmUnit(const StmConfig& config) : config_(config) {
+  SMTU_CHECK_MSG(config.bandwidth >= 1, "buffer bandwidth must be positive");
+  SMTU_CHECK_MSG(config.lines >= 1 && config.lines <= config.section,
+                 "accessible lines must be in [1, section]");
+  banks_.reserve(config.double_buffer ? 2 : 1);
+  banks_.emplace_back(config.section);
+  if (config.double_buffer) banks_.emplace_back(config.section);
+}
+
+void StmUnit::clear() {
+  const u32 incoming = config_.double_buffer ? fill_bank_ ^ 1 : 0u;
+  Bank& bank = banks_[incoming];
+  SMTU_CHECK_MSG(bank.fully_drained(),
+                 "icm would clear a bank that still holds undrained elements");
+  bank.grid.clear();
+  bank.filled.clear();
+  bank.draining = false;
+  bank.drain_entries.clear();
+  bank.drain_cycle_of.clear();
+  bank.drain_cursor = 0;
+  fill_bank_ = incoming;
+}
+
+u32 StmUnit::write_batch(std::span<const StmEntry> entries) {
+  Bank& bank = banks_[fill_bank_];
+  SMTU_CHECK_MSG(!bank.draining,
+                 "cannot fill the s x s memory while draining it; issue icm first");
+  std::vector<u8> rows;
+  rows.reserve(entries.size());
+  for (const StmEntry& e : entries) {
+    bank.grid.insert(e.row, e.col, e.value_bits);
+    bank.filled.push_back(e);
+    rows.push_back(e.row);
+  }
+  const u32 cycles = stream_cycles(rows, config_);
+  stats_.elements_in += entries.size();
+  stats_.write_cycles += cycles;
+  return cycles;
+}
+
+void StmUnit::freeze_drain_schedule(Bank& bank) {
+  SMTU_CHECK(!bank.draining);
+  bank.draining = true;
+  bank.drain_cursor = 0;
+  stats_.blocks++;
+
+  // Column-wise scan of the stored block = row-major order of the transpose.
+  // Built by sorting the filled entries rather than scanning all s^2 cells,
+  // which matters when blocks are sparse.
+  bank.drain_entries.clear();
+  bank.drain_entries.reserve(bank.filled.size());
+  for (const StmEntry& e : bank.filled) {
+    bank.drain_entries.push_back({e.col, e.row, e.value_bits});
+  }
+  std::sort(bank.drain_entries.begin(), bank.drain_entries.end(),
+            [](const StmEntry& a, const StmEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<u8> drain_lines;
+  drain_lines.reserve(bank.drain_entries.size());
+  for (const StmEntry& e : bank.drain_entries) drain_lines.push_back(e.row);
+  const u32 s = config_.section;
+
+  if (config_.skip_empty_lines) {
+    bank.drain_cycle_of = stream_schedule(drain_lines, config_);
+  } else {
+    // Without per-line occupancy summaries the drain scans aligned groups of
+    // L consecutive columns, paying one cycle even for an empty group.
+    bank.drain_cycle_of.assign(bank.drain_entries.size(), 0);
+    u32 cumulative = 0;
+    usize idx = 0;
+    for (u32 group = 0; group < s; group += config_.lines) {
+      usize count = 0;
+      while (idx + count < drain_lines.size() &&
+             drain_lines[idx + count] < group + config_.lines) {
+        ++count;
+      }
+      const u32 group_cycles =
+          std::max<u32>(1, static_cast<u32>(ceil_div(count, config_.bandwidth)));
+      cumulative += group_cycles;
+      for (usize k = 0; k < count; ++k) bank.drain_cycle_of[idx + k] = cumulative;
+      idx += count;
+    }
+  }
+}
+
+u32 StmUnit::peek_drain_bank() const {
+  // Oldest bank with undrained content: in double-buffer mode the non-fill
+  // bank, unless it is exhausted (the final block drains from the fill
+  // side); single-buffer mode only has bank 0.
+  if (config_.double_buffer && banks_[fill_bank_ ^ 1].undrained() > 0) {
+    return fill_bank_ ^ 1;
+  }
+  return fill_bank_;
+}
+
+StmUnit::Bank& StmUnit::drain_bank_for_read() { return banks_[peek_drain_bank()]; }
+
+StmUnit::ReadBatch StmUnit::read_batch(u32 count) {
+  ReadBatch batch;
+  Bank& bank = drain_bank_for_read();
+  batch.bank = static_cast<u32>(&bank - banks_.data());
+  if (!bank.draining) freeze_drain_schedule(bank);
+  if (count == 0) return batch;
+  SMTU_CHECK_MSG(bank.drain_cursor + count <= bank.drain_entries.size(),
+                 "draining more elements than the s x s memory holds");
+  const u32 before = bank.drain_cursor == 0 ? 0 : bank.drain_cycle_of[bank.drain_cursor - 1];
+  const u32 after = bank.drain_cycle_of[bank.drain_cursor + count - 1];
+  batch.cycles = after - before;
+  batch.entries.assign(
+      bank.drain_entries.begin() + static_cast<std::ptrdiff_t>(bank.drain_cursor),
+      bank.drain_entries.begin() + static_cast<std::ptrdiff_t>(bank.drain_cursor + count));
+  bank.drain_cursor += count;
+  stats_.elements_out += count;
+  stats_.read_cycles += batch.cycles;
+  return batch;
+}
+
+u32 StmUnit::drain_remaining() const {
+  u32 total = 0;
+  for (const Bank& bank : banks_) total += bank.undrained();
+  return total;
+}
+
+StmUnit::BlockResult StmUnit::transpose_block(std::span<const StmEntry> entries) {
+  clear();
+  BlockResult result;
+  result.write_cycles = write_batch(entries);
+  ReadBatch drained = read_batch(static_cast<u32>(entries.size()));
+  result.read_cycles = drained.cycles;
+  result.transposed = std::move(drained.entries);
+  result.cycles = static_cast<u64>(result.write_cycles) + result.read_cycles +
+                  config_.fill_pipeline_cycles + config_.drain_pipeline_cycles;
+  return result;
+}
+
+}  // namespace smtu

@@ -1,0 +1,46 @@
+// Synthetic sparse-matrix generators.
+//
+// The original evaluation uses 30 matrices selected from the Matrix Market
+// collection via the D-SAB suite; those files are not available offline, so
+// the suite is rebuilt from generators that control exactly the properties
+// the paper's experiments sweep: total non-zeros, the 32x32-block locality
+// metric, and the average non-zeros per row. Every generator is
+// deterministic given the Rng.
+#pragma once
+
+#include "formats/coo.hpp"
+#include "support/rng.hpp"
+
+namespace smtu::suite {
+
+// Identity-pattern diagonal (bcsstm20/bcsstm01-like mass matrices).
+Coo gen_diagonal(Index n, Rng& rng);
+
+// Tridiagonal band.
+Coo gen_tridiagonal(Index n, Rng& rng);
+
+// Uniform random scatter: `nnz` distinct positions over rows x cols
+// (power-grid-like patterns; minimal locality).
+Coo gen_random_uniform(Index rows, Index cols, usize nnz, Rng& rng);
+
+// Every row draws `per_row` distinct columns from a window of width
+// 2*`spread`+1 centred on the diagonal (FEM-like banded structure; locality
+// grows with per_row). spread >= per_row is required.
+Coo gen_banded_rows(Index n, u32 per_row, u32 spread, Rng& rng);
+
+// Exactly `per_block` non-zeros in each of `blocks` distinct, randomly
+// placed, 32-aligned 32x32 blocks — directly dials the paper's locality
+// metric to per_block/32 (qc324-like dense clusters at the high end).
+Coo gen_block_clusters(Index n, usize blocks, u32 per_block, Rng& rng);
+
+// 5-point / 9-point Laplacian stencils on a grid x grid mesh (n = grid^2).
+Coo gen_stencil5(Index grid, Rng& rng);
+Coo gen_stencil9(Index grid, Rng& rng);
+
+// Fully dense rows block (psmigr_1-like: every row nearly full).
+Coo gen_dense(Index rows, Index cols, Rng& rng);
+
+// Row lengths follow a truncated power law (web/graph-like skew).
+Coo gen_powerlaw_rows(Index n, usize target_nnz, double alpha, Rng& rng);
+
+}  // namespace smtu::suite

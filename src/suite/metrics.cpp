@@ -1,0 +1,31 @@
+#include "suite/metrics.hpp"
+
+#include <unordered_map>
+
+namespace smtu::suite {
+
+MatrixMetrics compute_metrics(const Coo& matrix) {
+  constexpr Index kBlockDim = 32;
+
+  MatrixMetrics metrics;
+  metrics.rows = matrix.rows();
+  metrics.cols = matrix.cols();
+  metrics.nnz = matrix.nnz();
+  metrics.avg_nnz_per_row = matrix.avg_nnz_per_row();
+
+  if (matrix.nnz() == 0) return metrics;
+
+  const Index block_cols = (matrix.cols() + kBlockDim - 1) / kBlockDim;
+  std::unordered_map<u64, u32> block_counts;
+  block_counts.reserve(matrix.nnz() / 4 + 1);
+  for (const CooEntry& e : matrix.entries()) {
+    block_counts[(e.row / kBlockDim) * block_cols + e.col / kBlockDim]++;
+  }
+  u64 total = 0;
+  for (const auto& [block, count] : block_counts) total += count;
+  metrics.locality = static_cast<double>(total) /
+                     (static_cast<double>(block_counts.size()) * kBlockDim);
+  return metrics;
+}
+
+}  // namespace smtu::suite

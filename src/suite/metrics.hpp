@@ -1,0 +1,22 @@
+// The three matrix properties the paper sorts its benchmark suite by
+// (§IV-B): size (non-zeros), locality, and average non-zeros per row.
+#pragma once
+
+#include "formats/coo.hpp"
+
+namespace smtu::suite {
+
+struct MatrixMetrics {
+  Index rows = 0;
+  Index cols = 0;
+  usize nnz = 0;
+  // Paper definition: partition into 32x32 blocks; for each non-empty block
+  // divide its non-zero count by 32; average over non-empty blocks.
+  double locality = 0.0;
+  // Average non-zeros per row (ANZ).
+  double avg_nnz_per_row = 0.0;
+};
+
+MatrixMetrics compute_metrics(const Coo& matrix);
+
+}  // namespace smtu::suite

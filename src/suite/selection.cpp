@@ -1,0 +1,112 @@
+#include "suite/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "suite/generators.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace smtu::suite {
+namespace {
+
+Index scaled(double value, double scale) {
+  return std::max<Index>(4, static_cast<Index>(std::llround(value * scale)));
+}
+
+// One pool slot: a pattern family instantiated at a family-specific size
+// step. 6 families x 22 steps = 132 matrices.
+Coo generate_family_member(u32 family, u32 step, double scale, Rng& rng) {
+  const double t = static_cast<double>(step) / 21.0;  // 0 .. 1 across steps
+  switch (family) {
+    case 0: {  // diagonals / tridiagonals (mass and simple FD matrices)
+      const Index n = scaled(48.0 * std::pow(400.0, t), scale);
+      return step % 2 == 0 ? gen_diagonal(n, rng) : gen_tridiagonal(n, rng);
+    }
+    case 1: {  // FEM stencils
+      const Index grid = scaled(6.0 * std::pow(16.0, t), scale);
+      return step % 2 == 0 ? gen_stencil5(grid, rng) : gen_stencil9(grid, rng);
+    }
+    case 2: {  // banded engineering matrices, widening bands
+      const Index n = scaled(200.0 * std::pow(25.0, t), scale);
+      const u32 per_row = static_cast<u32>(std::lround(2.0 * std::pow(60.0, t)));
+      return gen_banded_rows(n, per_row, std::max<u32>(8, 2 * per_row), rng);
+    }
+    case 3: {  // uniform scatter (power networks, circuit matrices)
+      const Index n = scaled(150.0 * std::pow(30.0, t), scale);
+      const usize nnz = std::min<usize>(n * n / 4, static_cast<usize>(
+                            std::llround(300.0 * std::pow(300.0, t))));
+      return gen_random_uniform(n, n, std::max<usize>(4, nnz), rng);
+    }
+    case 4: {  // dense block clusters (QC / chemistry style)
+      const u32 per_block = static_cast<u32>(std::lround(8.0 * std::pow(100.0, t)));
+      const usize blocks = 20 + step * 6;
+      Index dim = 256;
+      while (static_cast<usize>(dim / 32) * (dim / 32) < blocks) dim *= 2;
+      return gen_block_clusters(dim, blocks, std::min<u32>(1024, per_block), rng);
+    }
+    default: {  // power-law row lengths (graphs, economics)
+      const Index n = scaled(120.0 * std::pow(25.0, t), scale);
+      const usize nnz = static_cast<usize>(std::llround(500.0 * std::pow(120.0, t)));
+      return gen_powerlaw_rows(n, std::max<usize>(8, nnz), 0.8, rng);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SuiteMatrix> build_dsab_pool(const SuiteOptions& options) {
+  static const char* kFamilyNames[] = {"diag", "fem", "band", "scatter", "cluster", "plaw"};
+  std::vector<SuiteMatrix> pool;
+  pool.reserve(132);
+  for (u32 family = 0; family < 6; ++family) {
+    for (u32 step = 0; step < 22; ++step) {
+      Rng rng(options.seed ^ (family * 1000003ULL + step * 7919ULL));
+      SuiteMatrix entry;
+      entry.name = format("%s-%02u", kFamilyNames[family], step);
+      entry.set = "pool";
+      entry.index = family * 22 + step;
+      entry.matrix = generate_family_member(family, step, options.scale, rng);
+      entry.metrics = compute_metrics(entry.matrix);
+      pool.push_back(std::move(entry));
+    }
+  }
+  return pool;
+}
+
+std::vector<SuiteMatrix> select_log_spaced(
+    std::vector<SuiteMatrix> pool, usize count,
+    const std::function<double(const MatrixMetrics&)>& criterion) {
+  std::erase_if(pool, [&](const SuiteMatrix& m) { return criterion(m.metrics) <= 0.0; });
+  SMTU_CHECK_MSG(pool.size() >= count, "population smaller than the selection");
+  std::sort(pool.begin(), pool.end(), [&](const SuiteMatrix& a, const SuiteMatrix& b) {
+    return criterion(a.metrics) < criterion(b.metrics);
+  });
+
+  const double lo = std::log(criterion(pool.front().metrics));
+  const double hi = std::log(criterion(pool.back().metrics));
+  std::vector<SuiteMatrix> picks;
+  picks.reserve(count);
+  usize cursor = 0;
+  for (usize k = 0; k < count; ++k) {
+    const double target =
+        lo + (hi - lo) * static_cast<double>(k) / static_cast<double>(count - 1);
+    // Closest not-yet-taken matrix at or after the cursor (keeps picks
+    // distinct and ascending).
+    usize best = cursor;
+    double best_distance = 1e300;
+    for (usize i = cursor; i < pool.size() - (count - 1 - k); ++i) {
+      const double distance = std::fabs(std::log(criterion(pool[i].metrics)) - target);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = i;
+      }
+    }
+    picks.push_back(pool[best]);
+    cursor = best + 1;
+  }
+  for (usize k = 0; k < picks.size(); ++k) picks[k].index = static_cast<u32>(k);
+  return picks;
+}
+
+}  // namespace smtu::suite

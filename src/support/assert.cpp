@@ -1,0 +1,18 @@
+#include "support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smtu {
+
+void assertion_failure(const char* expr, const char* file, int line,
+                       const std::string& detail) {
+  std::fprintf(stderr, "SMTU_CHECK failed: %s\n  at %s:%d\n", expr, file, line);
+  if (!detail.empty()) {
+    std::fprintf(stderr, "  detail: %s\n", detail.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace smtu

@@ -1,0 +1,78 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace smtu {
+
+CommandLine::CommandLine(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (starts_with(arg, "--")) {
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        options_.emplace(std::string(arg.substr(2)), "true");
+      } else {
+        options_.emplace(std::string(arg.substr(2, eq - 2)), std::string(arg.substr(eq + 1)));
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> CommandLine::take(const std::string& key) {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return std::nullopt;
+  std::string value = it->second;
+  options_.erase(it);
+  return value;
+}
+
+std::string CommandLine::get_string(const std::string& key, const std::string& default_value) {
+  return take(key).value_or(default_value);
+}
+
+i64 CommandLine::get_int(const std::string& key, i64 default_value) {
+  const auto raw = take(key);
+  if (!raw) return default_value;
+  const auto parsed = parse_int(*raw);
+  if (!parsed) {
+    std::fprintf(stderr, "%s: option --%s expects an integer, got '%s'\n", program_.c_str(),
+                 key.c_str(), raw->c_str());
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+double CommandLine::get_double(const std::string& key, double default_value) {
+  const auto raw = take(key);
+  if (!raw) return default_value;
+  const auto parsed = parse_double(*raw);
+  if (!parsed) {
+    std::fprintf(stderr, "%s: option --%s expects a number, got '%s'\n", program_.c_str(),
+                 key.c_str(), raw->c_str());
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+bool CommandLine::get_flag(const std::string& key) {
+  const auto raw = take(key);
+  if (!raw) return false;
+  return *raw != "false" && *raw != "0";
+}
+
+void CommandLine::finish() const {
+  if (options_.empty()) return;
+  for (const auto& [key, value] : options_) {
+    std::fprintf(stderr, "%s: unknown option --%s=%s\n", program_.c_str(), key.c_str(),
+                 value.c_str());
+  }
+  std::exit(2);
+}
+
+}  // namespace smtu

@@ -1,0 +1,40 @@
+// Tiny command-line option parser for bench/example binaries.
+//
+// Accepts --key=value and --flag forms; positional arguments are collected in
+// order. Unknown options are an error so typos in sweep parameters fail fast.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace smtu {
+
+class CommandLine {
+ public:
+  // Parses argv; aborts with a message on malformed input.
+  CommandLine(int argc, const char* const* argv);
+
+  // Declared-option accessors; consume the option (for unknown detection).
+  std::string get_string(const std::string& key, const std::string& default_value);
+  i64 get_int(const std::string& key, i64 default_value);
+  double get_double(const std::string& key, double default_value);
+  bool get_flag(const std::string& key);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Call after all options are declared; aborts if unconsumed options remain.
+  void finish() const;
+
+ private:
+  std::optional<std::string> take(const std::string& key);
+
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace smtu

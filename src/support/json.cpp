@@ -1,0 +1,147 @@
+#include "support/json.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace smtu {
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          escaped += format("\\u%04x", c);
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+void JsonWriter::before_value() {
+  SMTU_CHECK_MSG(!emitted_root_ || !stack_.empty(), "JSON document already complete");
+  if (!stack_.empty()) {
+    if (stack_.back() == Scope::kObject) {
+      SMTU_CHECK_MSG(pending_key_, "object member needs a key first");
+      pending_key_ = false;
+    } else if (!first_in_scope_.back()) {
+      out_ << ',';
+    }
+    first_in_scope_.back() = false;
+  } else {
+    emitted_root_ = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  SMTU_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject && !pending_key_,
+                 "mismatched end_object");
+  out_ << '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (stack_.empty()) emitted_root_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  SMTU_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray, "mismatched end_array");
+  out_ << ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (stack_.empty()) emitted_root_ = true;
+}
+
+void JsonWriter::key(const std::string& name) {
+  SMTU_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                 "key outside of an object");
+  SMTU_CHECK_MSG(!pending_key_, "two keys in a row");
+  if (!first_in_scope_.back()) out_ << ',';
+  first_in_scope_.back() = false;
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  // before_value must not add another comma for this member.
+  first_in_scope_.back() = true;
+}
+
+void JsonWriter::value(const std::string& text) {
+  before_value();
+  out_ << '"' << escape(text) << '"';
+}
+
+void JsonWriter::value(const char* text) { value(std::string(text)); }
+
+void JsonWriter::value(double number) {
+  before_value();
+  if (std::isfinite(number)) {
+    out_ << format("%.12g", number);
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN
+  }
+}
+
+void JsonWriter::value(i64 number) {
+  before_value();
+  out_ << format("%lld", static_cast<long long>(number));
+}
+
+void JsonWriter::value(u64 number) {
+  before_value();
+  out_ << format("%llu", static_cast<unsigned long long>(number));
+}
+
+void JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+}
+
+void write_table_as_json(std::ostream& out, const TextTable& table) {
+  JsonWriter json(out);
+  json.begin_array();
+  for (usize r = 0; r < table.rows(); ++r) {
+    json.begin_object();
+    for (usize c = 0; c < table.columns(); ++c) {
+      json.key(table.header()[c]);
+      const std::string& cell = table.row(r)[c];
+      if (const auto integer = parse_int(cell)) {
+        json.value(*integer);
+      } else if (const auto number = parse_double(cell)) {
+        json.value(*number);
+      } else {
+        json.value(cell);
+      }
+    }
+    json.end_object();
+  }
+  json.end_array();
+  out << '\n';
+}
+
+}  // namespace smtu

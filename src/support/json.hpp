@@ -1,0 +1,58 @@
+// Minimal JSON writer (no parsing) so benchmark tables can be exported for
+// plotting. Produces compact, valid JSON with correct string escaping and
+// locale-independent number formatting.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+#include "support/types.hpp"
+
+namespace smtu {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  // Containers. Every begin_* must be closed by the matching end_*; the
+  // writer tracks commas and aborts on mismatched nesting.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Keys (inside objects) and values (inside arrays or after a key).
+  void key(const std::string& name);
+  void value(const std::string& text);
+  void value(const char* text);
+  void value(double number);
+  void value(i64 number);
+  void value(u64 number);
+  void value(bool flag);
+  void null();
+
+  // True when every container has been closed.
+  bool complete() const { return stack_.empty() && emitted_root_; }
+
+  static std::string escape(const std::string& text);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void before_value();
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+  bool emitted_root_ = false;
+};
+
+// Serializes a TextTable as an array of objects keyed by the header cells.
+// Numeric-looking cells are emitted as numbers.
+void write_table_as_json(std::ostream& out, const TextTable& table);
+
+}  // namespace smtu

@@ -1,0 +1,45 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace smtu {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void init_log_level_from_env() {
+  const char* raw = std::getenv("SMTU_LOG");
+  if (raw == nullptr) return;
+  const std::string value = to_lower(raw);
+  if (value == "debug") g_level = LogLevel::Debug;
+  else if (value == "info") g_level = LogLevel::Info;
+  else if (value == "warn") g_level = LogLevel::Warn;
+  else if (value == "error") g_level = LogLevel::Error;
+  else if (value == "off") g_level = LogLevel::Off;
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace smtu

@@ -1,0 +1,32 @@
+// Leveled logging. Default level is Warn so tests and benches stay quiet;
+// binaries can raise verbosity via --verbose or SMTU_LOG=debug.
+#pragma once
+
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace smtu {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Reads SMTU_LOG environment variable ("debug"/"info"/"warn"/"error"/"off").
+void init_log_level_from_env();
+
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace smtu
+
+#define SMTU_LOG(level, ...)                                             \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::smtu::log_level())) \
+      ::smtu::log_message(level, ::smtu::format(__VA_ARGS__));           \
+  } while (false)
+
+#define SMTU_DEBUG(...) SMTU_LOG(::smtu::LogLevel::Debug, __VA_ARGS__)
+#define SMTU_INFO(...) SMTU_LOG(::smtu::LogLevel::Info, __VA_ARGS__)
+#define SMTU_WARN(...) SMTU_LOG(::smtu::LogLevel::Warn, __VA_ARGS__)
+#define SMTU_ERROR(...) SMTU_LOG(::smtu::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,34 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace smtu {
+
+std::vector<u64> Rng::sample_without_replacement(u64 population, u64 count) {
+  SMTU_CHECK_MSG(count <= population, "cannot sample more than the population");
+  std::vector<u64> chosen;
+  chosen.reserve(count);
+  if (count == 0) return chosen;
+
+  // Dense case: permute the full population prefix.
+  if (count * 4 >= population) {
+    std::vector<u64> all(population);
+    for (u64 i = 0; i < population; ++i) all[i] = i;
+    shuffle(all);
+    chosen.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count));
+  } else {
+    // Floyd's algorithm: O(count) expected draws.
+    std::unordered_set<u64> seen;
+    seen.reserve(count * 2);
+    for (u64 j = population - count; j < population; ++j) {
+      const u64 candidate = below(j + 1);
+      if (!seen.insert(candidate).second) seen.insert(j);
+    }
+    chosen.assign(seen.begin(), seen.end());
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace smtu

@@ -1,0 +1,28 @@
+// Project-wide fixed-width aliases and small vocabulary types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smtu {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+// Matrix index type. Dimensions in this project are bounded by the largest
+// D-SAB matrix (~10^6 rows), so 32 bits suffice, but we use 64-bit indices at
+// API boundaries to make address arithmetic in the simulator overflow-safe.
+using Index = std::uint64_t;
+
+// Simulated-machine quantities.
+using Cycle = std::uint64_t;
+using Addr = std::uint64_t;
+
+}  // namespace smtu

@@ -1,0 +1,452 @@
+#include "vsim/assembler.hpp"
+
+#include <charconv>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace smtu::vsim {
+namespace {
+
+// How a mnemonic's operand list is parsed.
+enum class Form {
+  kNone,        // halt
+  kR,           // jr rs
+  kRR,          // mv rd, rs
+  kRRR,         // add rd, rs1, rs2
+  kRRI,         // addi rd, rs, imm
+  kRI,          // li rd, imm
+  kRMem,        // lw rd, off(rs)
+  kBranch,      // beq rs1, rs2, label
+  kLabel,       // jal label
+  kVMem,        // v_ld vd, off(rs)
+  kVMemIdx,     // v_ldx vd, off(rs), vidx
+  kVMemStride,  // v_lds vd, off(rs), rstride
+  kVVV,         // v_add vd, vs1, vs2
+  kVVI,         // v_addi vd, vs, imm
+  kVVR,         // v_adds vd, vs, rs
+  kVR,          // v_bcast vd, rs
+  kVI,          // v_bcasti vd, imm
+  kV,           // v_iota vd
+  kRV,          // v_redsum rd, vs
+  kRVR,         // v_extract rd, vs, rs
+  kVV,          // v_stcr vval, vpos
+  kVVRR,        // v_ldb vval, vpos, rpos, rval
+  kVRr,         // v_stbv vval, rval
+};
+
+struct Mnemonic {
+  Op op;
+  Form form;
+};
+
+const std::map<std::string, Mnemonic>& mnemonics() {
+  static const std::map<std::string, Mnemonic> table = {
+      {"li", {Op::kLi, Form::kRI}},
+      {"mv", {Op::kMv, Form::kRR}},
+      {"add", {Op::kAdd, Form::kRRR}},
+      {"sub", {Op::kSub, Form::kRRR}},
+      {"mul", {Op::kMul, Form::kRRR}},
+      {"and", {Op::kAnd, Form::kRRR}},
+      {"or", {Op::kOr, Form::kRRR}},
+      {"xor", {Op::kXor, Form::kRRR}},
+      {"sll", {Op::kSll, Form::kRRR}},
+      {"srl", {Op::kSrl, Form::kRRR}},
+      {"min", {Op::kMin, Form::kRRR}},
+      {"max", {Op::kMax, Form::kRRR}},
+      {"addi", {Op::kAddi, Form::kRRI}},
+      {"muli", {Op::kMuli, Form::kRRI}},
+      {"andi", {Op::kAndi, Form::kRRI}},
+      {"slli", {Op::kSlli, Form::kRRI}},
+      {"srli", {Op::kSrli, Form::kRRI}},
+      {"fadd", {Op::kFAdd, Form::kRRR}},
+      {"fmul", {Op::kFMul, Form::kRRR}},
+      {"lw", {Op::kLw, Form::kRMem}},
+      {"sw", {Op::kSw, Form::kRMem}},
+      {"lhu", {Op::kLhu, Form::kRMem}},
+      {"sh", {Op::kSh, Form::kRMem}},
+      {"lbu", {Op::kLbu, Form::kRMem}},
+      {"sb", {Op::kSb, Form::kRMem}},
+      {"beq", {Op::kBeq, Form::kBranch}},
+      {"bne", {Op::kBne, Form::kBranch}},
+      {"blt", {Op::kBlt, Form::kBranch}},
+      {"bge", {Op::kBge, Form::kBranch}},
+      {"jal", {Op::kJal, Form::kLabel}},
+      {"call", {Op::kJal, Form::kLabel}},
+      {"jr", {Op::kJr, Form::kR}},
+      {"halt", {Op::kHalt, Form::kNone}},
+      {"nop", {Op::kNop, Form::kNone}},
+      {"ssvl", {Op::kSsvl, Form::kR}},
+      {"setvl", {Op::kSetvl, Form::kRR}},
+      {"v_ld", {Op::kVLd, Form::kVMem}},
+      {"v_st", {Op::kVSt, Form::kVMem}},
+      {"v_ldx", {Op::kVLdx, Form::kVMemIdx}},
+      {"v_ld_idx", {Op::kVLdx, Form::kVMemIdx}},
+      {"v_stx", {Op::kVStx, Form::kVMemIdx}},
+      {"v_st_idx", {Op::kVStx, Form::kVMemIdx}},
+      {"v_lds", {Op::kVLds, Form::kVMemStride}},
+      {"v_sts", {Op::kVSts, Form::kVMemStride}},
+      {"v_add", {Op::kVAdd, Form::kVVV}},
+      {"v_sub", {Op::kVSub, Form::kVVV}},
+      {"v_mul", {Op::kVMul, Form::kVVV}},
+      {"v_and", {Op::kVAnd, Form::kVVV}},
+      {"v_or", {Op::kVOr, Form::kVVV}},
+      {"v_xor", {Op::kVXor, Form::kVVV}},
+      {"v_min", {Op::kVMin, Form::kVVV}},
+      {"v_max", {Op::kVMax, Form::kVVV}},
+      {"v_addi", {Op::kVAddi, Form::kVVI}},
+      {"v_add_imm", {Op::kVAddi, Form::kVVI}},
+      {"v_adds", {Op::kVAdds, Form::kVVR}},
+      {"v_bcast", {Op::kVBcast, Form::kVR}},
+      {"v_bcasti", {Op::kVBcasti, Form::kVI}},
+      {"v_setimm", {Op::kVBcasti, Form::kVI}},
+      {"v_iota", {Op::kVIota, Form::kV}},
+      {"v_slideup", {Op::kVSlideUp, Form::kVVI}},
+      {"v_slidedown", {Op::kVSlideDown, Form::kVVI}},
+      {"v_redsum", {Op::kVRedSum, Form::kRV}},
+      {"v_extract", {Op::kVExtract, Form::kRVR}},
+      {"v_seq", {Op::kVSeq, Form::kVVV}},
+      {"v_seqs", {Op::kVSeqS, Form::kVVR}},
+      {"v_fadd", {Op::kVFAdd, Form::kVVV}},
+      {"v_fmul", {Op::kVFMul, Form::kVVV}},
+      {"v_fredsum", {Op::kVFRedSum, Form::kRV}},
+      {"icm", {Op::kIcm, Form::kNone}},
+      {"v_ldb", {Op::kVLdb, Form::kVVRR}},
+      {"v_stcr", {Op::kVStcr, Form::kVV}},
+      {"v_ldcc", {Op::kVLdcc, Form::kVV}},
+      {"v_stb", {Op::kVStb, Form::kVVRR}},
+      {"v_stbv", {Op::kVStbv, Form::kVRr}},
+      {"v_gthc", {Op::kVGthC, Form::kVMemIdx}},
+      {"v_scar", {Op::kVScaR, Form::kVMemIdx}},
+      {"v_gthr", {Op::kVGthR, Form::kVMemIdx}},
+      {"v_scac", {Op::kVScaC, Form::kVMemIdx}},
+  };
+  return table;
+}
+
+struct PendingLabelRef {
+  usize instruction_index;
+  std::string label;
+  usize line;
+};
+
+class Parser {
+ public:
+  explicit Parser(usize line) : line_(line) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw AssemblyError(line_, message);
+  }
+
+  u8 scalar_reg(std::string_view token) const {
+    const std::string name = to_lower(trim(token));
+    if (name == "zero") return 0;
+    if (name == "ra") return kRegRa;
+    if (name == "sp") return kRegSp;
+    if (name.size() >= 2 && name[0] == 'r') {
+      if (const auto index = parse_uint(name.substr(1)); index && *index < kNumScalarRegs) {
+        return static_cast<u8>(*index);
+      }
+    }
+    fail("expected scalar register, got '" + std::string(token) + "'");
+  }
+
+  u8 vector_reg(std::string_view token) const {
+    const std::string name = to_lower(trim(token));
+    if (name.size() >= 3 && name[0] == 'v' && name[1] == 'r') {
+      if (const auto index = parse_uint(name.substr(2)); index && *index < kNumVectorRegs) {
+        return static_cast<u8>(*index);
+      }
+    }
+    fail("expected vector register, got '" + std::string(token) + "'");
+  }
+
+  i64 immediate(std::string_view token) const {
+    const std::string_view text = trim(token);
+    // Hex (with optional sign).
+    bool negative = false;
+    std::string_view body = text;
+    if (!body.empty() && (body[0] == '-' || body[0] == '+')) {
+      negative = body[0] == '-';
+      body = body.substr(1);
+    }
+    if (starts_with(body, "0x") || starts_with(body, "0X")) {
+      u64 value = 0;
+      const auto* begin = body.data() + 2;
+      const auto* end = body.data() + body.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+      if (ec != std::errc{} || ptr != end) fail("bad hex immediate '" + std::string(text) + "'");
+      return negative ? -static_cast<i64>(value) : static_cast<i64>(value);
+    }
+    if (const auto value = parse_int(text)) return *value;
+    fail("expected immediate, got '" + std::string(token) + "'");
+  }
+
+  // off(rN) with optional offset.
+  std::pair<i64, u8> mem_operand(std::string_view token) const {
+    const std::string_view text = trim(token);
+    const auto open = text.find('(');
+    const auto close = text.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+      fail("expected memory operand 'off(rN)', got '" + std::string(token) + "'");
+    }
+    const std::string_view offset_text = trim(text.substr(0, open));
+    const std::string_view reg_text = text.substr(open + 1, close - open - 1);
+    const i64 offset = offset_text.empty() ? 0 : immediate(offset_text);
+    return {offset, scalar_reg(reg_text)};
+  }
+
+ private:
+  usize line_;
+};
+
+std::vector<std::string_view> split_operands(std::string_view text) {
+  std::vector<std::string_view> operands;
+  usize depth = 0;
+  usize start = 0;
+  for (usize i = 0; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    else if (text[i] == ')' && depth > 0) --depth;
+    else if (text[i] == ',' && depth == 0) {
+      operands.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size() || !operands.empty()) operands.push_back(text.substr(start));
+  std::vector<std::string_view> cleaned;
+  for (const auto op : operands) {
+    const auto trimmed = trim(op);
+    if (!trimmed.empty()) cleaned.push_back(trimmed);
+  }
+  return cleaned;
+}
+
+}  // namespace
+
+AssemblyError::AssemblyError(usize line, const std::string& message)
+    : std::runtime_error(format("line %zu: %s", line, message.c_str())), line_(line) {}
+
+Program assemble(const std::string& source) {
+  Program program;
+  std::vector<PendingLabelRef> pending;
+
+  usize line_number = 0;
+  for (std::string_view rest = source; !rest.empty() || line_number == 0;) {
+    // Carve out one line.
+    const auto newline = rest.find('\n');
+    std::string_view line =
+        newline == std::string_view::npos ? rest : rest.substr(0, newline);
+    rest = newline == std::string_view::npos ? std::string_view{} : rest.substr(newline + 1);
+    ++line_number;
+
+    // Strip comments ('#' or '%').
+    const auto comment = line.find_first_of("#%");
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    Parser parser(line_number);
+
+    // Leading labels (possibly several on one line).
+    while (true) {
+      const auto colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      // A ':' may only belong to a label prefix (no spaces before it).
+      const std::string_view head = trim(line.substr(0, colon));
+      if (head.empty() || head.find_first_of(" \t,()") != std::string_view::npos) {
+        parser.fail("malformed label");
+      }
+      if (program.labels.count(std::string(head)) > 0) {
+        parser.fail("duplicate label '" + std::string(head) + "'");
+      }
+      program.labels.emplace(std::string(head), program.instructions.size());
+      line = trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) continue;
+
+    // Mnemonic and operands.
+    usize mnemonic_end = 0;
+    while (mnemonic_end < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[mnemonic_end]))) {
+      ++mnemonic_end;
+    }
+    const std::string mnemonic = to_lower(line.substr(0, mnemonic_end));
+    const auto operands = split_operands(trim(line.substr(mnemonic_end)));
+
+    Instruction inst;
+    inst.source_line = static_cast<u32>(line_number);
+
+    // ret is jr ra.
+    if (mnemonic == "ret") {
+      if (!operands.empty()) parser.fail("ret takes no operands");
+      inst.op = Op::kJr;
+      inst.a = kRegRa;
+      program.instructions.push_back(inst);
+      continue;
+    }
+
+    const auto it = mnemonics().find(mnemonic);
+    if (it == mnemonics().end()) parser.fail("unknown mnemonic '" + mnemonic + "'");
+    inst.op = it->second.op;
+
+    auto need = [&](usize count) {
+      if (operands.size() != count) {
+        parser.fail(format("%s expects %zu operands, got %zu", mnemonic.c_str(), count,
+                           operands.size()));
+      }
+    };
+
+    switch (it->second.form) {
+      case Form::kNone:
+        need(0);
+        break;
+      case Form::kR:
+        need(1);
+        inst.a = parser.scalar_reg(operands[0]);
+        break;
+      case Form::kRR:
+        need(2);
+        inst.a = parser.scalar_reg(operands[0]);
+        inst.b = parser.scalar_reg(operands[1]);
+        break;
+      case Form::kRRR:
+        need(3);
+        inst.a = parser.scalar_reg(operands[0]);
+        inst.b = parser.scalar_reg(operands[1]);
+        inst.c = parser.scalar_reg(operands[2]);
+        break;
+      case Form::kRRI:
+        need(3);
+        inst.a = parser.scalar_reg(operands[0]);
+        inst.b = parser.scalar_reg(operands[1]);
+        inst.imm = parser.immediate(operands[2]);
+        break;
+      case Form::kRI:
+        need(2);
+        inst.a = parser.scalar_reg(operands[0]);
+        inst.imm = parser.immediate(operands[1]);
+        break;
+      case Form::kRMem: {
+        need(2);
+        inst.a = parser.scalar_reg(operands[0]);
+        const auto [offset, base] = parser.mem_operand(operands[1]);
+        inst.b = base;
+        inst.imm = offset;
+        break;
+      }
+      case Form::kBranch:
+        need(3);
+        inst.a = parser.scalar_reg(operands[0]);
+        inst.b = parser.scalar_reg(operands[1]);
+        pending.push_back({program.instructions.size(), std::string(trim(operands[2])),
+                           line_number});
+        break;
+      case Form::kLabel:
+        need(1);
+        inst.a = kRegRa;
+        pending.push_back({program.instructions.size(), std::string(trim(operands[0])),
+                           line_number});
+        break;
+      case Form::kVMem: {
+        need(2);
+        inst.a = parser.vector_reg(operands[0]);
+        const auto [offset, base] = parser.mem_operand(operands[1]);
+        inst.b = base;
+        inst.imm = offset;
+        break;
+      }
+      case Form::kVMemIdx: {
+        need(3);
+        inst.a = parser.vector_reg(operands[0]);
+        const auto [offset, base] = parser.mem_operand(operands[1]);
+        inst.b = base;
+        inst.imm = offset;
+        inst.c = parser.vector_reg(operands[2]);
+        break;
+      }
+      case Form::kVMemStride: {
+        need(3);
+        inst.a = parser.vector_reg(operands[0]);
+        const auto [offset, base] = parser.mem_operand(operands[1]);
+        inst.b = base;
+        inst.imm = offset;
+        inst.c = parser.scalar_reg(operands[2]);
+        break;
+      }
+      case Form::kVVV:
+        need(3);
+        inst.a = parser.vector_reg(operands[0]);
+        inst.b = parser.vector_reg(operands[1]);
+        inst.c = parser.vector_reg(operands[2]);
+        break;
+      case Form::kVVI:
+        need(3);
+        inst.a = parser.vector_reg(operands[0]);
+        inst.b = parser.vector_reg(operands[1]);
+        inst.imm = parser.immediate(operands[2]);
+        break;
+      case Form::kVVR:
+        need(3);
+        inst.a = parser.vector_reg(operands[0]);
+        inst.b = parser.vector_reg(operands[1]);
+        inst.c = parser.scalar_reg(operands[2]);
+        break;
+      case Form::kVR:
+        need(2);
+        inst.a = parser.vector_reg(operands[0]);
+        inst.b = parser.scalar_reg(operands[1]);
+        break;
+      case Form::kVI:
+        need(2);
+        inst.a = parser.vector_reg(operands[0]);
+        inst.imm = parser.immediate(operands[1]);
+        break;
+      case Form::kV:
+        need(1);
+        inst.a = parser.vector_reg(operands[0]);
+        break;
+      case Form::kRV:
+        need(2);
+        inst.a = parser.scalar_reg(operands[0]);
+        inst.b = parser.vector_reg(operands[1]);
+        break;
+      case Form::kRVR:
+        need(3);
+        inst.a = parser.scalar_reg(operands[0]);
+        inst.b = parser.vector_reg(operands[1]);
+        inst.c = parser.scalar_reg(operands[2]);
+        break;
+      case Form::kVV:
+        need(2);
+        inst.a = parser.vector_reg(operands[0]);
+        inst.b = parser.vector_reg(operands[1]);
+        break;
+      case Form::kVVRR:
+        need(4);
+        inst.a = parser.vector_reg(operands[0]);
+        inst.b = parser.vector_reg(operands[1]);
+        inst.c = parser.scalar_reg(operands[2]);
+        inst.d = parser.scalar_reg(operands[3]);
+        break;
+      case Form::kVRr:
+        need(2);
+        inst.a = parser.vector_reg(operands[0]);
+        inst.b = parser.scalar_reg(operands[1]);
+        break;
+    }
+    program.instructions.push_back(inst);
+  }
+
+  // Pass 2: resolve label references.
+  for (const PendingLabelRef& ref : pending) {
+    const auto it = program.labels.find(ref.label);
+    if (it == program.labels.end()) {
+      throw AssemblyError(ref.line, "undefined label '" + ref.label + "'");
+    }
+    program.instructions[ref.instruction_index].imm = static_cast<i64>(it->second);
+  }
+  return program;
+}
+
+}  // namespace smtu::vsim

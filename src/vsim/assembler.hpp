@@ -1,0 +1,39 @@
+// Two-pass assembler for the vsim ISA.
+//
+// Syntax (one instruction per line):
+//
+//   label:                         # labels stand alone or prefix a line
+//   li    r1, 0x1000               # immediates: decimal, hex, negative
+//   lw    r2, 8(r1)                # scalar memory: offset(base)
+//   v_ld  vr1, (r3)                # vector memory, offset optional
+//   v_ldx vr1, (r3), vr0           # gather: base + 4 * index
+//   bne   r2, r0, Loop1            # branches take a label
+//   v_ldb vr1, vr2, r3, r4         # HiSM extension (Fig. 7 of the paper)
+//
+// Comments start with '#' or '%'. Register aliases: zero (r0), ra (r31),
+// sp (r30). The paper's mnemonics v_ld_idx, v_st_idx, v_setimm and
+// v_add_imm are accepted as aliases of v_ldx, v_stx, v_bcasti and v_addi.
+//
+// Errors raise AssemblyError with the offending line number.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "vsim/program.hpp"
+
+namespace smtu::vsim {
+
+class AssemblyError : public std::runtime_error {
+ public:
+  AssemblyError(usize line, const std::string& message);
+
+  usize line() const { return line_; }
+
+ private:
+  usize line_;
+};
+
+Program assemble(const std::string& source);
+
+}  // namespace smtu::vsim

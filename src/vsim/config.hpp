@@ -1,0 +1,55 @@
+// Machine parameters. Defaults reproduce §IV-A of the paper:
+//   * section size s = 64,
+//   * functional-unit parallelism p = 4 elements/cycle,
+//   * memory: 20-cycle startup, 4 x 32-bit words per cycle for contiguous
+//     accesses, 1 word per cycle for indexed accesses
+//     (64-word contiguous load = 20 + 64/4 = 36 cycles; indexed = 84),
+//   * vector chaining enabled,
+//   * a 4-way issue scalar core (the baseline that runs the non-vectorized
+//     phase of the CRS transposition).
+#pragma once
+
+#include "stm/unit.hpp"
+#include "support/types.hpp"
+
+namespace smtu::vsim {
+
+struct MachineConfig {
+  // Vector architecture.
+  u32 section = 64;               // s: vector register length
+  u32 lanes = 4;                  // p: elements/cycle of the vector ALU
+  bool chaining = true;           // forward results between dependent FUs
+  u32 valu_startup = 2;           // vector ALU pipeline depth
+
+  // Vector memory unit.
+  u32 mem_startup = 20;           // cycles to first element
+  u32 mem_bytes_per_cycle = 16;   // contiguous bandwidth (4 x 32-bit words)
+  u32 mem_indexed_elems_per_cycle = 1;
+  // The startup is pipeline *latency*: a following memory instruction may
+  // start streaming as soon as the previous one's transfer slots drain
+  // (dependent consumers still wait the full latency for data). Turning
+  // this off makes every access pay the startup exclusively, as on a
+  // non-pipelined memory port.
+  bool mem_pipelined_startup = true;
+
+  // Scalar core. The scalar side issues in order, up to `scalar_issue_width`
+  // instructions per cycle, stalling until source operands are ready (a
+  // scoreboarded in-order pipe). Scalar loads model a short cache-hit path
+  // rather than the vector unit's 20-cycle stream startup.
+  u32 scalar_issue_width = 4;
+  u32 scalar_mem_ports = 2;
+  u32 scalar_load_latency = 8;
+  u32 scalar_op_latency = 1;
+  u32 mul_latency = 3;
+  u32 branch_penalty = 2;         // redirect bubble after a taken branch
+
+  // STM functional unit (section is forced to match `section`).
+  StmConfig stm;
+
+  u64 memory_limit = u64{1} << 30;
+
+  // Safety valve for runaway programs.
+  u64 max_instructions = u64{4} << 30;
+};
+
+}  // namespace smtu::vsim

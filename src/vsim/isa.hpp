@@ -1,0 +1,140 @@
+// Instruction set of the simulated vector processor.
+//
+// The machine models the architecture of §II/§IV-A of the paper: a scalar
+// core, a register-vector unit with section size s, a high-bandwidth vector
+// memory unit, and the STM functional unit driven by the HiSM instruction
+// extension (icm / v_ldb / v_stcr / v_ldcc / v_stb, cf. Fig. 7).
+//
+// Programs are sequences of decoded Instruction records; the PC is an index
+// into that sequence (there is no binary encoding — this is a performance
+// simulator, not an RTL model).
+#pragma once
+
+#include <string>
+
+#include "support/types.hpp"
+
+namespace smtu::vsim {
+
+inline constexpr u32 kNumScalarRegs = 32;
+inline constexpr u32 kNumVectorRegs = 16;
+inline constexpr u32 kRegZero = 0;   // hardwired zero
+inline constexpr u32 kRegRa = 31;    // link register (call/ret)
+inline constexpr u32 kRegSp = 30;    // stack pointer by convention
+
+enum class Op : u8 {
+  // Scalar ALU.
+  kLi,    // li rd, imm
+  kMv,    // mv rd, rs
+  kAdd,   // add rd, rs1, rs2
+  kSub,
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kSll,
+  kSrl,
+  kMin,
+  kMax,
+  kAddi,  // addi rd, rs, imm
+  kMuli,
+  kAndi,
+  kSlli,
+  kSrli,
+  // Scalar float (IEEE-754 single in the low 32 bits).
+  kFAdd,  // fadd rd, rs1, rs2
+  kFMul,
+  // Scalar memory.
+  kLw,    // lw rd, off(rs)   (32-bit zero-extended)
+  kSw,    // sw rs2, off(rs)
+  kLhu,   // lhu rd, off(rs)
+  kSh,
+  kLbu,
+  kSb,
+  // Control.
+  kBeq,   // beq rs1, rs2, label
+  kBne,
+  kBlt,   // signed
+  kBge,
+  kJal,   // jal label  (link in ra)
+  kJr,    // jr rs
+  kHalt,
+  kNop,
+  // Vector length control. ssvl is the paper's strip-mining primitive:
+  // vl = min(s, R[rs]); R[rs] -= vl.
+  kSsvl,
+  kSetvl,  // setvl rd, rs : vl = min(s, R[rs]); R[rd] = vl
+  // Vector memory (32-bit elements).
+  kVLd,   // v_ld vd, off(rs)          contiguous
+  kVSt,   // v_st vs, off(rs)
+  kVLdx,  // v_ldx vd, off(rs), vidx   gather from base + 4*idx
+  kVStx,  // v_stx vs, off(rs), vidx   scatter
+  kVLds,  // v_lds vd, off(rs), rstride  strided: element i at base + i*R[rstride]
+  kVSts,  // v_sts vs, off(rs), rstride
+  // Vector integer ALU.
+  kVAdd,   // v_add vd, vs1, vs2
+  kVSub,
+  kVMul,
+  kVAnd,
+  kVOr,
+  kVXor,
+  kVMin,   // unsigned
+  kVMax,
+  kVAddi,  // v_addi vd, vs, imm       (paper: v_add_imm)
+  kVAdds,  // v_adds vd, vs, rs
+  kVBcast,   // v_bcast vd, rs
+  kVBcasti,  // v_bcasti vd, imm       (paper: v_setimm)
+  kVIota,    // v_iota vd
+  kVSlideUp,    // v_slideup vd, vs, imm : vd[i] = i >= imm ? vs[i-imm] : 0
+  kVSlideDown,  // v_slidedown vd, vs, imm : vd[i] = vs[i+imm] or 0
+  kVRedSum,     // v_redsum rd, vs
+  kVExtract,    // v_extract rd, vs, rs : rd = vs[R[rs]]
+  // Vector compares producing 0/1 lanes (the mask vectors of §IV-A).
+  kVSeq,        // v_seq vd, vs1, vs2 : vd[i] = vs1[i] == vs2[i]
+  kVSeqS,       // v_seqs vd, vs, rs  : vd[i] = vs[i] == R[rs]
+  // Vector float (IEEE-754 single on the 32-bit lanes).
+  kVFAdd,
+  kVFMul,
+  kVFRedSum,    // v_fredsum rd, vs : float sum reduction, result bits in rd
+  // HiSM / STM extension (Fig. 7 of the paper).
+  kIcm,    // icm : reset the s x s memory indicators
+  kVLdb,   // v_ldb vval, vpos, rpos, rval : load vl block-array entries;
+           //   auto-increments R[rpos] += 2*vl and R[rval] += 4*vl
+  kVStcr,  // v_stcr vval, vpos : store row-wise into the s x s memory
+  kVLdcc,  // v_ldcc vval, vpos : load column-wise (transposed) from it
+  kVStb,   // v_stb vval, vpos, rpos, rval : store entries to memory
+  kVStbv,  // v_stbv vval, rval : store values only (lengths-vector pass)
+  // HiSM SpMV extension (after the companion paper's block multiply-
+  // accumulate): positional gather/scatter keyed by the packed block
+  // positions that v_ldb produces. Unlike general gather/scatter, these
+  // address an s-element window that the hardware banks like the s x s
+  // memory, so they stream at the lane rate p instead of 1 element/cycle.
+  kVGthC,  // v_gthc vd, off(rs), vpos : vd[i] = mem32[rs + off + 4*col(pos_i)]
+  kVScaR,  // v_scar vs, off(rs), vpos : memf32[rs + off + 4*row(pos_i)] += vs[i]
+  // Their mirror images, keyed by the other position byte. Together the
+  // four give transpose-free products with A^T: the same block stream
+  // drives y[col] += value * x[row].
+  kVGthR,  // v_gthr vd, off(rs), vpos : vd[i] = mem32[rs + off + 4*row(pos_i)]
+  kVScaC,  // v_scac vs, off(rs), vpos : memf32[rs + off + 4*col(pos_i)] += vs[i]
+};
+
+const char* op_name(Op op);
+
+// Decoded instruction. Register fields a..d are scalar or vector register
+// indices depending on the opcode (see the per-op comments above); imm holds
+// immediates, scalar-memory offsets, and resolved branch/jump targets
+// (instruction indices).
+struct Instruction {
+  Op op = Op::kNop;
+  u8 a = 0;
+  u8 b = 0;
+  u8 c = 0;
+  u8 d = 0;
+  i64 imm = 0;
+  u32 source_line = 0;
+};
+
+// Human-readable rendering for traces and assembler diagnostics.
+std::string to_string(const Instruction& inst);
+
+}  // namespace smtu::vsim

@@ -1,0 +1,970 @@
+#include "vsim/machine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+#include "support/strings.hpp"
+
+namespace smtu::vsim {
+namespace {
+
+StmConfig stm_config_for(const MachineConfig& config) {
+  StmConfig stm = config.stm;
+  stm.section = config.section;  // the s x s memory matches the section size
+  stm.lines = std::min(stm.lines, stm.section);  // L cannot exceed s
+  return stm;
+}
+
+bool is_vector_op(Op op) {
+  switch (op) {
+    case Op::kVLd:
+    case Op::kVSt:
+    case Op::kVLdx:
+    case Op::kVStx:
+    case Op::kVLds:
+    case Op::kVSts:
+    case Op::kVAdd:
+    case Op::kVSub:
+    case Op::kVMul:
+    case Op::kVAnd:
+    case Op::kVOr:
+    case Op::kVXor:
+    case Op::kVMin:
+    case Op::kVMax:
+    case Op::kVAddi:
+    case Op::kVAdds:
+    case Op::kVBcast:
+    case Op::kVBcasti:
+    case Op::kVIota:
+    case Op::kVSlideUp:
+    case Op::kVSlideDown:
+    case Op::kVRedSum:
+    case Op::kVExtract:
+    case Op::kVSeq:
+    case Op::kVSeqS:
+    case Op::kVFAdd:
+    case Op::kVFMul:
+    case Op::kVFRedSum:
+    case Op::kIcm:
+    case Op::kVLdb:
+    case Op::kVStcr:
+    case Op::kVLdcc:
+    case Op::kVStb:
+    case Op::kVStbv:
+    case Op::kVGthC:
+    case Op::kVScaR:
+    case Op::kVGthR:
+    case Op::kVScaC:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), memory_(config.memory_limit), stm_(stm_config_for(config)) {
+  SMTU_CHECK_MSG(config_.section >= 2 && config_.section <= 256,
+                 "section size must be in [2, 256]");
+  SMTU_CHECK(config_.lanes >= 1);
+  SMTU_CHECK(config_.scalar_issue_width >= 1);
+  SMTU_CHECK(config_.mem_bytes_per_cycle >= 1);
+  vregs_.assign(kNumVectorRegs, std::vector<u32>(config_.section, 0));
+  vreg_time_.assign(kNumVectorRegs, {});
+}
+
+u64 Machine::sreg(u32 index) const {
+  SMTU_CHECK(index < kNumScalarRegs);
+  return index == kRegZero ? 0 : sregs_[index];
+}
+
+void Machine::set_sreg(u32 index, u64 value) {
+  SMTU_CHECK(index < kNumScalarRegs);
+  if (index != kRegZero) sregs_[index] = value;
+}
+
+const std::vector<u32>& Machine::vreg(u32 index) const {
+  SMTU_CHECK(index < kNumVectorRegs);
+  return vregs_[index];
+}
+
+void Machine::enable_trace(u64 max_lines) { trace_remaining_ = max_lines; }
+
+Cycle Machine::take_issue_slot(Cycle earliest) {
+  if (earliest > issue_cycle_) {
+    issue_cycle_ = earliest;
+    issue_used_ = 0;
+  }
+  if (issue_used_ >= config_.scalar_issue_width) {
+    ++issue_cycle_;
+    issue_used_ = 0;
+  }
+  ++issue_used_;
+  return issue_cycle_;
+}
+
+Cycle Machine::take_scalar_mem_slot(Cycle earliest) {
+  if (earliest > scalar_mem_cycle_) {
+    scalar_mem_cycle_ = earliest;
+    scalar_mem_used_ = 0;
+  }
+  if (scalar_mem_used_ >= config_.scalar_mem_ports) {
+    ++scalar_mem_cycle_;
+    scalar_mem_used_ = 0;
+  }
+  ++scalar_mem_used_;
+  return scalar_mem_cycle_;
+}
+
+void Machine::retire_scalar(u32 dest, Cycle ready) {
+  if (dest != kRegZero) sreg_ready_[dest] = std::max(sreg_ready_[dest], ready);
+  bump_watermark(ready);
+}
+
+u32 Machine::execute_vector(const Instruction& inst) {
+  const u32 vl = vl_;
+  auto& V = vregs_;
+  const auto ceil_rate = [](u64 amount, u64 per_cycle) {
+    return static_cast<u32>(ceil_div(amount, per_cycle));
+  };
+
+  switch (inst.op) {
+    case Op::kVLd: {
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = memory_.read_u32(base + 4 * i);
+      stats_.mem_contiguous_bytes += 4ull * vl;
+      return ceil_rate(4ull * vl, config_.mem_bytes_per_cycle);
+    }
+    case Op::kVSt: {
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) memory_.write_u32(base + 4 * i, V[inst.a][i]);
+      stats_.mem_contiguous_bytes += 4ull * vl;
+      return ceil_rate(4ull * vl, config_.mem_bytes_per_cycle);
+    }
+    case Op::kVLdx: {
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) {
+        V[inst.a][i] = memory_.read_u32(base + 4ull * V[inst.c][i]);
+      }
+      stats_.mem_indexed_elements += vl;
+      return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
+    }
+    case Op::kVStx: {
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) {
+        memory_.write_u32(base + 4ull * V[inst.c][i], V[inst.a][i]);
+      }
+      stats_.mem_indexed_elements += vl;
+      return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
+    }
+    case Op::kVLds: {
+      // Strided accesses hit one bank per element, like indexed ones.
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      const u64 stride = sreg(inst.c);
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = memory_.read_u32(base + i * stride);
+      stats_.mem_indexed_elements += vl;
+      return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
+    }
+    case Op::kVSts: {
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      const u64 stride = sreg(inst.c);
+      for (u32 i = 0; i < vl; ++i) memory_.write_u32(base + i * stride, V[inst.a][i]);
+      stats_.mem_indexed_elements += vl;
+      return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
+    }
+    case Op::kVAdd:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] + V[inst.c][i];
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVSub:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] - V[inst.c][i];
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVMul:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] * V[inst.c][i];
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVAnd:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] & V[inst.c][i];
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVOr:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] | V[inst.c][i];
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVXor:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] ^ V[inst.c][i];
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVMin:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = std::min(V[inst.b][i], V[inst.c][i]);
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVMax:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = std::max(V[inst.b][i], V[inst.c][i]);
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVAddi:
+      for (u32 i = 0; i < vl; ++i) {
+        V[inst.a][i] = V[inst.b][i] + static_cast<u32>(inst.imm);
+      }
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVAdds: {
+      const u32 scalar = static_cast<u32>(sreg(inst.c));
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] + scalar;
+      return ceil_rate(vl, config_.lanes);
+    }
+    case Op::kVBcast: {
+      const u32 scalar = static_cast<u32>(sreg(inst.b));
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = scalar;
+      return ceil_rate(vl, config_.lanes);
+    }
+    case Op::kVBcasti:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = static_cast<u32>(inst.imm);
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVIota:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = i;
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVSlideUp: {
+      const u32 shift = static_cast<u32>(inst.imm);
+      std::vector<u32> result(vl, 0);
+      for (u32 i = 0; i < vl; ++i) {
+        if (i >= shift) result[i] = V[inst.b][i - shift];
+      }
+      std::copy(result.begin(), result.end(), V[inst.a].begin());
+      return ceil_rate(vl, config_.lanes);
+    }
+    case Op::kVSlideDown: {
+      const u32 shift = static_cast<u32>(inst.imm);
+      std::vector<u32> result(vl, 0);
+      for (u32 i = 0; i < vl; ++i) {
+        if (i + shift < vl) result[i] = V[inst.b][i + shift];
+      }
+      std::copy(result.begin(), result.end(), V[inst.a].begin());
+      return ceil_rate(vl, config_.lanes);
+    }
+    case Op::kVRedSum: {
+      u64 total = 0;
+      for (u32 i = 0; i < vl; ++i) total += V[inst.b][i];
+      set_sreg(inst.a, total);
+      // Lane-parallel partial sums plus a log-depth combine.
+      return ceil_rate(vl, config_.lanes) + log2_ceil(config_.lanes + 1);
+    }
+    case Op::kVExtract: {
+      const u64 lane = sreg(inst.c);
+      SMTU_CHECK_MSG(lane < config_.section, "v_extract lane out of range");
+      set_sreg(inst.a, V[inst.b][lane]);
+      return 1;
+    }
+    case Op::kVSeq:
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] == V[inst.c][i] ? 1 : 0;
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVSeqS: {
+      const u32 scalar = static_cast<u32>(sreg(inst.c));
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] == scalar ? 1 : 0;
+      return ceil_rate(vl, config_.lanes);
+    }
+    case Op::kVFRedSum: {
+      float total = 0.0f;
+      for (u32 i = 0; i < vl; ++i) total += std::bit_cast<float>(V[inst.b][i]);
+      set_sreg(inst.a, std::bit_cast<u32>(total));
+      return ceil_rate(vl, config_.lanes) + log2_ceil(config_.lanes + 1);
+    }
+    case Op::kVGthC: {
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) {
+        const u32 col = (V[inst.c][i] >> 8) & 0xff;
+        V[inst.a][i] = memory_.read_u32(base + 4ull * col);
+      }
+      // Positional access touches an s-element window only, which the HiSM
+      // hardware banks like the s x s memory: full lane-parallel rate.
+      stats_.mem_indexed_elements += vl;
+      return ceil_rate(vl, config_.lanes);
+    }
+    case Op::kVScaR: {
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) {
+        const u32 row = V[inst.c][i] & 0xff;
+        const Addr addr = base + 4ull * row;
+        memory_.write_f32(addr, memory_.read_f32(addr) +
+                                    std::bit_cast<float>(V[inst.a][i]));
+      }
+      stats_.mem_indexed_elements += vl;
+      return ceil_rate(vl, config_.lanes);  // banked s-element window
+    }
+    case Op::kVGthR: {
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) {
+        const u32 row = V[inst.c][i] & 0xff;
+        V[inst.a][i] = memory_.read_u32(base + 4ull * row);
+      }
+      stats_.mem_indexed_elements += vl;
+      return ceil_rate(vl, config_.lanes);
+    }
+    case Op::kVScaC: {
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) {
+        const u32 col = (V[inst.c][i] >> 8) & 0xff;
+        const Addr addr = base + 4ull * col;
+        memory_.write_f32(addr, memory_.read_f32(addr) +
+                                    std::bit_cast<float>(V[inst.a][i]));
+      }
+      stats_.mem_indexed_elements += vl;
+      return ceil_rate(vl, config_.lanes);
+    }
+    case Op::kVFAdd:
+      for (u32 i = 0; i < vl; ++i) {
+        V[inst.a][i] = std::bit_cast<u32>(std::bit_cast<float>(V[inst.b][i]) +
+                                          std::bit_cast<float>(V[inst.c][i]));
+      }
+      return ceil_rate(vl, config_.lanes);
+    case Op::kVFMul:
+      for (u32 i = 0; i < vl; ++i) {
+        V[inst.a][i] = std::bit_cast<u32>(std::bit_cast<float>(V[inst.b][i]) *
+                                          std::bit_cast<float>(V[inst.c][i]));
+      }
+      return ceil_rate(vl, config_.lanes);
+    case Op::kIcm:
+      stm_.clear();
+      return 1;
+    case Op::kVLdb: {
+      Addr pos_addr = sreg(inst.c);
+      Addr val_addr = sreg(inst.d);
+      for (u32 i = 0; i < vl; ++i) {
+        const u8 row = memory_.read_u8(pos_addr + 2ull * i);
+        const u8 col = memory_.read_u8(pos_addr + 2ull * i + 1);
+        V[inst.b][i] = static_cast<u32>(row) | static_cast<u32>(col) << 8;
+        V[inst.a][i] = memory_.read_u32(val_addr + 4ull * i);
+      }
+      set_sreg(inst.c, pos_addr + 2ull * vl);
+      set_sreg(inst.d, val_addr + 4ull * vl);
+      stats_.mem_contiguous_bytes += 6ull * vl;
+      return ceil_rate(6ull * vl, config_.mem_bytes_per_cycle);
+    }
+    case Op::kVStcr: {
+      std::vector<StmEntry> batch(vl);
+      for (u32 i = 0; i < vl; ++i) {
+        const u32 pos = V[inst.b][i];
+        batch[i] = {static_cast<u8>(pos & 0xff), static_cast<u8>((pos >> 8) & 0xff),
+                    V[inst.a][i]};
+      }
+      stats_.stm_elements += vl;
+      return stm_.write_batch(batch);
+    }
+    case Op::kVLdcc: {
+      const StmUnit::ReadBatch batch = stm_.read_batch(vl);
+      for (u32 i = 0; i < vl; ++i) {
+        V[inst.a][i] = batch.entries[i].value_bits;
+        V[inst.b][i] = static_cast<u32>(batch.entries[i].row) |
+                       static_cast<u32>(batch.entries[i].col) << 8;
+      }
+      stats_.stm_elements += vl;
+      return batch.cycles;
+    }
+    case Op::kVStb: {
+      Addr pos_addr = sreg(inst.c);
+      Addr val_addr = sreg(inst.d);
+      for (u32 i = 0; i < vl; ++i) {
+        const u32 pos = V[inst.b][i];
+        memory_.write_u8(pos_addr + 2ull * i, static_cast<u8>(pos & 0xff));
+        memory_.write_u8(pos_addr + 2ull * i + 1, static_cast<u8>((pos >> 8) & 0xff));
+        memory_.write_u32(val_addr + 4ull * i, V[inst.a][i]);
+      }
+      set_sreg(inst.c, pos_addr + 2ull * vl);
+      set_sreg(inst.d, val_addr + 4ull * vl);
+      stats_.mem_contiguous_bytes += 6ull * vl;
+      return ceil_rate(6ull * vl, config_.mem_bytes_per_cycle);
+    }
+    case Op::kVStbv: {
+      Addr val_addr = sreg(inst.b);
+      for (u32 i = 0; i < vl; ++i) memory_.write_u32(val_addr + 4ull * i, V[inst.a][i]);
+      set_sreg(inst.b, val_addr + 4ull * vl);
+      stats_.mem_contiguous_bytes += 4ull * vl;
+      return ceil_rate(4ull * vl, config_.mem_bytes_per_cycle);
+    }
+    default:
+      SMTU_CHECK_MSG(false, "not a vector op");
+  }
+  return 0;
+}
+
+RunStats Machine::run(const Program& program, usize entry_pc) {
+  SMTU_CHECK_MSG(entry_pc < program.size(), "entry pc out of range");
+
+  // Reset timing and statistics; architectural state persists.
+  sreg_ready_.fill(0);
+  vreg_time_.assign(kNumVectorRegs, {});
+  unit_free_.fill(0);
+  vl_ready_ = 0;
+  last_issue_ = 0;
+  pc_redirect_ = 0;
+  watermark_ = 0;
+  issue_cycle_ = 0;
+  issue_used_ = 0;
+  scalar_mem_cycle_ = 0;
+  scalar_mem_used_ = 0;
+  stm_fill_done_[0] = 0;
+  stm_fill_done_[1] = 0;
+  stm_drain_done_[0] = 0;
+  stm_drain_done_[1] = 0;
+  stm_drain_free_ = 0;
+  stats_ = {};
+  const StmUnit::Stats stm_before = stm_.stats();
+
+  usize pc = entry_pc;
+  bool halted = false;
+  while (!halted) {
+    SMTU_CHECK_MSG(pc < program.size(), "pc ran off the end of the program (missing halt?)");
+    SMTU_CHECK_MSG(stats_.instructions < config_.max_instructions,
+                   "instruction budget exceeded (runaway program?)");
+    const Instruction& inst = program.instructions[pc];
+    ++stats_.instructions;
+
+    if (trace_remaining_ > 0) {
+      --trace_remaining_;
+      std::fprintf(stderr, "[trace] pc=%zu %s\n", pc, to_string(inst).c_str());
+    }
+
+    if (is_vector_op(inst.op)) {
+      ++stats_.vector_instructions;
+      stats_.vector_elements += vl_;
+
+      // Scalar sources a vector instruction needs at issue.
+      Cycle ready = std::max(pc_redirect_, vl_ready_);
+      auto need_sreg = [&](u32 r) { ready = std::max(ready, sreg_ready_[r]); };
+      switch (inst.op) {
+        case Op::kVLd:
+        case Op::kVSt:
+        case Op::kVLdx:
+        case Op::kVStx:
+        case Op::kVBcast:
+        case Op::kVStbv:
+        case Op::kVGthC:
+        case Op::kVScaR:
+        case Op::kVGthR:
+        case Op::kVScaC:
+          need_sreg(inst.b);
+          break;
+        case Op::kVLds:
+        case Op::kVSts:
+          need_sreg(inst.b);
+          need_sreg(inst.c);
+          break;
+        case Op::kVAdds:
+        case Op::kVExtract:
+        case Op::kVSeqS:
+          need_sreg(inst.c);
+          break;
+        case Op::kVLdb:
+        case Op::kVStb:
+          need_sreg(inst.c);
+          need_sreg(inst.d);
+          break;
+        default:
+          break;
+      }
+      const Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
+      last_issue_ = t_issue;
+
+      // Vector sources and destinations by opcode.
+      u8 srcs[3];
+      u32 num_srcs = 0;
+      u8 dsts[2];
+      u32 num_dsts = 0;
+      switch (inst.op) {
+        case Op::kVLd:
+        case Op::kVLds:
+          dsts[num_dsts++] = inst.a;
+          break;
+        case Op::kVSt:
+        case Op::kVSts:
+          srcs[num_srcs++] = inst.a;
+          break;
+        case Op::kVLdx:
+          dsts[num_dsts++] = inst.a;
+          srcs[num_srcs++] = inst.c;
+          break;
+        case Op::kVStx:
+          srcs[num_srcs++] = inst.a;
+          srcs[num_srcs++] = inst.c;
+          break;
+        case Op::kVAdd:
+        case Op::kVSub:
+        case Op::kVMul:
+        case Op::kVAnd:
+        case Op::kVOr:
+        case Op::kVXor:
+        case Op::kVMin:
+        case Op::kVMax:
+        case Op::kVFAdd:
+        case Op::kVFMul:
+          dsts[num_dsts++] = inst.a;
+          srcs[num_srcs++] = inst.b;
+          srcs[num_srcs++] = inst.c;
+          break;
+        case Op::kVAddi:
+        case Op::kVAdds:
+        case Op::kVSeqS:
+        case Op::kVSlideUp:
+        case Op::kVSlideDown:
+          dsts[num_dsts++] = inst.a;
+          srcs[num_srcs++] = inst.b;
+          break;
+        case Op::kVSeq:
+          dsts[num_dsts++] = inst.a;
+          srcs[num_srcs++] = inst.b;
+          srcs[num_srcs++] = inst.c;
+          break;
+        case Op::kVGthC:
+        case Op::kVGthR:
+          dsts[num_dsts++] = inst.a;
+          srcs[num_srcs++] = inst.c;
+          break;
+        case Op::kVScaR:
+        case Op::kVScaC:
+          srcs[num_srcs++] = inst.a;
+          srcs[num_srcs++] = inst.c;
+          break;
+        case Op::kVBcast:
+        case Op::kVBcasti:
+        case Op::kVIota:
+          dsts[num_dsts++] = inst.a;
+          break;
+        case Op::kVRedSum:
+        case Op::kVFRedSum:
+        case Op::kVExtract:
+          srcs[num_srcs++] = inst.b;
+          break;
+        case Op::kIcm:
+          break;
+        case Op::kVLdb:
+        case Op::kVLdcc:
+          dsts[num_dsts++] = inst.a;
+          dsts[num_dsts++] = inst.b;
+          break;
+        case Op::kVStcr:
+        case Op::kVStb:
+          srcs[num_srcs++] = inst.a;
+          srcs[num_srcs++] = inst.b;
+          break;
+        case Op::kVStbv:
+          srcs[num_srcs++] = inst.a;
+          break;
+        default:
+          break;
+      }
+
+      const Unit unit = [&] {
+        switch (inst.op) {
+          case Op::kVLd:
+          case Op::kVSt:
+          case Op::kVLdx:
+          case Op::kVStx:
+          case Op::kVLds:
+          case Op::kVSts:
+          case Op::kVLdb:
+          case Op::kVStb:
+          case Op::kVStbv:
+          case Op::kVGthC:
+          case Op::kVScaR:
+          case Op::kVGthR:
+          case Op::kVScaC:
+            return kUnitVMem;
+          case Op::kIcm:
+          case Op::kVStcr:
+          case Op::kVLdcc:
+            return kUnitStm;
+          default:
+            return kUnitVAlu;
+        }
+      }();
+
+      const u32 startup = [&]() -> u32 {
+        switch (unit) {
+          case kUnitVMem: return config_.mem_startup;
+          case kUnitStm:
+            if (inst.op == Op::kIcm) return 0;
+            return inst.op == Op::kVStcr ? config_.stm.fill_pipeline_cycles
+                                         : config_.stm.drain_pipeline_cycles;
+          default: return config_.valu_startup;
+        }
+      }();
+
+      // Start time: issue, unit availability, producers' first element (or
+      // completion without chaining), and hazards on the destinations.
+      const bool stm_double = config_.stm.double_buffer;
+      // Which bank an STM instruction touches (known before execution: the
+      // fill side for icm/v_stcr, the peeked drain bank for v_ldcc).
+      u32 stm_op_bank = 0;
+      Cycle resource_ready = unit_free_[unit];
+      if (unit == kUnitStm) {
+        if (inst.op == Op::kVLdcc) {
+          stm_op_bank = stm_.peek_drain_bank();
+          // A bank drains only after its fill completed; a separate drain
+          // datapath exists only with the second buffer.
+          resource_ready = stm_double ? std::max(stm_drain_free_, stm_fill_done_[stm_op_bank])
+                                      : std::max(unit_free_[kUnitStm],
+                                                 stm_fill_done_[stm_op_bank]);
+        } else if (inst.op == Op::kIcm && stm_double) {
+          // Switching banks: the incoming bank's drain must have finished.
+          stm_op_bank = stm_.fill_bank() ^ 1;
+          resource_ready = std::max(unit_free_[kUnitStm], stm_drain_done_[stm_op_bank]);
+        } else {
+          stm_op_bank = stm_double ? stm_.fill_bank() : 0u;
+        }
+      }
+      Cycle t_start = std::max<Cycle>(t_issue, resource_ready);
+      Cycle src_last = 0;
+      for (u32 i = 0; i < num_srcs; ++i) {
+        const VregTiming& src = vreg_time_[srcs[i]];
+        t_start = std::max(t_start, config_.chaining ? src.first : src.last);
+        src_last = std::max(src_last, src.last);
+      }
+      for (u32 i = 0; i < num_dsts; ++i) {
+        const VregTiming& dst = vreg_time_[dsts[i]];
+        t_start = std::max({t_start, dst.readers_done, dst.last});
+      }
+
+      const u32 duration = execute_vector(inst);
+
+      const Cycle first_out = t_start + startup + 1;
+      const Cycle last_out =
+          std::max(t_start + startup + duration, src_last == 0 ? 0 : src_last + startup);
+      // Pipelined units are occupied for their transfer slots only; the
+      // startup is latency that later, independent instructions overlap.
+      // The STM is the exception: the s x s memory is a single buffer, so
+      // the unit stays busy until its results drain.
+      const bool pipelined =
+          (unit == kUnitVMem && config_.mem_pipelined_startup) || unit == kUnitVAlu;
+      const Cycle busy_until =
+          pipelined ? std::max(t_start + duration, src_last) : last_out;
+      if (unit == kUnitStm) {
+        if (stm_double && inst.op == Op::kVLdcc) {
+          stm_drain_free_ = std::max(stm_drain_free_, busy_until);
+          stm_drain_done_[stm_op_bank] = std::max(stm_drain_done_[stm_op_bank], last_out);
+        } else {
+          unit_free_[kUnitStm] = std::max(unit_free_[kUnitStm], busy_until);
+          if (inst.op == Op::kVLdcc) {
+            stm_drain_done_[stm_op_bank] = std::max(stm_drain_done_[stm_op_bank], last_out);
+          } else {
+            stm_fill_done_[stm_op_bank] = std::max(stm_fill_done_[stm_op_bank], last_out);
+          }
+        }
+      } else {
+        unit_free_[unit] = std::max(unit_free_[unit], busy_until);
+      }
+      const u64 busy = busy_until - t_start;
+      if (unit == kUnitVMem) stats_.vmem_busy_cycles += busy;
+      else if (unit == kUnitVAlu) stats_.valu_busy_cycles += busy;
+      else stats_.stm_busy_cycles += busy;
+
+      if (trace_sink_ != nullptr) {
+        const TraceUnit trace_unit = unit == kUnitVMem   ? TraceUnit::kVMem
+                                     : unit == kUnitVAlu ? TraceUnit::kVAlu
+                                                         : TraceUnit::kStm;
+        trace_sink_->record(
+            {pc, inst.op, vl_, trace_unit, t_issue, t_start, first_out, last_out});
+      }
+      for (u32 i = 0; i < num_dsts; ++i) {
+        vreg_time_[dsts[i]] = {first_out, last_out, last_out};
+      }
+      for (u32 i = 0; i < num_srcs; ++i) {
+        vreg_time_[srcs[i]].readers_done =
+            std::max(vreg_time_[srcs[i]].readers_done, last_out);
+      }
+
+      // Scalar side effects of vector instructions.
+      switch (inst.op) {
+        case Op::kVLdb:
+        case Op::kVStb:
+          retire_scalar(inst.c, t_issue + config_.scalar_op_latency);
+          retire_scalar(inst.d, t_issue + config_.scalar_op_latency);
+          break;
+        case Op::kVStbv:
+          retire_scalar(inst.b, t_issue + config_.scalar_op_latency);
+          break;
+        case Op::kVRedSum:
+        case Op::kVFRedSum:
+        case Op::kVExtract:
+          retire_scalar(inst.a, last_out + 1);
+          break;
+        default:
+          break;
+      }
+      bump_watermark(last_out);
+      ++pc;
+      continue;
+    }
+
+    // ---- Scalar instruction path. ----
+    ++stats_.scalar_instructions;
+    Cycle ready = pc_redirect_;
+    auto need = [&](u32 r) { ready = std::max(ready, sreg_ready_[r]); };
+
+    switch (inst.op) {
+      case Op::kLi: break;
+      case Op::kMv:
+      case Op::kAddi:
+      case Op::kMuli:
+      case Op::kAndi:
+      case Op::kSlli:
+      case Op::kSrli:
+      case Op::kJr:
+      case Op::kSsvl:
+      case Op::kSetvl:
+        need(inst.b);
+        if (inst.op == Op::kJr || inst.op == Op::kSsvl) need(inst.a);
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kSll:
+      case Op::kSrl:
+      case Op::kMin:
+      case Op::kMax:
+      case Op::kFAdd:
+      case Op::kFMul:
+        need(inst.b);
+        need(inst.c);
+        break;
+      case Op::kLw:
+      case Op::kLhu:
+      case Op::kLbu:
+        need(inst.b);
+        break;
+      case Op::kSw:
+      case Op::kSh:
+      case Op::kSb:
+        need(inst.a);
+        need(inst.b);
+        break;
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+        need(inst.a);
+        need(inst.b);
+        break;
+      case Op::kJal:
+      case Op::kHalt:
+      case Op::kNop:
+        break;
+      default:
+        SMTU_CHECK_MSG(false, "unhandled scalar op");
+    }
+
+    Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
+    const bool is_mem = inst.op == Op::kLw || inst.op == Op::kSw || inst.op == Op::kLhu ||
+                        inst.op == Op::kSh || inst.op == Op::kLbu || inst.op == Op::kSb;
+    if (is_mem) t_issue = std::max(t_issue, take_scalar_mem_slot(t_issue));
+    last_issue_ = t_issue;
+    bump_watermark(t_issue);
+
+    usize next_pc = pc + 1;
+    switch (inst.op) {
+      case Op::kLi:
+        set_sreg(inst.a, static_cast<u64>(inst.imm));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kMv:
+        set_sreg(inst.a, sreg(inst.b));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kAdd:
+        set_sreg(inst.a, sreg(inst.b) + sreg(inst.c));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kSub:
+        set_sreg(inst.a, sreg(inst.b) - sreg(inst.c));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kMul:
+        set_sreg(inst.a, sreg(inst.b) * sreg(inst.c));
+        retire_scalar(inst.a, t_issue + config_.mul_latency);
+        break;
+      case Op::kAnd:
+        set_sreg(inst.a, sreg(inst.b) & sreg(inst.c));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kOr:
+        set_sreg(inst.a, sreg(inst.b) | sreg(inst.c));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kXor:
+        set_sreg(inst.a, sreg(inst.b) ^ sreg(inst.c));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kSll:
+        set_sreg(inst.a, sreg(inst.b) << (sreg(inst.c) & 63));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kSrl:
+        set_sreg(inst.a, sreg(inst.b) >> (sreg(inst.c) & 63));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kMin:
+        set_sreg(inst.a, std::min(sreg(inst.b), sreg(inst.c)));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kMax:
+        set_sreg(inst.a, std::max(sreg(inst.b), sreg(inst.c)));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kFAdd:
+        set_sreg(inst.a, std::bit_cast<u32>(
+                             std::bit_cast<float>(static_cast<u32>(sreg(inst.b))) +
+                             std::bit_cast<float>(static_cast<u32>(sreg(inst.c)))));
+        retire_scalar(inst.a, t_issue + config_.mul_latency);
+        break;
+      case Op::kFMul:
+        set_sreg(inst.a, std::bit_cast<u32>(
+                             std::bit_cast<float>(static_cast<u32>(sreg(inst.b))) *
+                             std::bit_cast<float>(static_cast<u32>(sreg(inst.c)))));
+        retire_scalar(inst.a, t_issue + config_.mul_latency);
+        break;
+      case Op::kAddi:
+        set_sreg(inst.a, sreg(inst.b) + static_cast<u64>(inst.imm));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kMuli:
+        set_sreg(inst.a, sreg(inst.b) * static_cast<u64>(inst.imm));
+        retire_scalar(inst.a, t_issue + config_.mul_latency);
+        break;
+      case Op::kAndi:
+        set_sreg(inst.a, sreg(inst.b) & static_cast<u64>(inst.imm));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kSlli:
+        set_sreg(inst.a, sreg(inst.b) << (inst.imm & 63));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kSrli:
+        set_sreg(inst.a, sreg(inst.b) >> (inst.imm & 63));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        break;
+      case Op::kLw:
+        set_sreg(inst.a, memory_.read_u32(sreg(inst.b) + static_cast<u64>(inst.imm)));
+        retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+        break;
+      case Op::kLhu:
+        set_sreg(inst.a, memory_.read_u16(sreg(inst.b) + static_cast<u64>(inst.imm)));
+        retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+        break;
+      case Op::kLbu:
+        set_sreg(inst.a, memory_.read_u8(sreg(inst.b) + static_cast<u64>(inst.imm)));
+        retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+        break;
+      case Op::kSw:
+        memory_.write_u32(sreg(inst.b) + static_cast<u64>(inst.imm),
+                          static_cast<u32>(sreg(inst.a)));
+        break;
+      case Op::kSh:
+        memory_.write_u16(sreg(inst.b) + static_cast<u64>(inst.imm),
+                          static_cast<u16>(sreg(inst.a)));
+        break;
+      case Op::kSb:
+        memory_.write_u8(sreg(inst.b) + static_cast<u64>(inst.imm),
+                         static_cast<u8>(sreg(inst.a)));
+        break;
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge: {
+        const i64 lhs = static_cast<i64>(sreg(inst.a));
+        const i64 rhs = static_cast<i64>(sreg(inst.b));
+        bool taken = false;
+        switch (inst.op) {
+          case Op::kBeq: taken = lhs == rhs; break;
+          case Op::kBne: taken = lhs != rhs; break;
+          case Op::kBlt: taken = lhs < rhs; break;
+          case Op::kBge: taken = lhs >= rhs; break;
+          default: break;
+        }
+        if (taken) {
+          next_pc = static_cast<usize>(inst.imm);
+          pc_redirect_ = t_issue + 1 + config_.branch_penalty;
+        }
+        break;
+      }
+      case Op::kJal:
+        set_sreg(inst.a, static_cast<u64>(pc + 1));
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        next_pc = static_cast<usize>(inst.imm);
+        pc_redirect_ = t_issue + 1 + config_.branch_penalty;
+        break;
+      case Op::kJr:
+        next_pc = static_cast<usize>(sreg(inst.a));
+        pc_redirect_ = t_issue + 1 + config_.branch_penalty;
+        break;
+      case Op::kSsvl: {
+        const u64 remaining = sreg(inst.a);
+        vl_ = static_cast<u32>(std::min<u64>(config_.section, remaining));
+        set_sreg(inst.a, remaining - vl_);
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        vl_ready_ = std::max(vl_ready_, t_issue + config_.scalar_op_latency);
+        break;
+      }
+      case Op::kSetvl: {
+        vl_ = static_cast<u32>(std::min<u64>(config_.section, sreg(inst.b)));
+        set_sreg(inst.a, vl_);
+        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+        vl_ready_ = std::max(vl_ready_, t_issue + config_.scalar_op_latency);
+        break;
+      }
+      case Op::kHalt:
+        halted = true;
+        break;
+      case Op::kNop:
+        break;
+      default:
+        SMTU_CHECK_MSG(false, "unhandled scalar op in execute");
+    }
+    if (trace_sink_ != nullptr) {
+      const Cycle done = inst.a != kRegZero ? sreg_ready_[inst.a] : t_issue;
+      trace_sink_->record({pc, inst.op, 0, TraceUnit::kScalar, t_issue, t_issue,
+                           std::max(t_issue, done), std::max(t_issue, done)});
+    }
+    pc = next_pc;
+  }
+
+  stats_.cycles = watermark_;
+  const StmUnit::Stats& stm_stats = stm_.stats();
+  stats_.stm_blocks = stm_stats.blocks - stm_before.blocks;
+  stats_.stm_write_cycles = stm_stats.write_cycles - stm_before.write_cycles;
+  stats_.stm_read_cycles = stm_stats.read_cycles - stm_before.read_cycles;
+  return stats_;
+}
+
+std::string run_stats_summary(const RunStats& stats) {
+  const double cycles = static_cast<double>(std::max<Cycle>(1, stats.cycles));
+  std::string out;
+  out += format("cycles:        %llu\n", static_cast<unsigned long long>(stats.cycles));
+  out += format("instructions:  %llu (%llu scalar, %llu vector; %.2f instr/cycle)\n",
+                static_cast<unsigned long long>(stats.instructions),
+                static_cast<unsigned long long>(stats.scalar_instructions),
+                static_cast<unsigned long long>(stats.vector_instructions),
+                static_cast<double>(stats.instructions) / cycles);
+  out += format("vector elems:  %llu (avg vl %.1f)\n",
+                static_cast<unsigned long long>(stats.vector_elements),
+                stats.vector_instructions == 0
+                    ? 0.0
+                    : static_cast<double>(stats.vector_elements) /
+                          static_cast<double>(stats.vector_instructions));
+  out += format("memory:        %llu streamed bytes, %llu indexed elements\n",
+                static_cast<unsigned long long>(stats.mem_contiguous_bytes),
+                static_cast<unsigned long long>(stats.mem_indexed_elements));
+  out += format("unit busy:     vmem %.1f%%, valu %.1f%%, stm %.1f%%\n",
+                100.0 * static_cast<double>(stats.vmem_busy_cycles) / cycles,
+                100.0 * static_cast<double>(stats.valu_busy_cycles) / cycles,
+                100.0 * static_cast<double>(stats.stm_busy_cycles) / cycles);
+  if (stats.stm_blocks > 0) {
+    out += format("stm:           %llu block passes, %llu fill + %llu drain cycles, "
+                  "%llu elements\n",
+                  static_cast<unsigned long long>(stats.stm_blocks),
+                  static_cast<unsigned long long>(stats.stm_write_cycles),
+                  static_cast<unsigned long long>(stats.stm_read_cycles),
+                  static_cast<unsigned long long>(stats.stm_elements));
+  }
+  return out;
+}
+
+}  // namespace smtu::vsim

@@ -1,0 +1,140 @@
+// The simulated vector processor.
+//
+// Execution is functional (architecturally exact, instruction by
+// instruction); cycle counts come from a resource-time model layered on top,
+// the standard way to model Cray-style register-vector machines:
+//
+//  * The scalar core issues in order, up to `scalar_issue_width` per cycle,
+//    waiting until source operands are ready (scoreboarded in-order pipe)
+//    and paying `branch_penalty` on taken control flow.
+//  * Each vector instruction occupies one functional unit (vector memory
+//    pipe, vector ALU, or the STM) from its start until its last result.
+//    A unit delivers its first element `startup` cycles after start and then
+//    streams at the unit's rate.
+//  * With chaining enabled, a dependent vector instruction may start as soon
+//    as its producers deliver their first element; its completion is bounded
+//    below by the producers' completion (it cannot outrun its inputs).
+//    Without chaining it waits for producers to complete.
+//  * Hazards on vector registers are respected: write-after-read waits for
+//    the last reader, write-after-write for the previous writer.
+//
+// The STM instructions' durations are not closed-form: the machine feeds the
+// actual element stream through the cycle-accurate stm::StmUnit, so buffer
+// bandwidth B, accessible lines L, and the block's sparsity pattern all
+// shape the timing exactly as in §IV-C of the paper.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "stm/unit.hpp"
+#include "vsim/config.hpp"
+#include "vsim/memory.hpp"
+#include "vsim/program.hpp"
+#include "vsim/trace.hpp"
+
+namespace smtu::vsim {
+
+struct RunStats {
+  Cycle cycles = 0;
+  u64 instructions = 0;
+  u64 scalar_instructions = 0;
+  u64 vector_instructions = 0;
+  u64 vector_elements = 0;       // elements processed by vector instructions
+  u64 mem_contiguous_bytes = 0;  // vector memory traffic, streaming
+  u64 mem_indexed_elements = 0;  // vector memory traffic, gather/scatter
+  u64 stm_blocks = 0;
+  u64 stm_write_cycles = 0;
+  u64 stm_read_cycles = 0;
+  u64 stm_elements = 0;
+  // Per-unit occupancy (cycles each functional unit was reserved), for
+  // bottleneck analysis: vector memory pipe, vector ALU, STM.
+  u64 vmem_busy_cycles = 0;
+  u64 valu_busy_cycles = 0;
+  u64 stm_busy_cycles = 0;
+};
+
+// Human-readable multi-line digest (cycles, instruction mix, unit
+// utilization percentages).
+std::string run_stats_summary(const RunStats& stats);
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+  StmUnit& stm_unit() { return stm_; }
+
+  u64 sreg(u32 index) const;
+  void set_sreg(u32 index, u64 value);
+  const std::vector<u32>& vreg(u32 index) const;
+  u32 vl() const { return vl_; }
+
+  // Prints executed instructions (at most `max_lines`) to stderr.
+  void enable_trace(u64 max_lines);
+
+  // Records structured timing events into `trace` during run() (nullptr
+  // detaches). The trace is not cleared automatically.
+  void attach_trace(ExecutionTrace* trace) { trace_sink_ = trace; }
+
+  // Executes from `entry_pc` until halt; aborts on runaway programs.
+  // Timing state and statistics are reset per run; memory and registers
+  // persist so the host can stage inputs and read back outputs.
+  RunStats run(const Program& program, usize entry_pc = 0);
+
+ private:
+  enum Unit : u32 { kUnitVMem = 0, kUnitVAlu = 1, kUnitStm = 2, kUnitCount = 3 };
+
+  struct VregTiming {
+    Cycle first = 0;         // first element available
+    Cycle last = 0;          // last element available
+    Cycle readers_done = 0;  // latest cycle any consumer still reads it
+  };
+
+  // Issue bookkeeping.
+  Cycle take_issue_slot(Cycle earliest);
+  Cycle take_scalar_mem_slot(Cycle earliest);
+  void retire_scalar(u32 dest, Cycle ready);
+  void bump_watermark(Cycle cycle) { watermark_ = std::max(watermark_, cycle); }
+
+  // Executes one vector instruction functionally and returns its duration in
+  // cycles at full streaming rate (excluding startup).
+  u32 execute_vector(const Instruction& inst);
+
+  MachineConfig config_;
+  Memory memory_;
+  StmUnit stm_;
+
+  // Architectural state.
+  std::array<u64, kNumScalarRegs> sregs_{};
+  std::vector<std::vector<u32>> vregs_;
+  u32 vl_ = 0;
+
+  // Timing state (reset per run).
+  std::array<Cycle, kNumScalarRegs> sreg_ready_{};
+  std::vector<VregTiming> vreg_time_;
+  std::array<Cycle, kUnitCount> unit_free_{};
+  Cycle vl_ready_ = 0;
+  Cycle last_issue_ = 0;
+  Cycle pc_redirect_ = 0;
+  Cycle watermark_ = 0;
+  Cycle issue_cycle_ = 0;
+  u32 issue_used_ = 0;
+  Cycle scalar_mem_cycle_ = 0;
+  u32 scalar_mem_used_ = 0;
+  // STM phase ordering, tracked per bank: a bank's drain cannot start
+  // before its fill completed, and icm cannot clear a bank whose drain is
+  // still in flight. Single-buffer mode only uses index 0.
+  Cycle stm_fill_done_[2] = {0, 0};
+  Cycle stm_drain_done_[2] = {0, 0};
+  Cycle stm_drain_free_ = 0;
+
+  RunStats stats_;
+  u64 trace_remaining_ = 0;
+  ExecutionTrace* trace_sink_ = nullptr;
+};
+
+}  // namespace smtu::vsim

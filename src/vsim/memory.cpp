@@ -1,0 +1,73 @@
+#include "vsim/memory.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace smtu::vsim {
+
+void Memory::ensure(Addr addr, u64 len) {
+  const u64 end = addr + len;
+  SMTU_CHECK_MSG(end >= addr, "address overflow");
+  SMTU_CHECK_MSG(end <= limit_, format("memory access at 0x%llx exceeds the %llu-byte limit",
+                                       static_cast<unsigned long long>(addr),
+                                       static_cast<unsigned long long>(limit_)));
+  if (end > bytes_.size()) {
+    // Grow geometrically to keep amortized cost low.
+    u64 new_size = bytes_.size() == 0 ? 4096 : bytes_.size();
+    while (new_size < end) new_size *= 2;
+    bytes_.resize(std::min(new_size, limit_), 0);
+  }
+}
+
+void Memory::check_readable(Addr addr, u64 len) const {
+  SMTU_CHECK_MSG(addr + len <= bytes_.size() && addr + len >= addr,
+                 format("read at 0x%llx beyond allocated memory",
+                        static_cast<unsigned long long>(addr)));
+}
+
+u8 Memory::read_u8(Addr addr) const {
+  check_readable(addr, 1);
+  return bytes_[addr];
+}
+
+u16 Memory::read_u16(Addr addr) const {
+  check_readable(addr, 2);
+  return static_cast<u16>(bytes_[addr] | bytes_[addr + 1] << 8);
+}
+
+u32 Memory::read_u32(Addr addr) const {
+  check_readable(addr, 4);
+  u32 value = 0;
+  std::memcpy(&value, bytes_.data() + addr, 4);  // little-endian host
+  return value;
+}
+
+float Memory::read_f32(Addr addr) const { return std::bit_cast<float>(read_u32(addr)); }
+
+void Memory::write_u8(Addr addr, u8 value) {
+  ensure(addr, 1);
+  bytes_[addr] = value;
+}
+
+void Memory::write_u16(Addr addr, u16 value) {
+  ensure(addr, 2);
+  bytes_[addr] = static_cast<u8>(value);
+  bytes_[addr + 1] = static_cast<u8>(value >> 8);
+}
+
+void Memory::write_u32(Addr addr, u32 value) {
+  ensure(addr, 4);
+  std::memcpy(bytes_.data() + addr, &value, 4);
+}
+
+void Memory::write_f32(Addr addr, float value) { write_u32(addr, std::bit_cast<u32>(value)); }
+
+void Memory::write_block(Addr addr, std::span<const u8> data) {
+  ensure(addr, data.size());
+  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+}
+
+}  // namespace smtu::vsim

@@ -1,0 +1,46 @@
+// Byte-addressable little-endian main memory of the simulated machine.
+//
+// Storage grows on demand up to a configurable limit; reads of never-written
+// memory return zero (the region is allocated zero-filled). Functional only —
+// access *timing* lives in the Machine's vector/scalar memory models.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace smtu::vsim {
+
+class Memory {
+ public:
+  explicit Memory(u64 limit_bytes = u64{1} << 30) : limit_(limit_bytes) {}
+
+  u64 size() const { return bytes_.size(); }
+  u64 limit() const { return limit_; }
+
+  // Grows the backing store to cover [0, addr + len); aborts past the limit.
+  void ensure(Addr addr, u64 len);
+
+  u8 read_u8(Addr addr) const;
+  u16 read_u16(Addr addr) const;
+  u32 read_u32(Addr addr) const;
+  float read_f32(Addr addr) const;
+
+  void write_u8(Addr addr, u8 value);
+  void write_u16(Addr addr, u16 value);
+  void write_u32(Addr addr, u32 value);
+  void write_f32(Addr addr, float value);
+
+  // Bulk host-side access for laying out workload images.
+  void write_block(Addr addr, std::span<const u8> data);
+  std::span<const u8> raw() const { return bytes_; }
+
+ private:
+  void check_readable(Addr addr, u64 len) const;
+
+  u64 limit_;
+  std::vector<u8> bytes_;
+};
+
+}  // namespace smtu::vsim

@@ -1,0 +1,29 @@
+#include "vsim/program.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace smtu::vsim {
+
+usize Program::label(const std::string& name) const {
+  const auto it = labels.find(name);
+  SMTU_CHECK_MSG(it != labels.end(), "unknown label: " + name);
+  return it->second;
+}
+
+std::string Program::listing() const {
+  std::map<usize, std::vector<std::string>> labels_at;
+  for (const auto& [name, pc] : labels) labels_at[pc].push_back(name);
+
+  std::ostringstream out;
+  for (usize pc = 0; pc < instructions.size(); ++pc) {
+    if (const auto it = labels_at.find(pc); it != labels_at.end()) {
+      for (const std::string& name : it->second) out << name << ":\n";
+    }
+    out << "  " << pc << ": " << to_string(instructions[pc]) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace smtu::vsim

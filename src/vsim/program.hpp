@@ -1,0 +1,24 @@
+// An assembled program: decoded instructions plus the label map.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vsim/isa.hpp"
+
+namespace smtu::vsim {
+
+struct Program {
+  std::vector<Instruction> instructions;
+  std::map<std::string, usize> labels;
+
+  usize size() const { return instructions.size(); }
+  bool has_label(const std::string& name) const { return labels.count(name) > 0; }
+  usize label(const std::string& name) const;
+
+  // Disassembly listing with labels, for debugging kernels.
+  std::string listing() const;
+};
+
+}  // namespace smtu::vsim

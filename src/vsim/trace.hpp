@@ -1,0 +1,53 @@
+// Structured execution tracing: per-instruction timing records and a text
+// timeline renderer. Attach an ExecutionTrace to a Machine to see *why* a
+// kernel spends its cycles — which unit each instruction occupied, how
+// chaining overlapped producers and consumers, where the pipeline drained.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "vsim/isa.hpp"
+
+namespace smtu::vsim {
+
+enum class TraceUnit : u8 { kScalar = 0, kVMem = 1, kVAlu = 2, kStm = 3 };
+
+const char* trace_unit_name(TraceUnit unit);
+
+struct TraceEvent {
+  usize pc = 0;
+  Op op = Op::kNop;
+  u32 vl = 0;          // vector length at execution (0 for scalar ops)
+  TraceUnit unit = TraceUnit::kScalar;
+  Cycle issue = 0;     // scalar issue slot
+  Cycle start = 0;     // unit start (== issue for scalar ops)
+  Cycle first = 0;     // first result available
+  Cycle last = 0;      // last result available / completion
+};
+
+class ExecutionTrace {
+ public:
+  // Records at most `capacity` events; later ones are counted but dropped.
+  explicit ExecutionTrace(usize capacity = 4096) : capacity_(capacity) {}
+
+  void record(const TraceEvent& event);
+  void clear();
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  u64 dropped() const { return dropped_; }
+
+  // One line per event: pc, mnemonic, unit, issue/start/first/last columns.
+  void print_table(std::ostream& out) const;
+
+  // ASCII timeline: each event's busy interval drawn over a scaled cycle
+  // axis, labelled with the unit letter (S/M/A/T). `width` columns of axis.
+  void print_timeline(std::ostream& out, usize width = 72) const;
+
+ private:
+  usize capacity_;
+  std::vector<TraceEvent> events_;
+  u64 dropped_ = 0;
+};
+
+}  // namespace smtu::vsim

@@ -1,0 +1,89 @@
+// Tests of the benchmark harness plumbing itself: option parsing, the
+// transpose comparison helper, and external MatrixMarket suite loading.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "formats/matrix_market.hpp"
+#include "suite/generators.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+TEST(BenchCommon, ParseOptionsDefaultsAndOverrides) {
+  {
+    const char* argv[] = {"bench"};
+    CommandLine cli(1, argv);
+    const bench::BenchOptions options = bench::parse_options(cli);
+    EXPECT_DOUBLE_EQ(options.suite.scale, 1.0);
+    EXPECT_FALSE(options.csv_path.has_value());
+    EXPECT_FALSE(options.json_path.has_value());
+    EXPECT_FALSE(options.verify);
+  }
+  {
+    const char* argv[] = {"bench", "--scale=0.25", "--seed=7", "--csv=a.csv",
+                          "--json=b.json", "--verify"};
+    CommandLine cli(6, argv);
+    const bench::BenchOptions options = bench::parse_options(cli);
+    EXPECT_DOUBLE_EQ(options.suite.scale, 0.25);
+    EXPECT_EQ(options.suite.seed, 7u);
+    EXPECT_EQ(options.csv_path.value(), "a.csv");
+    EXPECT_EQ(options.json_path.value(), "b.json");
+    EXPECT_TRUE(options.verify);
+  }
+}
+
+TEST(BenchCommon, CompareTransposesConsistentWithAndWithoutVerify) {
+  Rng rng(1);
+  suite::SuiteMatrix entry;
+  entry.name = "probe";
+  entry.set = "test";
+  entry.matrix = testing::random_coo(100, 100, 700, rng);
+  entry.metrics = suite::compute_metrics(entry.matrix);
+
+  const vsim::MachineConfig config;
+  const auto timed = bench::compare_transposes(entry, config, /*verify=*/false);
+  const auto verified = bench::compare_transposes(entry, config, /*verify=*/true);
+  EXPECT_EQ(timed.hism_cycles, verified.hism_cycles);
+  EXPECT_EQ(timed.crs_cycles, verified.crs_cycles);
+  EXPECT_GT(timed.speedup, 1.0);
+  EXPECT_NEAR(timed.hism_cycles_per_nnz * static_cast<double>(entry.matrix.nnz()),
+              static_cast<double>(timed.hism_cycles), 1.0);
+}
+
+TEST(BenchCommon, LoadExternalSuiteRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "smtu_bench_common_test";
+  std::filesystem::create_directories(dir);
+  Rng rng(2);
+  const Coo a = testing::random_coo(30, 30, 90, rng);
+  const Coo b = suite::gen_tridiagonal(25, rng);
+  write_matrix_market_file((dir / "b_second.mtx").string(), b);
+  write_matrix_market_file((dir / "a_first.mtx").string(), a);
+  write_matrix_market_file((dir / "ignored.txt").string(), a);  // wrong extension
+
+  const auto external = bench::load_external_suite(dir.string());
+  ASSERT_EQ(external.size(), 2u);  // .txt skipped
+  EXPECT_EQ(external[0].name, "a_first");  // sorted by filename
+  EXPECT_EQ(external[1].name, "b_second");
+  EXPECT_TRUE(testing::coo_equal(external[0].matrix, a));
+  EXPECT_TRUE(testing::coo_equal(external[1].matrix, b));
+  EXPECT_EQ(external[0].set, "external");
+  EXPECT_GT(external[1].metrics.locality, 0.0);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchCommonDeathTest, EmptyExternalDirAborts) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "smtu_bench_common_empty";
+  std::filesystem::create_directories(dir);
+  EXPECT_DEATH(bench::load_external_suite(dir.string()), "no .mtx files");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace smtu

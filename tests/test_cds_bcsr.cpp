@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "formats/bcsr.hpp"
+#include "formats/cds.hpp"
+#include "formats/csr.hpp"
+#include "suite/generators.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::coo_equal;
+using testing::make_coo;
+using testing::random_coo;
+
+// ---------------------------------------------------------------- CDS ----
+
+TEST(Cds, RoundTripTridiagonal) {
+  Rng rng(1);
+  const Coo coo = suite::gen_tridiagonal(50, rng);
+  const Cds cds = Cds::from_coo(coo);
+  EXPECT_TRUE(cds.validate());
+  EXPECT_EQ(cds.num_diagonals(), 3u);
+  EXPECT_TRUE(coo_equal(cds.to_coo(), coo));
+}
+
+TEST(Cds, OffsetsAreSortedAndComplete) {
+  const Coo coo = make_coo(6, 6, {{0, 5, 1.0f}, {5, 0, 2.0f}, {2, 2, 3.0f}});
+  const Cds cds = Cds::from_coo(coo);
+  ASSERT_EQ(cds.offsets().size(), 3u);
+  EXPECT_EQ(cds.offsets()[0], -5);
+  EXPECT_EQ(cds.offsets()[1], 0);
+  EXPECT_EQ(cds.offsets()[2], 5);
+}
+
+TEST(Cds, FillRatioDegradesOnScatteredMatrices) {
+  Rng rng(2);
+  const Cds banded = Cds::from_coo(suite::gen_tridiagonal(100, rng));
+  const Cds scattered = Cds::from_coo(suite::gen_random_uniform(100, 100, 100, rng));
+  EXPECT_LT(banded.fill_ratio(), 1.5);
+  EXPECT_GT(scattered.fill_ratio(), 10.0);  // many near-empty diagonals
+}
+
+TEST(Cds, SpmvMatchesCsr) {
+  Rng rng(3);
+  const Coo coo = suite::gen_banded_rows(80, 5, 10, rng);
+  std::vector<float> x(80);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto y_cds = Cds::from_coo(coo).spmv(x);
+  const auto y_csr = Csr::from_coo(coo).spmv(x);
+  for (usize i = 0; i < 80; ++i) EXPECT_NEAR(y_cds[i], y_csr[i], 1e-4f);
+}
+
+TEST(Cds, RectangularMatrix) {
+  Rng rng(4);
+  const Coo coo = random_coo(20, 35, 80, rng);
+  const Cds cds = Cds::from_coo(coo);
+  EXPECT_TRUE(cds.validate());
+  EXPECT_TRUE(coo_equal(cds.to_coo(), coo));
+}
+
+TEST(Cds, EmptyMatrix) {
+  const Cds cds = Cds::from_coo(Coo(8, 8));
+  EXPECT_TRUE(cds.validate());
+  EXPECT_EQ(cds.num_diagonals(), 0u);
+  EXPECT_EQ(cds.fill_ratio(), 0.0);
+}
+
+// --------------------------------------------------------------- BCSR ----
+
+TEST(Bcsr, RoundTripRandom) {
+  Rng rng(5);
+  const Coo coo = random_coo(60, 90, 400, rng);
+  const Bcsr bcsr = Bcsr::from_coo(coo, 4, 4);
+  EXPECT_TRUE(bcsr.validate());
+  EXPECT_TRUE(coo_equal(bcsr.to_coo(), coo));
+}
+
+TEST(Bcsr, RoundTripNonSquareTiles) {
+  Rng rng(6);
+  const Coo coo = random_coo(50, 50, 300, rng);
+  const Bcsr bcsr = Bcsr::from_coo(coo, 2, 8);
+  EXPECT_TRUE(bcsr.validate());
+  EXPECT_TRUE(coo_equal(bcsr.to_coo(), coo));
+}
+
+TEST(Bcsr, DimensionsNotMultipleOfTile) {
+  Rng rng(7);
+  const Coo coo = random_coo(19, 23, 120, rng);
+  const Bcsr bcsr = Bcsr::from_coo(coo, 4, 4);
+  EXPECT_TRUE(bcsr.validate());
+  EXPECT_TRUE(coo_equal(bcsr.to_coo(), coo));
+}
+
+TEST(Bcsr, FillRatioOnClusteredVsScattered) {
+  Rng rng(8);
+  const Coo clustered = suite::gen_block_clusters(512, 20, 900, rng);
+  const Coo scattered = suite::gen_random_uniform(512, 512, 600, rng);
+  EXPECT_LT(Bcsr::from_coo(clustered, 8, 8).fill_ratio(), 1.5);
+  EXPECT_GT(Bcsr::from_coo(scattered, 8, 8).fill_ratio(), 20.0);
+}
+
+TEST(Bcsr, TransposeMatchesReference) {
+  Rng rng(9);
+  const Coo coo = random_coo(70, 40, 500, rng);
+  const Bcsr transposed = Bcsr::from_coo(coo, 4, 8).transposed();
+  EXPECT_TRUE(transposed.validate());
+  EXPECT_EQ(transposed.block_rows(), 8u);
+  EXPECT_EQ(transposed.block_cols(), 4u);
+  EXPECT_TRUE(coo_equal(transposed.to_coo(), coo.transposed()));
+}
+
+TEST(Bcsr, SpmvMatchesCsr) {
+  Rng rng(10);
+  const Coo coo = random_coo(64, 64, 500, rng);
+  std::vector<float> x(64);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto y_bcsr = Bcsr::from_coo(coo, 4, 4).spmv(x);
+  const auto y_csr = Csr::from_coo(coo).spmv(x);
+  for (usize i = 0; i < 64; ++i) EXPECT_NEAR(y_bcsr[i], y_csr[i], 1e-4f);
+}
+
+TEST(Bcsr, EmptyMatrix) {
+  const Bcsr bcsr = Bcsr::from_coo(Coo(16, 16), 4, 4);
+  EXPECT_TRUE(bcsr.validate());
+  EXPECT_EQ(bcsr.num_blocks(), 0u);
+}
+
+TEST(Bcsr, StorageComparesAgainstCsr) {
+  // On dense-block matrices BCSR stores fewer index bytes than CSR.
+  Rng rng(11);
+  const Coo clustered = suite::gen_block_clusters(512, 30, 1000, rng);
+  const Bcsr bcsr = Bcsr::from_coo(clustered, 8, 8);
+  const Csr csr = Csr::from_coo(clustered);
+  // values dominate both; BCSR's per-tile index is tiny.
+  EXPECT_LT(bcsr.storage_bytes(), 2 * csr.storage_bytes());
+}
+
+}  // namespace
+}  // namespace smtu

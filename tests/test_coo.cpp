@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "formats/coo.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::make_coo;
+using testing::random_coo;
+
+TEST(Coo, CanonicalizeSortsRowMajor) {
+  Coo coo(4, 4);
+  coo.add(2, 1, 1.0f);
+  coo.add(0, 3, 2.0f);
+  coo.add(0, 1, 3.0f);
+  coo.canonicalize();
+  ASSERT_EQ(coo.nnz(), 3u);
+  EXPECT_EQ(coo.entries()[0], (CooEntry{0, 1, 3.0f}));
+  EXPECT_EQ(coo.entries()[1], (CooEntry{0, 3, 2.0f}));
+  EXPECT_EQ(coo.entries()[2], (CooEntry{2, 1, 1.0f}));
+  EXPECT_TRUE(coo.is_canonical());
+}
+
+TEST(Coo, CanonicalizeMergesDuplicates) {
+  Coo coo(2, 2);
+  coo.add(1, 1, 2.0f);
+  coo.add(1, 1, 3.0f);
+  coo.canonicalize();
+  ASSERT_EQ(coo.nnz(), 1u);
+  EXPECT_FLOAT_EQ(coo.entries()[0].value, 5.0f);
+}
+
+TEST(Coo, CanonicalizeDropsCancellingDuplicates) {
+  Coo coo(2, 2);
+  coo.add(0, 0, 2.0f);
+  coo.add(0, 0, -2.0f);
+  coo.add(1, 0, 1.0f);
+  coo.canonicalize();
+  ASSERT_EQ(coo.nnz(), 1u);
+  EXPECT_EQ(coo.entries()[0].row, 1u);
+}
+
+TEST(Coo, CanonicalizeIsIdempotent) {
+  Rng rng(1);
+  Coo coo = random_coo(20, 20, 50, rng);
+  const auto once = coo.entries();
+  coo.canonicalize();
+  EXPECT_EQ(coo.entries(), once);
+}
+
+TEST(Coo, TransposeSwapsDimsAndCoords) {
+  const Coo coo = make_coo(2, 5, {{0, 4, 1.0f}, {1, 2, 2.0f}});
+  const Coo t = coo.transposed();
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 2u);
+  ASSERT_EQ(t.nnz(), 2u);
+  EXPECT_EQ(t.entries()[0], (CooEntry{2, 1, 2.0f}));
+  EXPECT_EQ(t.entries()[1], (CooEntry{4, 0, 1.0f}));
+}
+
+TEST(Coo, DoubleTransposeIsIdentity) {
+  Rng rng(2);
+  const Coo coo = random_coo(17, 23, 80, rng);
+  EXPECT_TRUE(structurally_equal(coo.transposed().transposed(), coo));
+}
+
+TEST(Coo, StructuralEqualityIgnoresEntryOrder) {
+  Coo a(3, 3);
+  a.add(0, 0, 1.0f);
+  a.add(2, 2, 2.0f);
+  Coo b(3, 3);
+  b.add(2, 2, 2.0f);
+  b.add(0, 0, 1.0f);
+  EXPECT_TRUE(structurally_equal(a, b));
+}
+
+TEST(Coo, StructuralInequalityOnValue) {
+  const Coo a = make_coo(2, 2, {{0, 0, 1.0f}});
+  const Coo b = make_coo(2, 2, {{0, 0, 2.0f}});
+  EXPECT_FALSE(structurally_equal(a, b));
+}
+
+TEST(Coo, StructuralInequalityOnShape) {
+  const Coo a = make_coo(2, 3, {{0, 0, 1.0f}});
+  const Coo b = make_coo(3, 2, {{0, 0, 1.0f}});
+  EXPECT_FALSE(structurally_equal(a, b));
+}
+
+TEST(Coo, AvgNnzPerRow) {
+  const Coo coo = make_coo(4, 4, {{0, 0, 1.0f}, {0, 1, 1.0f}, {1, 0, 1.0f}, {3, 3, 1.0f}});
+  EXPECT_DOUBLE_EQ(coo.avg_nnz_per_row(), 1.0);
+}
+
+TEST(CooDeathTest, OutOfBoundsEntryAborts) {
+  Coo coo(2, 2);
+  EXPECT_DEATH(coo.add(2, 0, 1.0f), "out of bounds");
+}
+
+}  // namespace
+}  // namespace smtu

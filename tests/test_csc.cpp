@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::coo_equal;
+using testing::make_coo;
+using testing::random_coo;
+
+TEST(Csc, RoundTripThroughCoo) {
+  Rng rng(1);
+  const Coo coo = random_coo(25, 45, 300, rng);
+  const Csc csc = Csc::from_coo(coo);
+  EXPECT_TRUE(csc.validate());
+  EXPECT_TRUE(coo_equal(csc.to_coo(), coo));
+}
+
+TEST(Csc, TransposedCooMatchesReference) {
+  Rng rng(2);
+  const Coo coo = random_coo(33, 21, 250, rng);
+  EXPECT_TRUE(coo_equal(Csc::from_coo(coo).transposed_coo(), coo.transposed()));
+}
+
+TEST(Csc, AgreesWithPissanetsky) {
+  // Two independent transpose implementations must coincide.
+  Rng rng(3);
+  const Coo coo = random_coo(60, 60, 500, rng);
+  const Coo via_csc = Csc::from_coo(coo).transposed_coo();
+  const Coo via_csr = Csr::from_coo(coo).transposed_pissanetsky().to_coo();
+  EXPECT_TRUE(coo_equal(via_csc, via_csr));
+}
+
+TEST(Csc, EmptyMatrix) {
+  const Csc csc = Csc::from_coo(Coo(4, 7));
+  EXPECT_TRUE(csc.validate());
+  EXPECT_EQ(csc.nnz(), 0u);
+  EXPECT_EQ(csc.col_ptr().size(), 8u);
+}
+
+TEST(Csc, ColumnPointersDelimitColumns) {
+  const Coo coo = make_coo(3, 3, {{0, 1, 1.0f}, {1, 1, 2.0f}, {2, 0, 3.0f}});
+  const Csc csc = Csc::from_coo(coo);
+  EXPECT_EQ(csc.col_ptr()[0], 0u);
+  EXPECT_EQ(csc.col_ptr()[1], 1u);  // column 0 holds one entry
+  EXPECT_EQ(csc.col_ptr()[2], 3u);  // column 1 holds two
+  EXPECT_EQ(csc.col_ptr()[3], 3u);  // column 2 empty
+}
+
+}  // namespace
+}  // namespace smtu

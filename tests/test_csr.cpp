@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "formats/csr.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::coo_equal;
+using testing::make_coo;
+using testing::random_coo;
+
+TEST(Csr, RoundTripThroughCoo) {
+  Rng rng(1);
+  const Coo coo = random_coo(30, 40, 200, rng);
+  const Csr csr = Csr::from_coo(coo);
+  EXPECT_TRUE(csr.validate());
+  EXPECT_TRUE(coo_equal(csr.to_coo(), coo));
+}
+
+TEST(Csr, StructureMatchesPaperFigure8) {
+  // Fig. 8-style check: row pointers delimit row slices of AN/JA.
+  const Coo coo = make_coo(3, 4, {{0, 1, 1.0f}, {0, 3, 2.0f}, {2, 0, 3.0f}});
+  const Csr csr = Csr::from_coo(coo);
+  ASSERT_EQ(csr.row_ptr().size(), 4u);
+  EXPECT_EQ(csr.row_ptr()[0], 0u);
+  EXPECT_EQ(csr.row_ptr()[1], 2u);
+  EXPECT_EQ(csr.row_ptr()[2], 2u);  // empty row
+  EXPECT_EQ(csr.row_ptr()[3], 3u);
+  EXPECT_EQ(csr.col_idx()[0], 1u);
+  EXPECT_EQ(csr.col_idx()[1], 3u);
+  EXPECT_EQ(csr.col_idx()[2], 0u);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const Csr csr = Csr::from_coo(Coo(5, 5));
+  EXPECT_TRUE(csr.validate());
+  EXPECT_EQ(csr.nnz(), 0u);
+  EXPECT_EQ(csr.row_ptr().back(), 0u);
+}
+
+TEST(Csr, PissanetskyTransposeMatchesReference) {
+  Rng rng(2);
+  const Coo coo = random_coo(50, 70, 600, rng);
+  const Csr transposed = Csr::from_coo(coo).transposed_pissanetsky();
+  EXPECT_TRUE(transposed.validate());
+  EXPECT_TRUE(coo_equal(transposed.to_coo(), coo.transposed()));
+}
+
+TEST(Csr, PissanetskyTransposeRowsAreSorted) {
+  // The algorithm fills each output row in source-row order, which yields
+  // sorted column indices — a documented property worth pinning down.
+  Rng rng(3);
+  const Coo coo = random_coo(40, 40, 300, rng);
+  const Csr transposed = Csr::from_coo(coo).transposed_pissanetsky();
+  EXPECT_TRUE(transposed.validate(/*require_sorted_rows=*/true));
+}
+
+TEST(Csr, DoublePissanetskyIsIdentity) {
+  Rng rng(4);
+  const Coo coo = random_coo(25, 35, 180, rng);
+  const Csr twice = Csr::from_coo(coo).transposed_pissanetsky().transposed_pissanetsky();
+  EXPECT_TRUE(coo_equal(twice.to_coo(), coo));
+}
+
+TEST(Csr, StorageBytes) {
+  const Coo coo = make_coo(4, 4, {{0, 0, 1.0f}, {1, 1, 1.0f}, {2, 2, 1.0f}});
+  // 3 values (12) + 3 col indices (12) + 5 row pointers (20).
+  EXPECT_EQ(Csr::from_coo(coo).storage_bytes(), 44u);
+}
+
+TEST(Csr, Spmv) {
+  const Coo coo = make_coo(2, 3, {{0, 0, 2.0f}, {0, 2, 1.0f}, {1, 1, 3.0f}});
+  const auto y = Csr::from_coo(coo).spmv({1.0f, 2.0f, 4.0f});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 6.0f);
+}
+
+TEST(Csr, ValidateRejectsCorruptStructure) {
+  Rng rng(5);
+  const Csr csr = Csr::from_coo(random_coo(10, 10, 30, rng));
+  EXPECT_TRUE(csr.validate());
+}
+
+}  // namespace
+}  // namespace smtu

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+#include "formats/jagged.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::coo_equal;
+using testing::make_coo;
+using testing::random_coo;
+
+TEST(Dense, RoundTripThroughCoo) {
+  Rng rng(1);
+  const Coo coo = random_coo(9, 13, 40, rng);
+  EXPECT_TRUE(coo_equal(Dense::from_coo(coo).to_coo(), coo));
+}
+
+TEST(Dense, TransposeMatchesCooTranspose) {
+  Rng rng(2);
+  const Coo coo = random_coo(11, 7, 30, rng);
+  EXPECT_TRUE(coo_equal(Dense::from_coo(coo).transposed().to_coo(), coo.transposed()));
+}
+
+TEST(Dense, AtAccessors) {
+  Dense dense(2, 3);
+  dense.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(dense.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(dense.at(0, 0), 0.0f);
+}
+
+TEST(Jagged, RoundTripThroughCoo) {
+  Rng rng(3);
+  const Coo coo = random_coo(20, 20, 120, rng);
+  const Jagged jd = Jagged::from_coo(coo);
+  EXPECT_TRUE(jd.validate());
+  EXPECT_TRUE(coo_equal(jd.to_coo(), coo));
+}
+
+TEST(Jagged, DiagonalsShrinkMonotonically) {
+  Rng rng(4);
+  const Coo coo = random_coo(30, 30, 200, rng);
+  const Jagged jd = Jagged::from_coo(coo);
+  u32 prev = 0xffffffffu;
+  for (usize d = 0; d + 1 < jd.diag_ptr().size(); ++d) {
+    const u32 len = jd.diag_ptr()[d + 1] - jd.diag_ptr()[d];
+    EXPECT_LE(len, prev);
+    prev = len;
+  }
+}
+
+TEST(Jagged, FirstDiagonalCoversAllNonEmptyRows) {
+  const Coo coo = make_coo(5, 5, {{0, 0, 1.0f}, {2, 1, 1.0f}, {2, 3, 1.0f}, {4, 4, 1.0f}});
+  const Jagged jd = Jagged::from_coo(coo);
+  ASSERT_GE(jd.diagonals(), 1u);
+  EXPECT_EQ(jd.diag_ptr()[1] - jd.diag_ptr()[0], 3u);  // rows 0, 2, 4
+}
+
+TEST(Jagged, SpmvMatchesCsr) {
+  Rng rng(5);
+  const Coo coo = random_coo(40, 40, 300, rng);
+  std::vector<float> x(40);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto y_jd = Jagged::from_coo(coo).spmv(x);
+  const auto y_csr = Csr::from_coo(coo).spmv(x);
+  ASSERT_EQ(y_jd.size(), y_csr.size());
+  for (usize i = 0; i < y_jd.size(); ++i) EXPECT_NEAR(y_jd[i], y_csr[i], 1e-4f);
+}
+
+TEST(Jagged, EmptyMatrix) {
+  const Jagged jd = Jagged::from_coo(Coo(6, 6));
+  EXPECT_TRUE(jd.validate());
+  EXPECT_EQ(jd.nnz(), 0u);
+  EXPECT_EQ(jd.diagonals(), 0u);
+}
+
+}  // namespace
+}  // namespace smtu

@@ -1,0 +1,123 @@
+// The double-buffered STM variant (extension E4) must never change
+// architectural results, never slow anything down, and must preserve the
+// fill-before-drain ordering per block.
+#include <gtest/gtest.h>
+
+#include "kernels/hism_transpose.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::coo_equal;
+using testing::random_coo;
+
+TEST(DoubleBuffer, ResultsIdentical) {
+  Rng rng(1);
+  const Coo coo = random_coo(200, 200, 2000, rng);
+  vsim::MachineConfig config;
+  const HismMatrix hism = HismMatrix::from_coo(coo, config.section);
+
+  config.stm.double_buffer = false;
+  const auto single = kernels::run_hism_transpose(hism, config, true);
+  config.stm.double_buffer = true;
+  const auto twin = kernels::run_hism_transpose(hism, config, true);
+
+  EXPECT_TRUE(coo_equal(single.transposed.to_coo(), coo.transposed()));
+  EXPECT_TRUE(coo_equal(twin.transposed.to_coo(), coo.transposed()));
+  EXPECT_EQ(single.stats.instructions, twin.stats.instructions);
+}
+
+TEST(DoubleBuffer, NeverSlower) {
+  Rng rng(2);
+  for (const u32 bandwidth : {1u, 4u, 8u}) {
+    const Coo coo = random_coo(150, 150, 1500, rng);
+    vsim::MachineConfig config;
+    config.stm.bandwidth = bandwidth;
+    const HismMatrix hism = HismMatrix::from_coo(coo, config.section);
+    config.stm.double_buffer = false;
+    const u64 single = kernels::time_hism_transpose(hism, config, true).cycles;
+    config.stm.double_buffer = true;
+    const u64 twin = kernels::time_hism_transpose(hism, config, true).cycles;
+    EXPECT_LE(twin, single) << "B=" << bandwidth;
+  }
+}
+
+TEST(PipelinedKernel, CorrectAcrossShapes) {
+  Rng rng(10);
+  struct Shape {
+    Index rows, cols;
+    usize nnz;
+  };
+  for (const Shape& shape : {Shape{64, 64, 500}, Shape{200, 120, 2000},
+                             Shape{500, 500, 6000}, Shape{70, 300, 1500}}) {
+    const Coo coo = random_coo(shape.rows, shape.cols, shape.nnz, rng);
+    vsim::MachineConfig config;
+    config.stm.double_buffer = true;
+    const HismMatrix hism = HismMatrix::from_coo(coo, config.section);
+    const auto result = kernels::run_hism_transpose_pipelined(hism, config);
+    ASSERT_TRUE(coo_equal(result.transposed.to_coo(), coo.transposed()))
+        << shape.rows << "x" << shape.cols;
+    ASSERT_TRUE(result.transposed.validate());
+  }
+}
+
+TEST(PipelinedKernel, CorrectOnThreeLevelHierarchy) {
+  Rng rng(11);
+  const Coo coo = random_coo(300, 300, 2500, rng);
+  vsim::MachineConfig config;
+  config.section = 8;  // forces 3 levels
+  config.stm.double_buffer = true;
+  const HismMatrix hism = HismMatrix::from_coo(coo, config.section);
+  ASSERT_EQ(hism.num_levels(), 3u);
+  const auto result = kernels::run_hism_transpose_pipelined(hism, config);
+  EXPECT_TRUE(coo_equal(result.transposed.to_coo(), coo.transposed()));
+}
+
+TEST(PipelinedKernel, BeatsSequentialKernel) {
+  Rng rng(12);
+  const Coo coo = random_coo(256, 256, 15000, rng);
+  vsim::MachineConfig config;
+  const HismMatrix hism = HismMatrix::from_coo(coo, config.section);
+  const u64 sequential = kernels::time_hism_transpose(hism, config).cycles;
+  config.stm.double_buffer = true;
+  const u64 pipelined = kernels::time_hism_transpose_pipelined(hism, config).cycles;
+  EXPECT_LT(pipelined, sequential);
+  EXPECT_GT(static_cast<double>(sequential) / static_cast<double>(pipelined), 1.3);
+}
+
+TEST(PipelinedKernel, EmptyAndSingleBlockEdges) {
+  vsim::MachineConfig config;
+  config.section = 8;
+  config.stm.double_buffer = true;
+  // Empty matrix.
+  const HismMatrix empty = HismMatrix::from_coo(Coo(64, 64), config.section);
+  EXPECT_EQ(kernels::run_hism_transpose_pipelined(empty, config).transposed.nnz(), 0u);
+  // Single-block matrix (no children to pipeline).
+  Rng rng(13);
+  const Coo tiny = random_coo(8, 8, 20, rng);
+  const HismMatrix single = HismMatrix::from_coo(tiny, config.section);
+  EXPECT_TRUE(coo_equal(
+      kernels::run_hism_transpose_pipelined(single, config).transposed.to_coo(),
+      tiny.transposed()));
+}
+
+TEST(PipelinedKernelDeathTest, RequiresDoubleBuffer) {
+  const vsim::MachineConfig config;  // single buffer
+  const HismMatrix hism = HismMatrix::from_coo(Coo(8, 8), config.section);
+  EXPECT_DEATH(kernels::run_hism_transpose_pipelined(hism, config), "double-buffered");
+}
+
+TEST(DoubleBuffer, SplitRegisterKernelMatchesDefaultKernel) {
+  Rng rng(3);
+  const Coo coo = random_coo(100, 100, 800, rng);
+  const vsim::MachineConfig config;
+  const HismMatrix hism = HismMatrix::from_coo(coo, config.section);
+  const auto shared = kernels::run_hism_transpose(hism, config, false);
+  const auto split = kernels::run_hism_transpose(hism, config, true);
+  EXPECT_TRUE(coo_equal(shared.transposed.to_coo(), split.transposed.to_coo()));
+  EXPECT_EQ(shared.stats.instructions, split.stats.instructions);
+}
+
+}  // namespace
+}  // namespace smtu

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "formats/csr.hpp"
+#include "formats/ell.hpp"
+#include "suite/generators.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::coo_equal;
+using testing::make_coo;
+using testing::random_coo;
+
+TEST(Ell, RoundTripRandom) {
+  Rng rng(1);
+  const Coo coo = random_coo(40, 60, 300, rng);
+  const Ell ell = Ell::from_coo(coo);
+  EXPECT_TRUE(ell.validate());
+  EXPECT_TRUE(coo_equal(ell.to_coo(), coo));
+}
+
+TEST(Ell, WidthIsMaxRowLength) {
+  const Coo coo = make_coo(4, 10,
+                           {{0, 1, 1.0f},
+                            {1, 0, 1.0f}, {1, 3, 1.0f}, {1, 7, 1.0f},
+                            {3, 9, 1.0f}});
+  const Ell ell = Ell::from_coo(coo);
+  EXPECT_EQ(ell.width(), 3u);
+  EXPECT_EQ(ell.col_idx().size(), 12u);
+}
+
+TEST(Ell, PaddingWasteOnSkewedRows) {
+  // One dense row among sparse ones: fill ratio approaches rows.
+  Coo coo(100, 200);
+  for (Index c = 0; c < 200; ++c) coo.add(0, c, 1.0f);
+  for (Index r = 1; r < 100; ++r) coo.add(r, r, 1.0f);
+  coo.canonicalize();
+  const Ell ell = Ell::from_coo(coo);
+  EXPECT_EQ(ell.width(), 200u);
+  EXPECT_GT(ell.fill_ratio(), 60.0);
+}
+
+TEST(Ell, UniformRowsWasteNothing) {
+  Rng rng(2);
+  const Coo coo = suite::gen_banded_rows(100, 8, 16, rng);
+  const Ell ell = Ell::from_coo(coo);
+  EXPECT_LE(ell.fill_ratio(), 1.01);
+}
+
+TEST(Ell, SpmvMatchesCsr) {
+  Rng rng(3);
+  const Coo coo = random_coo(50, 50, 400, rng);
+  std::vector<float> x(50);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto y_ell = Ell::from_coo(coo).spmv(x);
+  const auto y_csr = Csr::from_coo(coo).spmv(x);
+  for (usize i = 0; i < 50; ++i) EXPECT_NEAR(y_ell[i], y_csr[i], 1e-4f);
+}
+
+TEST(Ell, EmptyMatrix) {
+  const Ell ell = Ell::from_coo(Coo(10, 10));
+  EXPECT_TRUE(ell.validate());
+  EXPECT_EQ(ell.width(), 0u);
+  EXPECT_EQ(ell.fill_ratio(), 0.0);
+  EXPECT_TRUE(coo_equal(ell.to_coo(), Coo(10, 10)));
+}
+
+TEST(Ell, EmptyRowsAreAllPadding) {
+  const Coo coo = make_coo(5, 5, {{2, 2, 1.0f}, {2, 4, 2.0f}});
+  const Ell ell = Ell::from_coo(coo);
+  EXPECT_TRUE(ell.validate());
+  EXPECT_EQ(ell.col_idx()[0], Ell::kPad);  // row 0 fully padded
+  EXPECT_TRUE(coo_equal(ell.to_coo(), coo));
+}
+
+}  // namespace
+}  // namespace smtu

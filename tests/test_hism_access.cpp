@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hism/access.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::random_coo;
+
+TEST(HismAccess, GetFindsEveryStoredElement) {
+  Rng rng(1);
+  const Coo coo = random_coo(300, 200, 900, rng);
+  const HismMatrix hism = HismMatrix::from_coo(coo, 8);
+  for (const CooEntry& e : coo.entries()) {
+    const auto value = hism_get(hism, e.row, e.col);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_FLOAT_EQ(*value, e.value);
+  }
+}
+
+TEST(HismAccess, GetReturnsNulloptForEmptyPositions) {
+  Rng rng(2);
+  const Coo coo = random_coo(100, 100, 200, rng);
+  const HismMatrix hism = HismMatrix::from_coo(coo, 16);
+  std::map<std::pair<Index, Index>, float> stored;
+  for (const CooEntry& e : coo.entries()) stored[{e.row, e.col}] = e.value;
+  // Probe a grid of positions; absent ones must return nullopt.
+  for (Index r = 0; r < 100; r += 7) {
+    for (Index c = 0; c < 100; c += 5) {
+      const auto value = hism_get(hism, r, c);
+      EXPECT_EQ(value.has_value(), stored.count({r, c}) > 0) << r << "," << c;
+    }
+  }
+}
+
+TEST(HismAccess, ExtractRowMatchesCooAndIsSorted) {
+  Rng rng(3);
+  const Coo coo = random_coo(80, 120, 700, rng);
+  const HismMatrix hism = HismMatrix::from_coo(coo, 8);
+  for (Index row = 0; row < 80; ++row) {
+    std::vector<std::pair<Index, float>> expected;
+    for (const CooEntry& e : coo.entries()) {
+      if (e.row == row) expected.emplace_back(e.col, e.value);
+    }
+    const auto actual = hism_extract_row(hism, row);
+    EXPECT_EQ(actual, expected) << "row " << row;  // COO is row-major sorted
+  }
+}
+
+TEST(HismAccess, ExtractColMatchesCooAndIsSorted) {
+  Rng rng(4);
+  const Coo coo = random_coo(120, 80, 700, rng);
+  const HismMatrix hism = HismMatrix::from_coo(coo, 8);
+  for (Index col = 0; col < 80; col += 3) {
+    std::vector<std::pair<Index, float>> expected;
+    for (const CooEntry& e : coo.entries()) {
+      if (e.col == col) expected.emplace_back(e.row, e.value);
+    }
+    const auto actual = hism_extract_col(hism, col);
+    EXPECT_EQ(actual, expected) << "col " << col;
+  }
+}
+
+TEST(HismAccess, RowOfEmptyMatrixIsEmpty) {
+  const HismMatrix hism = HismMatrix::from_coo(Coo(50, 50), 8);
+  EXPECT_TRUE(hism_extract_row(hism, 25).empty());
+  EXPECT_TRUE(hism_extract_col(hism, 10).empty());
+  EXPECT_FALSE(hism_get(hism, 0, 0).has_value());
+}
+
+TEST(HismAccess, ConsistentAcrossSectionSizes) {
+  Rng rng(5);
+  const Coo coo = random_coo(200, 200, 1500, rng);
+  const HismMatrix small = HismMatrix::from_coo(coo, 8);
+  const HismMatrix large = HismMatrix::from_coo(coo, 64);
+  for (Index row = 0; row < 200; row += 11) {
+    EXPECT_EQ(hism_extract_row(small, row), hism_extract_row(large, row));
+  }
+}
+
+TEST(HismAccess, RowExtractionAgreesWithTransposedColumn) {
+  Rng rng(6);
+  const Coo coo = random_coo(60, 60, 400, rng);
+  const HismMatrix hism = HismMatrix::from_coo(coo, 8);
+  const HismMatrix hism_t = HismMatrix::from_coo(coo.transposed(), 8);
+  for (Index i = 0; i < 60; i += 5) {
+    EXPECT_EQ(hism_extract_row(hism, i), hism_extract_col(hism_t, i));
+  }
+}
+
+TEST(HismAccessDeathTest, OutOfBoundsAborts) {
+  const HismMatrix hism = HismMatrix::from_coo(Coo(10, 20), 8);
+  EXPECT_DEATH((void)hism_get(hism, 10, 0), "out of bounds");
+  EXPECT_DEATH((void)hism_extract_row(hism, 10), "out of bounds");
+  EXPECT_DEATH((void)hism_extract_col(hism, 20), "out of bounds");
+}
+
+}  // namespace
+}  // namespace smtu

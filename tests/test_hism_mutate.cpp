@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "hism/access.hpp"
+#include "hism/mutate.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::coo_equal;
+using testing::random_coo;
+
+TEST(HismMutate, SetIntoEmptyMatrix) {
+  HismMatrix hism = HismMatrix::from_coo(Coo(100, 100), 8);
+  hism_set(hism, 42, 17, 3.5f);
+  EXPECT_TRUE(hism.validate());
+  EXPECT_EQ(hism.nnz(), 1u);
+  EXPECT_FLOAT_EQ(hism_get(hism, 42, 17).value(), 3.5f);
+}
+
+TEST(HismMutate, SetOverwritesExisting) {
+  Rng rng(1);
+  const Coo coo = random_coo(50, 50, 100, rng);
+  HismMatrix hism = HismMatrix::from_coo(coo, 8);
+  const CooEntry& target = coo.entries()[10];
+  hism_set(hism, target.row, target.col, 9.0f);
+  EXPECT_EQ(hism.nnz(), coo.nnz());
+  EXPECT_FLOAT_EQ(hism_get(hism, target.row, target.col).value(), 9.0f);
+  EXPECT_TRUE(hism.validate());
+}
+
+TEST(HismMutate, IncrementalBuildMatchesBulkBuild) {
+  Rng rng(2);
+  const Coo coo = random_coo(200, 150, 800, rng);
+  HismMatrix incremental = HismMatrix::from_coo(Coo(200, 150), 8);
+  for (const CooEntry& e : coo.entries()) {
+    hism_set(incremental, e.row, e.col, e.value);
+  }
+  EXPECT_TRUE(incremental.validate());
+  EXPECT_TRUE(coo_equal(incremental.to_coo(), coo));
+}
+
+TEST(HismMutate, RemoveExistingElement) {
+  Rng rng(3);
+  const Coo coo = random_coo(60, 60, 150, rng);
+  HismMatrix hism = HismMatrix::from_coo(coo, 8);
+  const CooEntry& target = coo.entries()[7];
+  EXPECT_TRUE(hism_remove(hism, target.row, target.col));
+  EXPECT_TRUE(hism.validate());
+  EXPECT_EQ(hism.nnz(), coo.nnz() - 1);
+  EXPECT_FALSE(hism_get(hism, target.row, target.col).has_value());
+}
+
+TEST(HismMutate, RemoveAbsentElementIsFalse) {
+  HismMatrix hism = HismMatrix::from_coo(Coo(30, 30), 8);
+  hism_set(hism, 3, 3, 1.0f);
+  EXPECT_FALSE(hism_remove(hism, 4, 4));
+  EXPECT_EQ(hism.nnz(), 1u);
+}
+
+TEST(HismMutate, RemoveAllElementsLeavesValidEmptyMatrix) {
+  Rng rng(4);
+  Coo coo = random_coo(90, 90, 200, rng);
+  HismMatrix hism = HismMatrix::from_coo(coo, 8);
+  for (const CooEntry& e : coo.entries()) {
+    ASSERT_TRUE(hism_remove(hism, e.row, e.col));
+    ASSERT_TRUE(hism.validate());
+  }
+  EXPECT_EQ(hism.nnz(), 0u);
+  // Emptied blocks were pruned: only the (empty) root remains.
+  for (u32 k = 0; k + 1 < hism.num_levels(); ++k) {
+    EXPECT_TRUE(hism.level(k).empty()) << "level " << k;
+  }
+}
+
+TEST(HismMutate, SetRemoveInterleavedRandomized) {
+  Rng rng(5);
+  HismMatrix hism = HismMatrix::from_coo(Coo(64, 64), 8);
+  Coo shadow(64, 64);
+  std::map<std::pair<Index, Index>, float> model;
+  for (int step = 0; step < 500; ++step) {
+    const Index r = rng.below(64);
+    const Index c = rng.below(64);
+    if (rng.chance(0.6)) {
+      const float v = static_cast<float>(rng.uniform(0.1, 1.0));
+      hism_set(hism, r, c, v);
+      model[{r, c}] = v;
+    } else {
+      const bool removed = hism_remove(hism, r, c);
+      EXPECT_EQ(removed, model.erase({r, c}) > 0);
+    }
+  }
+  EXPECT_TRUE(hism.validate());
+  Coo expected(64, 64);
+  for (const auto& [key, v] : model) expected.add(key.first, key.second, v);
+  expected.canonicalize();
+  EXPECT_TRUE(coo_equal(hism.to_coo(), expected));
+}
+
+TEST(HismMutate, CompactIsIdempotent) {
+  Rng rng(6);
+  const Coo coo = random_coo(80, 80, 300, rng);
+  HismMatrix hism = HismMatrix::from_coo(coo, 8);
+  hism_compact(hism);
+  const Coo once = hism.to_coo();
+  hism_compact(hism);
+  EXPECT_TRUE(coo_equal(hism.to_coo(), once));
+  EXPECT_TRUE(hism.validate());
+}
+
+TEST(HismMutateDeathTest, ZeroValueAborts) {
+  HismMatrix hism = HismMatrix::from_coo(Coo(8, 8), 8);
+  EXPECT_DEATH(hism_set(hism, 0, 0, 0.0f), "zero");
+}
+
+TEST(HismMutateDeathTest, OutOfBoundsAborts) {
+  HismMatrix hism = HismMatrix::from_coo(Coo(8, 8), 8);
+  EXPECT_DEATH(hism_set(hism, 8, 0, 1.0f), "out of bounds");
+  EXPECT_DEATH(hism_remove(hism, 0, 8), "out of bounds");
+}
+
+}  // namespace
+}  // namespace smtu

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "hism/ops.hpp"
+#include "testing.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::coo_equal;
+using testing::make_coo;
+using testing::random_coo;
+
+Coo coo_add(const Coo& a, const Coo& b) {
+  Coo sum(a.rows(), a.cols());
+  for (const CooEntry& e : a.entries()) sum.entries().push_back(e);
+  for (const CooEntry& e : b.entries()) sum.entries().push_back(e);
+  sum.canonicalize();
+  return sum;
+}
+
+TEST(HismOps, AddDisjointMatrices) {
+  const Coo a = make_coo(20, 20, {{0, 0, 1.0f}, {5, 7, 2.0f}});
+  const Coo b = make_coo(20, 20, {{1, 1, 3.0f}, {15, 3, 4.0f}});
+  const HismMatrix sum = hism_add(HismMatrix::from_coo(a, 8), HismMatrix::from_coo(b, 8));
+  EXPECT_TRUE(sum.validate());
+  EXPECT_TRUE(coo_equal(sum.to_coo(), coo_add(a, b)));
+}
+
+TEST(HismOps, AddOverlappingSums) {
+  const Coo a = make_coo(10, 10, {{2, 3, 1.5f}, {4, 4, 1.0f}});
+  const Coo b = make_coo(10, 10, {{2, 3, 2.5f}, {9, 9, -1.0f}});
+  const HismMatrix sum = hism_add(HismMatrix::from_coo(a, 8), HismMatrix::from_coo(b, 8));
+  const Coo result = sum.to_coo();
+  EXPECT_TRUE(coo_equal(result, coo_add(a, b)));
+}
+
+TEST(HismOps, AddCancellationDropsElementsAndBlocks) {
+  // a and b cancel exactly in one block; that block-array must vanish.
+  const Coo a = make_coo(64, 64, {{0, 0, 2.0f}, {40, 40, 1.0f}});
+  const Coo b = make_coo(64, 64, {{0, 0, -2.0f}, {41, 41, 1.0f}});
+  const HismMatrix sum = hism_add(HismMatrix::from_coo(a, 8), HismMatrix::from_coo(b, 8));
+  EXPECT_TRUE(sum.validate());
+  EXPECT_EQ(sum.nnz(), 2u);
+  EXPECT_TRUE(coo_equal(sum.to_coo(), coo_add(a, b)));
+}
+
+TEST(HismOps, AddRandomMultiLevel) {
+  Rng rng(1);
+  const Coo a = random_coo(300, 300, 1500, rng);
+  const Coo b = random_coo(300, 300, 1500, rng);
+  const HismMatrix sum = hism_add(HismMatrix::from_coo(a, 8), HismMatrix::from_coo(b, 8));
+  EXPECT_TRUE(sum.validate());
+  EXPECT_TRUE(coo_equal(sum.to_coo(), coo_add(a, b)));
+}
+
+TEST(HismOps, AddWithEmptyIsIdentity) {
+  Rng rng(2);
+  const Coo a = random_coo(100, 100, 400, rng);
+  const HismMatrix empty = HismMatrix::from_coo(Coo(100, 100), 8);
+  const HismMatrix sum = hism_add(HismMatrix::from_coo(a, 8), empty);
+  EXPECT_TRUE(coo_equal(sum.to_coo(), a));
+}
+
+TEST(HismOps, AddIsCommutative) {
+  Rng rng(3);
+  const Coo a = random_coo(120, 90, 600, rng);
+  const Coo b = random_coo(120, 90, 600, rng);
+  const HismMatrix ab = hism_add(HismMatrix::from_coo(a, 16), HismMatrix::from_coo(b, 16));
+  const HismMatrix ba = hism_add(HismMatrix::from_coo(b, 16), HismMatrix::from_coo(a, 16));
+  EXPECT_TRUE(coo_equal(ab.to_coo(), ba.to_coo()));
+}
+
+TEST(HismOps, ScaleMultipliesValuesOnly) {
+  Rng rng(4);
+  const Coo a = random_coo(50, 50, 200, rng);
+  const HismMatrix scaled = hism_scale(HismMatrix::from_coo(a, 8), 2.5f);
+  EXPECT_TRUE(scaled.validate());
+  Coo expected = a;
+  for (CooEntry& e : expected.entries()) e.value *= 2.5f;
+  EXPECT_TRUE(coo_equal(scaled.to_coo(), expected));
+}
+
+TEST(HismOps, ScaleByZeroIsEmpty) {
+  Rng rng(5);
+  const Coo a = random_coo(50, 50, 200, rng);
+  const HismMatrix zero = hism_scale(HismMatrix::from_coo(a, 8), 0.0f);
+  EXPECT_EQ(zero.nnz(), 0u);
+  EXPECT_TRUE(zero.validate());
+}
+
+TEST(HismOpsDeathTest, MismatchedShapesAbort) {
+  const HismMatrix a = HismMatrix::from_coo(Coo(10, 10), 8);
+  const HismMatrix b = HismMatrix::from_coo(Coo(10, 20), 8);
+  const HismMatrix c = HismMatrix::from_coo(Coo(10, 10), 16);
+  EXPECT_DEATH(hism_add(a, b), "dimensions");
+  EXPECT_DEATH(hism_add(a, c), "section");
+}
+
+}  // namespace
+}  // namespace smtu

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace smtu {
+namespace {
+
+TEST(Json, SimpleObject) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("name");
+  json.value("smtu");
+  json.key("count");
+  json.value(i64{42});
+  json.key("ratio");
+  json.value(0.5);
+  json.key("ok");
+  json.value(true);
+  json.key("missing");
+  json.null();
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(out.str(), R"({"name":"smtu","count":42,"ratio":0.5,"ok":true,"missing":null})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  json.value(i64{1});
+  json.begin_object();
+  json.key("inner");
+  json.begin_array();
+  json.value(i64{2});
+  json.value(i64{3});
+  json.end_array();
+  json.end_object();
+  json.value(i64{4});
+  json.end_array();
+  EXPECT_EQ(out.str(), R"([1,{"inner":[2,3]},4])");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape(std::string("ctl\x01", 4)), "ctl\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(Json, TableSerialization) {
+  TextTable table({"matrix", "nnz", "speedup"});
+  table.add_row({"qc324-syn", "60006", "21.2"});
+  table.add_row({"bcspwr10-syn", "60002", "2.8"});
+  std::ostringstream out;
+  write_table_as_json(out, table);
+  EXPECT_EQ(out.str(),
+            "[{\"matrix\":\"qc324-syn\",\"nnz\":60006,\"speedup\":21.2},"
+            "{\"matrix\":\"bcspwr10-syn\",\"nnz\":60002,\"speedup\":2.8}]\n");
+}
+
+TEST(Json, TableKeepsNonNumericCellsAsStrings) {
+  TextTable table({"a", "b"});
+  table.add_row({"1.5x", "12%"});
+  std::ostringstream out;
+  write_table_as_json(out, table);
+  EXPECT_EQ(out.str(), "[{\"a\":\"1.5x\",\"b\":\"12%\"}]\n");
+}
+
+TEST(JsonDeathTest, MisuseAborts) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    EXPECT_DEATH(json.value(i64{1}), "needs a key");
+  }
+  {
+    JsonWriter json(out);
+    json.begin_array();
+    EXPECT_DEATH(json.key("nope"), "outside of an object");
+  }
+  {
+    JsonWriter json(out);
+    json.begin_array();
+    EXPECT_DEATH(json.end_object(), "mismatched");
+  }
+}
+
+}  // namespace
+}  // namespace smtu

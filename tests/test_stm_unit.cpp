@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stm/unit.hpp"
+#include "support/rng.hpp"
+
+namespace smtu {
+namespace {
+
+StmConfig config(u32 section, u32 bandwidth, u32 lines, bool strict = true) {
+  StmConfig cfg;
+  cfg.section = section;
+  cfg.bandwidth = bandwidth;
+  cfg.lines = lines;
+  cfg.strict_consecutive_lines = strict;
+  return cfg;
+}
+
+std::vector<StmEntry> row_major_entries(std::initializer_list<std::pair<u32, u32>> coords) {
+  std::vector<StmEntry> entries;
+  u32 payload = 1;
+  for (const auto& [row, col] : coords) {
+    entries.push_back({static_cast<u8>(row), static_cast<u8>(col), payload++});
+  }
+  return entries;
+}
+
+TEST(StmUnit, TransposesSingleBlockFunctionally) {
+  StmUnit unit(config(8, 4, 4));
+  const auto entries = row_major_entries({{0, 3}, {0, 5}, {2, 0}, {5, 5}, {7, 1}});
+  const auto result = unit.transpose_block(entries);
+  ASSERT_EQ(result.transposed.size(), 5u);
+  // Output is row-major in the transposed coordinates (old column first).
+  EXPECT_EQ(result.transposed[0], (StmEntry{0, 2, 3}));
+  EXPECT_EQ(result.transposed[1], (StmEntry{1, 7, 5}));
+  EXPECT_EQ(result.transposed[2], (StmEntry{3, 0, 1}));
+  EXPECT_EQ(result.transposed[3], (StmEntry{5, 0, 2}));
+  EXPECT_EQ(result.transposed[4], (StmEntry{5, 5, 4}));
+}
+
+TEST(StmUnit, BandwidthOneTakesOneElementPerCycle) {
+  StmUnit unit(config(8, 1, 4));
+  const auto entries = row_major_entries({{0, 0}, {0, 1}, {1, 0}, {3, 3}, {7, 7}});
+  const auto result = unit.transpose_block(entries);
+  EXPECT_EQ(result.write_cycles, 5u);
+  EXPECT_EQ(result.read_cycles, 5u);
+  // Total includes the 3 + 3 pipeline tails — the paper's 6-cycle penalty.
+  EXPECT_EQ(result.cycles, 5u + 5u + 6u);
+}
+
+TEST(StmUnit, SingleRowFillsBufferToBandwidth) {
+  StmUnit unit(config(8, 4, 1));
+  const auto entries = row_major_entries(
+      {{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}, {2, 5}, {2, 6}});
+  const auto result = unit.transpose_block(entries);
+  EXPECT_EQ(result.write_cycles, 2u);  // ceil(7/4) within one row
+}
+
+TEST(StmUnit, StrictLinesOneRowPerCycle) {
+  // L = 1: elements of different rows never share a cycle even under B = 4.
+  StmUnit unit(config(8, 4, 1));
+  const auto entries = row_major_entries({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  const auto result = unit.transpose_block(entries);
+  EXPECT_EQ(result.write_cycles, 4u);
+}
+
+TEST(StmUnit, StrictConsecutiveRowsShareACycle) {
+  // L = 4 lets four consecutive rows fill one buffer cycle.
+  StmUnit unit(config(8, 4, 4));
+  const auto entries = row_major_entries({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  const auto result = unit.transpose_block(entries);
+  EXPECT_EQ(result.write_cycles, 1u);
+}
+
+TEST(StmUnit, StrictRuleBlocksNonAdjacentRows) {
+  // Rows 0 and 6 are not within a 2-line consecutive window.
+  StmUnit unit(config(8, 4, 2));
+  const auto entries = row_major_entries({{0, 0}, {6, 1}});
+  const auto result = unit.transpose_block(entries);
+  EXPECT_EQ(result.write_cycles, 2u);
+}
+
+TEST(StmUnit, RelaxedRuleAllowsAnyLines) {
+  // Ablation A1: with the consecutive-lines restriction lifted, rows 0 and 6
+  // share a cycle (any L distinct lines).
+  StmUnit unit(config(8, 4, 2, /*strict=*/false));
+  const auto entries = row_major_entries({{0, 0}, {6, 1}});
+  const auto result = unit.transpose_block(entries);
+  EXPECT_EQ(result.write_cycles, 1u);
+}
+
+TEST(StmUnit, WindowAnchorsAtFirstPendingRow) {
+  // Rows {1,2} fit a 2-line window anchored at 1; row 4 starts a new cycle.
+  StmUnit unit(config(8, 4, 2));
+  const auto entries = row_major_entries({{1, 0}, {2, 0}, {4, 0}});
+  const auto result = unit.transpose_block(entries);
+  EXPECT_EQ(result.write_cycles, 2u);
+}
+
+TEST(StmUnit, ReadPhaseGroupsConsecutiveColumns) {
+  // Entries occupy columns 0..3, one per column: draining with L = 4, B = 4
+  // takes one cycle; with L = 1 it takes four.
+  const auto entries = row_major_entries({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  {
+    StmUnit unit(config(8, 4, 4));
+    EXPECT_EQ(unit.transpose_block(entries).read_cycles, 1u);
+  }
+  {
+    StmUnit unit(config(8, 4, 1));
+    EXPECT_EQ(unit.transpose_block(entries).read_cycles, 4u);
+  }
+}
+
+TEST(StmUnit, EmptyColumnsAreSkippedByDefault) {
+  // One element in the last column: the drain must not scan empty columns.
+  StmUnit unit(config(64, 1, 1));
+  const auto entries = row_major_entries({{0, 63}});
+  const auto result = unit.transpose_block(entries);
+  EXPECT_EQ(result.read_cycles, 1u);
+}
+
+TEST(StmUnit, EmptyColumnsCostCyclesWhenSkippingDisabled) {
+  StmConfig cfg = config(64, 1, 4);
+  cfg.skip_empty_lines = false;
+  StmUnit unit(cfg);
+  const auto entries = row_major_entries({{0, 63}});
+  const auto result = unit.transpose_block(entries);
+  // 16 aligned groups of 4 columns are scanned, one cycle each.
+  EXPECT_EQ(result.read_cycles, 16u);
+}
+
+TEST(StmUnit, BatchedReadsMatchWholeBlockCycleCount) {
+  Rng rng(1);
+  std::vector<StmEntry> entries;
+  for (const u64 cell : rng.sample_without_replacement(64 * 64, 300)) {
+    entries.push_back({static_cast<u8>(cell / 64), static_cast<u8>(cell % 64),
+                       static_cast<u32>(cell)});
+  }
+  std::sort(entries.begin(), entries.end(), [](const StmEntry& a, const StmEntry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  StmUnit whole(config(64, 4, 4));
+  const auto block = whole.transpose_block(entries);
+
+  StmUnit batched(config(64, 4, 4));
+  batched.clear();
+  batched.write_batch(entries);
+  u32 read_cycles = 0;
+  std::vector<StmEntry> drained;
+  u32 remaining = 300;
+  while (remaining > 0) {
+    const u32 take = std::min<u32>(64, remaining);
+    auto batch = batched.read_batch(take);
+    read_cycles += batch.cycles;
+    drained.insert(drained.end(), batch.entries.begin(), batch.entries.end());
+    remaining -= take;
+  }
+  EXPECT_EQ(read_cycles, block.read_cycles);
+  EXPECT_EQ(drained, block.transposed);
+}
+
+TEST(StmUnit, StatsAccumulateAcrossBlocks) {
+  StmUnit unit(config(8, 2, 2));
+  unit.transpose_block(row_major_entries({{0, 0}, {1, 1}}));
+  unit.transpose_block(row_major_entries({{2, 2}}));
+  EXPECT_EQ(unit.stats().blocks, 2u);
+  EXPECT_EQ(unit.stats().elements_in, 3u);
+  EXPECT_EQ(unit.stats().elements_out, 3u);
+}
+
+TEST(StmUnit, TransposeOfTransposeRestoresEntries) {
+  Rng rng(2);
+  std::vector<StmEntry> entries;
+  for (const u64 cell : rng.sample_without_replacement(16 * 16, 60)) {
+    entries.push_back({static_cast<u8>(cell / 16), static_cast<u8>(cell % 16),
+                       static_cast<u32>(cell * 7)});
+  }
+  std::sort(entries.begin(), entries.end(), [](const StmEntry& a, const StmEntry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  StmUnit unit(config(16, 4, 4));
+  const auto once = unit.transpose_block(entries);
+  const auto twice = unit.transpose_block(once.transposed);
+  EXPECT_EQ(twice.transposed, entries);
+}
+
+TEST(StmUnitDeathTest, DuplicatePositionAborts) {
+  StmUnit unit(config(8, 4, 4));
+  const auto entries = row_major_entries({{1, 1}, {1, 1}});
+  EXPECT_DEATH(unit.transpose_block(entries), "duplicate");
+}
+
+TEST(StmUnitDeathTest, OverdrainAborts) {
+  StmUnit unit(config(8, 4, 4));
+  unit.clear();
+  unit.write_batch(row_major_entries({{0, 0}}));
+  EXPECT_DEATH(unit.read_batch(2), "more elements");
+}
+
+TEST(StmUnitDeathTest, WriteDuringDrainAborts) {
+  StmUnit unit(config(8, 4, 4));
+  unit.clear();
+  unit.write_batch(row_major_entries({{0, 0}, {1, 1}}));
+  unit.read_batch(1);
+  EXPECT_DEATH(unit.write_batch(row_major_entries({{2, 2}})), "icm");
+}
+
+}  // namespace
+}  // namespace smtu

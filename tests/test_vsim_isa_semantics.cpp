@@ -1,0 +1,168 @@
+// Fine-grained ISA semantics: edge cases per instruction class, swept over
+// section sizes where the behavior could plausibly differ.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "vsim/assembler.hpp"
+#include "vsim/machine.hpp"
+
+namespace smtu::vsim {
+namespace {
+
+u64 run_reg(const std::string& source, u32 reg,
+            const std::vector<std::pair<u32, u64>>& inputs = {}) {
+  Machine machine{MachineConfig{}};
+  machine.memory().ensure(0, 1 << 16);
+  for (const auto& [r, v] : inputs) machine.set_sreg(r, v);
+  machine.run(assemble(source));
+  return machine.sreg(reg);
+}
+
+TEST(IsaSemantics, ShiftAmountsAreMaskedTo64) {
+  EXPECT_EQ(run_reg("li r1, 1\nli r2, 64\nsll r3, r1, r2\nhalt\n", 3), 1u);  // 64 & 63 = 0
+  EXPECT_EQ(run_reg("li r1, 1\nli r2, 65\nsll r3, r1, r2\nhalt\n", 3), 2u);
+  EXPECT_EQ(run_reg("li r1, 8\nslli r2, r1, 61\nhalt\n", 2), u64{8} << 61);
+}
+
+TEST(IsaSemantics, ArithmeticWrapsUnsigned) {
+  EXPECT_EQ(run_reg("li r1, -1\nli r2, 2\nadd r3, r1, r2\nhalt\n", 3), 1u);
+  EXPECT_EQ(run_reg("li r1, 0\nli r2, 1\nsub r3, r1, r2\nhalt\n", 3), ~u64{0});
+}
+
+TEST(IsaSemantics, MinMaxAreUnsignedOnRegisters) {
+  // -1 as u64 is the maximum; min/max operate on raw register values.
+  EXPECT_EQ(run_reg("li r1, -1\nli r2, 5\nmin r3, r1, r2\nhalt\n", 3), 5u);
+  EXPECT_EQ(run_reg("li r1, -1\nli r2, 5\nmax r3, r1, r2\nhalt\n", 3), ~u64{0});
+}
+
+TEST(IsaSemantics, BranchesCompareSigned) {
+  // blt: -1 < 5 must be taken even though -1 is a huge unsigned value.
+  EXPECT_EQ(run_reg("li r1, -1\nli r2, 5\nli r3, 0\nblt r1, r2, t\n"
+                    "beq r0, r0, e\nt: li r3, 1\ne: halt\n",
+                    3),
+            1u);
+  // bge: 5 >= -1.
+  EXPECT_EQ(run_reg("li r1, 5\nli r2, -1\nli r3, 0\nbge r1, r2, t\n"
+                    "beq r0, r0, e\nt: li r3, 1\ne: halt\n",
+                    3),
+            1u);
+}
+
+TEST(IsaSemantics, SubWordStoresDoNotClobberNeighbors) {
+  Machine machine{MachineConfig{}};
+  machine.run(assemble(
+      "li r1, 0x100\n"
+      "li r2, -1\n"
+      "sw r2, (r1)\n"      // ffffffff
+      "li r3, 0\n"
+      "sb r3, 1(r1)\n"     // clear byte 1
+      "lw r4, (r1)\n"
+      "sh r3, 2(r1)\n"     // clear upper half
+      "lw r5, (r1)\n"
+      "halt\n"));
+  EXPECT_EQ(machine.sreg(4), 0xffff00ffu);
+  EXPECT_EQ(machine.sreg(5), 0x000000ffu);
+}
+
+TEST(IsaSemantics, LoadsZeroExtend) {
+  Machine machine{MachineConfig{}};
+  machine.memory().write_u32(0x100, 0xfedcba98u);
+  machine.run(assemble(
+      "li r1, 0x100\nlbu r2, 3(r1)\nlhu r3, 2(r1)\nlw r4, (r1)\nhalt\n"));
+  EXPECT_EQ(machine.sreg(2), 0xfeu);
+  EXPECT_EQ(machine.sreg(3), 0xfedcu);
+  EXPECT_EQ(machine.sreg(4), 0xfedcba98u);
+}
+
+TEST(IsaSemantics, FloatSpecialValues) {
+  Machine machine{MachineConfig{}};
+  machine.set_sreg(1, std::bit_cast<u32>(1.0f));
+  machine.set_sreg(2, 0);  // +0.0f
+  machine.run(assemble("fmul r3, r1, r2\nfadd r4, r1, r2\nhalt\n"));
+  EXPECT_EQ(std::bit_cast<float>(static_cast<u32>(machine.sreg(3))), 0.0f);
+  EXPECT_EQ(std::bit_cast<float>(static_cast<u32>(machine.sreg(4))), 1.0f);
+}
+
+class SectionSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SectionSweep, SsvlStripMinesExactly) {
+  const u32 section = GetParam();
+  MachineConfig config;
+  config.section = section;
+  Machine machine(config);
+  const u64 total = 3 * section + section / 2 + 1;
+  machine.set_sreg(1, total);
+  const Program program = assemble("ssvl r1\nhalt\n");
+  u64 consumed = 0;
+  while (machine.sreg(1) > 0 || consumed == 0) {
+    machine.run(program);
+    EXPECT_LE(machine.vl(), section);
+    consumed += machine.vl();
+    if (machine.vl() == 0) break;
+  }
+  EXPECT_EQ(consumed, total);
+}
+
+TEST_P(SectionSweep, VectorOpsHonorPartialVl) {
+  const u32 section = GetParam();
+  MachineConfig config;
+  config.section = section;
+  Machine machine(config);
+  const u32 vl = section / 2 + 1;
+  machine.set_sreg(1, vl);
+  machine.run(assemble(
+      "ssvl r1\nv_iota vr1\nv_addi vr2, vr1, 5\nv_redsum r2, vr2\nhalt\n"));
+  // sum over i of (i + 5), i in [0, vl)
+  const u64 expected = static_cast<u64>(vl) * (vl - 1) / 2 + 5ull * vl;
+  EXPECT_EQ(machine.sreg(2), expected);
+  // Lanes beyond vl untouched (still zero from reset).
+  if (vl < section) EXPECT_EQ(machine.vreg(2)[vl], 0u);
+}
+
+TEST_P(SectionSweep, SlideComposition) {
+  const u32 section = GetParam();
+  MachineConfig config;
+  config.section = section;
+  Machine machine(config);
+  machine.set_sreg(1, section);
+  machine.run(assemble(
+      "ssvl r1\nv_iota vr1\nv_slideup vr2, vr1, 1\nv_slidedown vr3, vr2, 1\nhalt\n"));
+  // slideup then slidedown restores all but the tail lane.
+  for (u32 i = 0; i + 1 < section; ++i) {
+    EXPECT_EQ(machine.vreg(3)[i], machine.vreg(1)[i]) << i;
+  }
+  EXPECT_EQ(machine.vreg(3)[section - 1], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sections, SectionSweep, ::testing::Values(2, 8, 16, 64, 128, 256));
+
+TEST(IsaSemantics, VectorLogicalOps) {
+  Machine machine{MachineConfig{}};
+  machine.run(assemble(
+      "li r1, 8\nssvl r1\n"
+      "v_iota vr1\n"
+      "v_bcasti vr2, 6\n"
+      "v_and vr3, vr1, vr2\n"
+      "v_or vr4, vr1, vr2\n"
+      "v_xor vr5, vr1, vr2\n"
+      "v_min vr6, vr1, vr2\n"
+      "v_max vr7, vr1, vr2\n"
+      "halt\n"));
+  EXPECT_EQ(machine.vreg(3)[5], 4u);  // 5 & 6
+  EXPECT_EQ(machine.vreg(4)[1], 7u);  // 1 | 6
+  EXPECT_EQ(machine.vreg(5)[3], 5u);  // 3 ^ 6
+  EXPECT_EQ(machine.vreg(6)[7], 6u);  // min(7, 6)
+  EXPECT_EQ(machine.vreg(7)[2], 6u);  // max(2, 6)
+}
+
+TEST(IsaSemantics, ZeroRegisterIgnoresAllWrites) {
+  EXPECT_EQ(run_reg("li r0, 7\naddi r0, r0, 3\nmv r1, r0\nhalt\n", 1), 0u);
+  Machine machine{MachineConfig{}};
+  machine.memory().write_u32(0x100, 99);
+  machine.run(assemble("li r1, 0x100\nlw r0, (r1)\nmv r2, r0\nhalt\n"));
+  EXPECT_EQ(machine.sreg(2), 0u);
+}
+
+}  // namespace
+}  // namespace smtu::vsim

@@ -1,0 +1,181 @@
+// Timing-model tests pinning the paper's §IV-A machine parameters:
+//   * contiguous 64-word vector load: 20 + 64/4 = 36 cycles,
+//   * indexed 64-element load: 20 + 64 = 84 cycles,
+//   * chaining overlaps dependent vector instructions,
+//   * the vector memory unit serializes concurrent streams.
+#include <gtest/gtest.h>
+
+#include "vsim/assembler.hpp"
+#include "vsim/machine.hpp"
+
+namespace smtu::vsim {
+namespace {
+
+Cycle cycles_of(const std::string& source, const MachineConfig& config = {}) {
+  Machine machine(config);
+  machine.memory().ensure(0, 1 << 20);
+  return machine.run(assemble(source)).cycles;
+}
+
+// The setup li/ssvl instructions issue in the first couple of cycles, so
+// vector-op formulas below hold within a small constant.
+constexpr Cycle kSetupSlack = 4;
+
+TEST(Timing, ContiguousLoadMatchesPaperFormula) {
+  const Cycle cycles = cycles_of(
+      "li r1, 64\n"
+      "ssvl r1\n"
+      "li r2, 0x1000\n"
+      "v_ld vr1, (r2)\n"
+      "halt\n");
+  // 20-cycle startup + 64 words at 4 words/cycle = 36.
+  EXPECT_GE(cycles, 36u);
+  EXPECT_LE(cycles, 36u + kSetupSlack);
+}
+
+TEST(Timing, IndexedLoadMatchesPaperFormula) {
+  const Cycle cycles = cycles_of(
+      "li r1, 64\n"
+      "ssvl r1\n"
+      "li r2, 0x1000\n"
+      "v_bcasti vr0, 0\n"
+      "v_ldx vr1, (r2), vr0\n"
+      "halt\n");
+  // 20 + 64 = 84, after the broadcast producing the index vector.
+  EXPECT_GE(cycles, 84u);
+  EXPECT_LE(cycles, 84u + kSetupSlack + 20u);  // + broadcast + chain-in
+}
+
+TEST(Timing, IndexedCostsMoreThanContiguous) {
+  const Cycle contiguous = cycles_of(
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nv_ld vr1, (r2)\nhalt\n");
+  const Cycle indexed = cycles_of(
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nv_bcasti vr0, 0\nv_ldx vr1, (r2), vr0\nhalt\n");
+  EXPECT_GT(indexed, contiguous + 40);
+}
+
+TEST(Timing, MemoryUnitSerializesTransfers) {
+  const std::string one_load =
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nv_ld vr1, (r2)\nhalt\n";
+  const std::string two_loads =
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nli r3, 0x2000\n"
+      "v_ld vr1, (r2)\nv_ld vr2, (r3)\nhalt\n";
+
+  // Pipelined startup (the default): the second load overlaps the first
+  // one's 20-cycle startup but still queues behind its 16 transfer slots.
+  const Cycle one = cycles_of(one_load);
+  const Cycle two = cycles_of(two_loads);
+  EXPECT_GE(two, one + 16);
+  EXPECT_LT(two, one + 36);
+
+  // Non-pipelined ablation: each access pays the full startup exclusively.
+  MachineConfig unpipelined;
+  unpipelined.mem_pipelined_startup = false;
+  EXPECT_GE(cycles_of(two_loads, unpipelined), cycles_of(one_load, unpipelined) + 30);
+}
+
+TEST(Timing, VectorAluRunsAtLaneRate) {
+  const Cycle short_vec = cycles_of(
+      "li r1, 8\nssvl r1\nv_iota vr1\nv_add vr2, vr1, vr1\nhalt\n");
+  const Cycle long_vec = cycles_of(
+      "li r1, 64\nssvl r1\nv_iota vr1\nv_add vr2, vr1, vr1\nhalt\n");
+  // 64 vs 8 elements at 4 lanes: ~14 cycles more work per instruction, but
+  // chaining overlaps the two ops, so expect a clear yet sub-28 gap.
+  EXPECT_GT(long_vec, short_vec + 8);
+  EXPECT_LT(long_vec, short_vec + 40);
+}
+
+TEST(Timing, ChainingOverlapsDependentOps) {
+  const std::string source =
+      "li r1, 64\n"
+      "ssvl r1\n"
+      "li r2, 0x1000\n"
+      "li r3, 0x2000\n"
+      "v_ld vr1, (r2)\n"
+      "v_addi vr2, vr1, 1\n"
+      "v_st vr2, (r3)\n"
+      "halt\n";
+  MachineConfig chained;
+  chained.chaining = true;
+  MachineConfig unchained;
+  unchained.chaining = false;
+  const Cycle with_chaining = cycles_of(source, chained);
+  const Cycle without_chaining = cycles_of(source, unchained);
+  EXPECT_LT(with_chaining, without_chaining);
+  // Without chaining the three ops serialize: ~36 + ~18 + ~36.
+  EXPECT_GE(without_chaining, 80u);
+}
+
+TEST(Timing, WarHazardDelaysOverwrite) {
+  // v_st reads vr1 while the second v_ld wants to overwrite it: the second
+  // load must wait (write-after-read), making the two-buffer version with
+  // distinct registers no slower.
+  const Cycle reuse = cycles_of(
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nli r3, 0x2000\n"
+      "v_ld vr1, (r2)\nv_st vr1, (r3)\nv_ld vr1, 256(r2)\nv_st vr1, 256(r3)\nhalt\n");
+  const Cycle distinct = cycles_of(
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nli r3, 0x2000\n"
+      "v_ld vr1, (r2)\nv_st vr1, (r3)\nv_ld vr2, 256(r2)\nv_st vr2, 256(r3)\nhalt\n");
+  EXPECT_GE(reuse, distinct);
+}
+
+TEST(Timing, ScalarLoopOverheadIsSmallPerVectorOp) {
+  // A strip-mined vector loop's scalar bookkeeping (4-wide issue) should
+  // not dominate: 4 strips of contiguous load ~ 4 * 36 plus small overhead.
+  const Cycle cycles = cycles_of(
+      "li r1, 256\n"
+      "li r2, 0x1000\n"
+      "loop:\n"
+      "ssvl r1\n"
+      "v_ld vr1, (r2)\n"
+      "addi r2, r2, 256\n"
+      "bne r1, r0, loop\n"
+      "halt\n");
+  EXPECT_GE(cycles, 4 * 36u);
+  EXPECT_LE(cycles, 4 * 36u + 40u);
+}
+
+TEST(Timing, StmBlockPaysSixCyclePipelinePenalty) {
+  // One element through the STM: fill (3) + 1 + drain (3) + 1 plus icm and
+  // memory traffic; the penalty shows up as > 8 STM-attributed cycles.
+  Machine machine{MachineConfig{}};
+  machine.memory().write_u8(0x1000, 1);
+  machine.memory().write_u8(0x1001, 2);
+  machine.memory().write_u32(0x1004, 42);
+  const RunStats stats = machine.run(assemble(
+      "li r1, 1\nssvl r1\nicm\n"
+      "li r2, 0x1000\nli r3, 0x1004\n"
+      "v_ldb vr1, vr2, r2, r3\n"
+      "v_stcr vr1, vr2\n"
+      "li r3, 0x1004\nli r2, 0x1000\nli r1, 1\nssvl r1\n"
+      "v_ldcc vr1, vr2\n"
+      "v_stb vr1, vr2, r2, r3\n"
+      "halt\n"));
+  EXPECT_EQ(stats.stm_blocks, 1u);
+  EXPECT_EQ(stats.stm_write_cycles, 1u);
+  EXPECT_EQ(stats.stm_read_cycles, 1u);
+}
+
+TEST(Timing, BranchPenaltyChargesTakenBranches) {
+  MachineConfig no_penalty;
+  no_penalty.branch_penalty = 0;
+  MachineConfig heavy;
+  heavy.branch_penalty = 10;
+  const std::string source =
+      "li r1, 50\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n";
+  EXPECT_GT(cycles_of(source, heavy), cycles_of(source, no_penalty) + 49 * 8);
+}
+
+TEST(Timing, StatsCountInstructionClasses) {
+  Machine machine{MachineConfig{}};
+  machine.memory().ensure(0, 0x4000);
+  const RunStats stats = machine.run(assemble(
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nv_ld vr1, (r2)\nv_addi vr2, vr1, 1\nhalt\n"));
+  EXPECT_EQ(stats.vector_instructions, 2u);
+  EXPECT_EQ(stats.scalar_instructions, 4u);
+  EXPECT_EQ(stats.mem_contiguous_bytes, 256u);
+  EXPECT_EQ(stats.vector_elements, 128u);
+}
+
+}  // namespace
+}  // namespace smtu::vsim

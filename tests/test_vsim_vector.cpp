@@ -1,0 +1,249 @@
+// Functional tests of the vector unit: strip mining, memory ops, ALU ops,
+// slides/reductions, and the HiSM/STM instruction extension.
+#include <gtest/gtest.h>
+
+#include "vsim/assembler.hpp"
+#include "vsim/machine.hpp"
+
+namespace smtu::vsim {
+namespace {
+
+TEST(VectorExec, ContiguousLoadStore) {
+  Machine machine{MachineConfig{}};
+  for (u32 i = 0; i < 64; ++i) machine.memory().write_u32(0x1000 + 4 * i, i * 10);
+  machine.run(assemble(
+      "li r1, 64\n"
+      "ssvl r1\n"
+      "li r2, 0x1000\n"
+      "li r3, 0x2000\n"
+      "v_ld vr1, (r2)\n"
+      "v_st vr1, (r3)\n"
+      "halt\n"));
+  for (u32 i = 0; i < 64; ++i) {
+    EXPECT_EQ(machine.memory().read_u32(0x2000 + 4 * i), i * 10);
+  }
+}
+
+TEST(VectorExec, SsvlStripMines) {
+  // ssvl r1 with r1 = 150 gives vl = 64, 64, 22 and decrements r1 to zero.
+  Machine machine{MachineConfig{}};
+  machine.set_sreg(1, 150);
+  machine.run(assemble("ssvl r1\nhalt\n"));
+  EXPECT_EQ(machine.vl(), 64u);
+  EXPECT_EQ(machine.sreg(1), 86u);
+}
+
+TEST(VectorExec, SetvlReportsLength) {
+  Machine machine{MachineConfig{}};
+  machine.set_sreg(1, 20);
+  machine.run(assemble("setvl r2, r1\nhalt\n"));
+  EXPECT_EQ(machine.vl(), 20u);
+  EXPECT_EQ(machine.sreg(1), 20u);  // setvl does not consume the counter
+  EXPECT_EQ(machine.sreg(2), 20u);
+}
+
+TEST(VectorExec, GatherScatter) {
+  Machine machine{MachineConfig{}};
+  // table[i] = 100 + i; idx = {3, 1, 2, 0}
+  for (u32 i = 0; i < 4; ++i) machine.memory().write_u32(0x1000 + 4 * i, 100 + i);
+  const u32 idx[4] = {3, 1, 2, 0};
+  for (u32 i = 0; i < 4; ++i) machine.memory().write_u32(0x2000 + 4 * i, idx[i]);
+  machine.run(assemble(
+      "li r1, 4\n"
+      "ssvl r1\n"
+      "li r2, 0x2000\n"
+      "v_ld vr0, (r2)\n"
+      "li r3, 0x1000\n"
+      "v_ldx vr1, (r3), vr0\n"   // gather table[idx[i]]
+      "li r4, 0x3000\n"
+      "v_stx vr1, (r4), vr0\n"   // scatter back to idx positions
+      "halt\n"));
+  EXPECT_EQ(machine.vreg(1)[0], 103u);
+  EXPECT_EQ(machine.vreg(1)[1], 101u);
+  EXPECT_EQ(machine.vreg(1)[2], 102u);
+  EXPECT_EQ(machine.vreg(1)[3], 100u);
+  for (u32 i = 0; i < 4; ++i) {
+    EXPECT_EQ(machine.memory().read_u32(0x3000 + 4 * i), 100 + i);
+  }
+}
+
+TEST(VectorExec, IntegerAluAndBroadcast) {
+  Machine machine{MachineConfig{}};
+  machine.set_sreg(9, 1000);
+  machine.run(assemble(
+      "li r1, 8\n"
+      "ssvl r1\n"
+      "v_iota vr1\n"           // 0..7
+      "v_addi vr2, vr1, 5\n"   // 5..12
+      "v_adds vr3, vr1, r9\n"  // 1000..1007
+      "v_bcasti vr4, 7\n"
+      "v_add vr5, vr2, vr4\n"  // 12..19
+      "v_sub vr6, vr5, vr1\n"  // all 12
+      "v_mul vr7, vr1, vr1\n"  // squares
+      "halt\n"));
+  EXPECT_EQ(machine.vreg(2)[7], 12u);
+  EXPECT_EQ(machine.vreg(3)[3], 1003u);
+  EXPECT_EQ(machine.vreg(5)[0], 12u);
+  EXPECT_EQ(machine.vreg(6)[5], 12u);
+  EXPECT_EQ(machine.vreg(7)[6], 36u);
+}
+
+TEST(VectorExec, SlidesZeroFill) {
+  Machine machine{MachineConfig{}};
+  machine.run(assemble(
+      "li r1, 8\n"
+      "ssvl r1\n"
+      "v_iota vr1\n"
+      "v_slideup vr2, vr1, 2\n"
+      "v_slidedown vr3, vr1, 3\n"
+      "halt\n"));
+  EXPECT_EQ(machine.vreg(2)[0], 0u);
+  EXPECT_EQ(machine.vreg(2)[1], 0u);
+  EXPECT_EQ(machine.vreg(2)[2], 0u);  // vr1[0]
+  EXPECT_EQ(machine.vreg(2)[7], 5u);
+  EXPECT_EQ(machine.vreg(3)[0], 3u);
+  EXPECT_EQ(machine.vreg(3)[4], 7u);
+  EXPECT_EQ(machine.vreg(3)[5], 0u);
+}
+
+TEST(VectorExec, InPlaceSlideScanPattern) {
+  // The scan kernel slides a register onto itself: vr1 += slide(vr1).
+  Machine machine{MachineConfig{}};
+  machine.run(assemble(
+      "li r1, 8\n"
+      "ssvl r1\n"
+      "v_bcasti vr1, 1\n"
+      "v_slideup vr2, vr1, 1\n"
+      "v_add vr1, vr1, vr2\n"
+      "v_slideup vr2, vr1, 2\n"
+      "v_add vr1, vr1, vr2\n"
+      "v_slideup vr2, vr1, 4\n"
+      "v_add vr1, vr1, vr2\n"
+      "halt\n"));
+  // Inclusive scan of all-ones = 1..8.
+  for (u32 i = 0; i < 8; ++i) EXPECT_EQ(machine.vreg(1)[i], i + 1);
+}
+
+TEST(VectorExec, ReductionAndExtract) {
+  Machine machine{MachineConfig{}};
+  machine.set_sreg(5, 3);
+  machine.run(assemble(
+      "li r1, 10\n"
+      "ssvl r1\n"
+      "v_iota vr1\n"
+      "v_redsum r2, vr1\n"     // 0+..+9 = 45
+      "v_extract r3, vr1, r5\n"
+      "halt\n"));
+  EXPECT_EQ(machine.sreg(2), 45u);
+  EXPECT_EQ(machine.sreg(3), 3u);
+}
+
+TEST(VectorExec, FloatOps) {
+  Machine machine{MachineConfig{}};
+  machine.memory().write_f32(0x100, 1.5f);
+  machine.memory().write_f32(0x104, -2.0f);
+  machine.run(assemble(
+      "li r1, 2\n"
+      "ssvl r1\n"
+      "li r2, 0x100\n"
+      "v_ld vr1, (r2)\n"
+      "v_fadd vr2, vr1, vr1\n"
+      "v_fmul vr3, vr1, vr1\n"
+      "li r3, 0x200\n"
+      "v_st vr2, (r3)\n"
+      "v_st vr3, 8(r3)\n"
+      "halt\n"));
+  EXPECT_FLOAT_EQ(machine.memory().read_f32(0x200), 3.0f);
+  EXPECT_FLOAT_EQ(machine.memory().read_f32(0x204), -4.0f);
+  EXPECT_FLOAT_EQ(machine.memory().read_f32(0x208), 2.25f);
+  EXPECT_FLOAT_EQ(machine.memory().read_f32(0x20c), 4.0f);
+}
+
+TEST(VectorExec, StmRoundTripThroughSxsMemory) {
+  // Write a tiny block-array image, push it through icm/v_ldb/v_stcr, drain
+  // with v_ldcc/v_stb, and check the in-memory image is the transposed
+  // block. Entries: (0,3)=10, (2,1)=20, (2,5)=30 in an 8x8 block (s = 64
+  // machine still transposes within its s x s memory).
+  Machine machine{MachineConfig{}};
+  vsim::Memory& mem = machine.memory();
+  const Addr pos = 0x1000;
+  const Addr val = 0x1008;  // align4(2*3) = 8
+  const u8 rows[3] = {0, 2, 2};
+  const u8 cols[3] = {3, 1, 5};
+  for (u32 i = 0; i < 3; ++i) {
+    mem.write_u8(pos + 2 * i, rows[i]);
+    mem.write_u8(pos + 2 * i + 1, cols[i]);
+    mem.write_u32(val + 4 * i, (i + 1) * 10);
+  }
+  machine.run(assemble(
+      "li r1, 3\n"
+      "ssvl r1\n"
+      "icm\n"
+      "li r2, 0x1000\n"
+      "li r3, 0x1008\n"
+      "v_ldb vr1, vr2, r2, r3\n"
+      "v_stcr vr1, vr2\n"
+      "li r2, 0x1000\n"
+      "li r3, 0x1008\n"
+      "li r1, 3\n"
+      "ssvl r1\n"
+      "v_ldcc vr1, vr2\n"
+      "v_stb vr1, vr2, r2, r3\n"
+      "halt\n"));
+  // Transposed, row-major: (1,2)=20, (3,0)=10, (5,2)=30.
+  EXPECT_EQ(mem.read_u8(pos + 0), 1u);
+  EXPECT_EQ(mem.read_u8(pos + 1), 2u);
+  EXPECT_EQ(mem.read_u32(val + 0), 20u);
+  EXPECT_EQ(mem.read_u8(pos + 2), 3u);
+  EXPECT_EQ(mem.read_u8(pos + 3), 0u);
+  EXPECT_EQ(mem.read_u32(val + 4), 10u);
+  EXPECT_EQ(mem.read_u8(pos + 4), 5u);
+  EXPECT_EQ(mem.read_u8(pos + 5), 2u);
+  EXPECT_EQ(mem.read_u32(val + 8), 30u);
+}
+
+TEST(VectorExec, VLdbAutoIncrementsPointers) {
+  Machine machine{MachineConfig{}};
+  machine.memory().ensure(0x1000, 0x1000);
+  machine.run(assemble(
+      "li r1, 10\n"
+      "ssvl r1\n"
+      "icm\n"
+      "li r2, 0x1000\n"
+      "li r3, 0x1100\n"
+      "v_ldb vr1, vr2, r2, r3\n"
+      "halt\n"));
+  EXPECT_EQ(machine.sreg(2), 0x1000u + 20u);  // 2 bytes per position pair
+  EXPECT_EQ(machine.sreg(3), 0x1100u + 40u);  // 4 bytes per value
+}
+
+TEST(VectorExec, VStbvStoresValuesOnly) {
+  Machine machine{MachineConfig{}};
+  vsim::Memory& mem = machine.memory();
+  // One entry (4,6)=77 through the unit; v_stbv must write 77 and leave the
+  // position bytes untouched.
+  mem.write_u8(0x1000, 4);
+  mem.write_u8(0x1001, 6);
+  mem.write_u32(0x1004, 77);
+  machine.run(assemble(
+      "li r1, 1\n"
+      "ssvl r1\n"
+      "icm\n"
+      "li r2, 0x1000\n"
+      "li r3, 0x1004\n"
+      "v_ldb vr1, vr2, r2, r3\n"
+      "v_stcr vr1, vr2\n"
+      "li r3, 0x1004\n"
+      "li r1, 1\n"
+      "ssvl r1\n"
+      "v_ldcc vr1, vr2\n"
+      "v_stbv vr1, r3\n"
+      "halt\n"));
+  EXPECT_EQ(mem.read_u8(0x1000), 4u);  // position bytes unchanged
+  EXPECT_EQ(mem.read_u8(0x1001), 6u);
+  EXPECT_EQ(mem.read_u32(0x1004), 77u);
+  EXPECT_EQ(machine.sreg(3), 0x1008u);
+}
+
+}  // namespace
+}  // namespace smtu::vsim

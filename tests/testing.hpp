@@ -1,0 +1,38 @@
+// Shared helpers for the smtu test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "formats/coo.hpp"
+#include "support/rng.hpp"
+
+namespace smtu::testing {
+
+// Builds a COO matrix from an initializer list of (row, col, value).
+inline Coo make_coo(Index rows, Index cols,
+                    std::initializer_list<std::tuple<Index, Index, float>> entries) {
+  Coo coo(rows, cols);
+  for (const auto& [r, c, v] : entries) coo.add(r, c, v);
+  coo.canonicalize();
+  return coo;
+}
+
+// Random matrix with `nnz` distinct positions (deterministic in the rng).
+inline Coo random_coo(Index rows, Index cols, usize nnz, Rng& rng) {
+  Coo coo(rows, cols);
+  for (const u64 cell : rng.sample_without_replacement(rows * cols, nnz)) {
+    coo.add(cell / cols, cell % cols, static_cast<float>(rng.uniform(0.5, 2.0)));
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+// gtest matcher-style assertion: two matrices are structurally identical.
+inline ::testing::AssertionResult coo_equal(const Coo& lhs, const Coo& rhs) {
+  if (structurally_equal(lhs, rhs)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "matrices differ: lhs " << lhs.rows() << "x" << lhs.cols() << "/" << lhs.nnz()
+         << " vs rhs " << rhs.rows() << "x" << rhs.cols() << "/" << rhs.nnz();
+}
+
+}  // namespace smtu::testing

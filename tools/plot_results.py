@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Plot smtu benchmark results exported with --json.
+
+Usage:
+    # 1. export the data
+    build/bench/fig10_buffer_utilization --json=out/fig10.json
+    build/bench/fig11_locality           --json=out/fig11.json
+    build/bench/fig12_nonzeros_per_row   --json=out/fig12.json
+    build/bench/fig13_size               --json=out/fig13.json
+
+    # 2. render PNGs next to the JSON files
+    tools/plot_results.py out/fig10.json out/fig11.json out/fig12.json out/fig13.json
+
+The figure type is inferred from the columns: the Fig. 10 grid (B + L=...
+columns) becomes a line chart of utilization vs B; the per-matrix tables
+(fig 11/12/13, summary) become the paper's bar-plus-line layout — HiSM and
+CRS cycles/nnz as bars on a log axis, speedup as a line on a second axis.
+
+Requires matplotlib; prints a friendly message if it is unavailable.
+"""
+
+import json
+import pathlib
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover - environment dependent
+    sys.stderr.write("matplotlib is not installed; pip install matplotlib to plot\n")
+    sys.exit(1)
+
+
+def plot_fig10(rows, out_path):
+    fig, ax = plt.subplots(figsize=(6, 4))
+    bandwidths = [row["B"] for row in rows]
+    line_columns = [key for key in rows[0] if key.startswith("L=")]
+    for column in line_columns:
+        ax.plot(bandwidths, [row[column] for row in rows], marker="o", label=column)
+    ax.set_xlabel("buffer bandwidth B")
+    ax.set_ylabel("buffer utilization BU")
+    ax.set_xscale("log", base=2)
+    ax.set_ylim(0, 1.05)
+    ax.grid(True, alpha=0.3)
+    ax.legend(title="accessible lines")
+    ax.set_title("Fig. 10 — STM buffer bandwidth utilization")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def plot_matrix_table(rows, out_path, title):
+    names = [row["matrix"] for row in rows]
+    hism = [row["HiSM cyc/nnz"] for row in rows]
+    crs = [row["CRS cyc/nnz"] for row in rows]
+    speedup = [row["speedup"] for row in rows]
+
+    fig, ax = plt.subplots(figsize=(9, 4.5))
+    x = range(len(names))
+    width = 0.35
+    ax.bar([i - width / 2 for i in x], hism, width, label="HiSM cycles/nnz")
+    ax.bar([i + width / 2 for i in x], crs, width, label="CRS cycles/nnz")
+    ax.set_yscale("log")
+    ax.set_ylabel("cycles per non-zero (log)")
+    ax.set_xticks(list(x))
+    ax.set_xticklabels(names, rotation=45, ha="right", fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+
+    twin = ax.twinx()
+    twin.plot(list(x), speedup, color="black", marker="d", label="speedup")
+    twin.set_ylabel("HiSM speedup over CRS")
+    twin.set_ylim(bottom=0)
+
+    handles_a, labels_a = ax.get_legend_handles_labels()
+    handles_b, labels_b = twin.get_legend_handles_labels()
+    ax.legend(handles_a + handles_b, labels_a + labels_b, loc="upper right")
+    ax.set_title(title)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def main(paths):
+    if not paths:
+        sys.stderr.write(__doc__)
+        return 2
+    for raw in paths:
+        path = pathlib.Path(raw)
+        rows = json.loads(path.read_text())
+        if not rows:
+            print(f"{path}: empty, skipped")
+            continue
+        out_path = path.with_suffix(".png")
+        if "B" in rows[0]:
+            plot_fig10(rows, out_path)
+        elif "HiSM cyc/nnz" in rows[0]:
+            plot_matrix_table(rows, out_path, path.stem)
+        else:
+            print(f"{path}: unrecognized table shape, skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

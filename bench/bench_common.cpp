@@ -14,6 +14,8 @@
 #include "support/assert.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
+#include "vsim/json_export.hpp"
+#include "vsim/trace.hpp"
 
 namespace smtu::bench {
 
@@ -25,6 +27,8 @@ BenchOptions parse_options(CommandLine& cli) {
   if (!csv.empty()) options.csv_path = csv;
   const std::string json = cli.get_string("json", "");
   if (!json.empty()) options.json_path = json;
+  const std::string trace_json = cli.get_string("trace-json", "");
+  if (!trace_json.empty()) options.trace_json_path = trace_json;
   options.verify = cli.get_flag("verify");
   cli.finish();
   return options;
@@ -41,15 +45,17 @@ TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
     const auto hism_result = kernels::run_hism_transpose(hism, config);
     SMTU_CHECK_MSG(structurally_equal(hism_result.transposed.to_coo(), expected),
                    "HiSM kernel produced a wrong transpose for " + entry.name);
-    comparison.hism_cycles = hism_result.stats.cycles;
+    comparison.hism_stats = hism_result.stats;
     const auto crs_result = kernels::run_crs_transpose(csr, config);
     SMTU_CHECK_MSG(structurally_equal(crs_result.transposed, expected),
                    "CRS kernel produced a wrong transpose for " + entry.name);
-    comparison.crs_cycles = crs_result.stats.cycles;
+    comparison.crs_stats = crs_result.stats;
   } else {
-    comparison.hism_cycles = kernels::time_hism_transpose(hism, config).cycles;
-    comparison.crs_cycles = kernels::time_crs_transpose(csr, config).cycles;
+    comparison.hism_stats = kernels::time_hism_transpose(hism, config);
+    comparison.crs_stats = kernels::time_crs_transpose(csr, config);
   }
+  comparison.hism_cycles = comparison.hism_stats.cycles;
+  comparison.crs_cycles = comparison.crs_stats.cycles;
 
   const double nnz = static_cast<double>(std::max<usize>(entry.matrix.nnz(), 1));
   comparison.hism_cycles_per_nnz = static_cast<double>(comparison.hism_cycles) / nnz;
@@ -123,9 +129,7 @@ int run_figure_bench(int argc, const char* const* argv, const FigureSeries& seri
   const auto set = suite::build_dsab_set(series.set, options.suite);
   TextTable table({"matrix", series.metric_header, "nnz", "HiSM cyc/nnz", "CRS cyc/nnz",
                    "speedup"});
-  double min_speedup = 1e30;
-  double max_speedup = 0.0;
-  double sum_speedup = 0.0;
+  std::vector<MatrixRecord> records;
   for (const auto& entry : set) {
     const TransposeComparison comparison = compare_transposes(entry, config, options.verify);
     table.add_row({entry.name, format("%.2f", series.metric(entry.metrics)),
@@ -133,18 +137,127 @@ int run_figure_bench(int argc, const char* const* argv, const FigureSeries& seri
                    format("%.2f", comparison.hism_cycles_per_nnz),
                    format("%.2f", comparison.crs_cycles_per_nnz),
                    format("%.1f", comparison.speedup)});
-    min_speedup = std::min(min_speedup, comparison.speedup);
-    max_speedup = std::max(max_speedup, comparison.speedup);
-    sum_speedup += comparison.speedup;
+    records.push_back({entry.name, entry.set, series.metric_header,
+                       series.metric(entry.metrics), entry.matrix.nnz(), comparison});
   }
-  emit(table, options);
+  emit(table, options.csv_path);
+  if (options.json_path) {
+    std::ofstream out(*options.json_path);
+    SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open JSON output " + *options.json_path);
+    write_bench_report_json(out, series.set, config, options.suite, records);
+    std::fprintf(stderr, "wrote JSON report to %s\n", options.json_path->c_str());
+  }
+  if (options.trace_json_path) {
+    write_transpose_trace_json(*options.trace_json_path, set.front(), config);
+  }
 
-  const double avg_speedup = sum_speedup / static_cast<double>(set.size());
-  std::printf("\nmeasured speedup: min %.1f  max %.1f  avg %.1f\n", min_speedup, max_speedup,
-              avg_speedup);
+  const SpeedupSummary summary = summarize_speedups(records);
+  std::printf("\nmeasured speedup: min %.1f  max %.1f  avg %.1f\n", summary.min, summary.max,
+              summary.avg);
   std::printf("paper (IPPS'04):  min %.1f  max %.1f  avg %.1f\n", series.paper_min,
               series.paper_max, series.paper_avg);
   return 0;
+}
+
+SpeedupSummary summarize_speedups(const std::vector<MatrixRecord>& records) {
+  SpeedupSummary summary;
+  if (records.empty()) return summary;
+  summary.count = records.size();
+  summary.min = 1e300;
+  for (const MatrixRecord& record : records) {
+    summary.min = std::min(summary.min, record.comparison.speedup);
+    summary.max = std::max(summary.max, record.comparison.speedup);
+    summary.avg += record.comparison.speedup;
+  }
+  summary.avg /= static_cast<double>(records.size());
+  return summary;
+}
+
+void write_matrix_records_json(JsonWriter& json, const std::vector<MatrixRecord>& records) {
+  json.begin_array();
+  for (const MatrixRecord& record : records) {
+    json.begin_object();
+    json.key("name");
+    json.value(record.name);
+    json.key("set");
+    json.value(record.set);
+    if (!record.metric_name.empty()) {
+      json.key("metric_name");
+      json.value(record.metric_name);
+      json.key("metric");
+      json.value(record.metric);
+    }
+    json.key("nnz");
+    json.value(static_cast<u64>(record.nnz));
+    json.key("hism_cycles");
+    json.value(record.comparison.hism_cycles);
+    json.key("crs_cycles");
+    json.value(record.comparison.crs_cycles);
+    json.key("hism_cycles_per_nnz");
+    json.value(record.comparison.hism_cycles_per_nnz);
+    json.key("crs_cycles_per_nnz");
+    json.value(record.comparison.crs_cycles_per_nnz);
+    json.key("speedup");
+    json.value(record.comparison.speedup);
+    json.key("hism");
+    vsim::write_run_stats_json(json, record.comparison.hism_stats);
+    json.key("crs");
+    vsim::write_run_stats_json(json, record.comparison.crs_stats);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+void write_speedup_summary_json(JsonWriter& json, const SpeedupSummary& summary) {
+  json.begin_object();
+  json.key("count");
+  json.value(static_cast<u64>(summary.count));
+  json.key("min_speedup");
+  json.value(summary.min);
+  json.key("max_speedup");
+  json.value(summary.max);
+  json.key("avg_speedup");
+  json.value(summary.avg);
+  json.end_object();
+}
+
+void write_bench_report_json(std::ostream& out, const std::string& bench_name,
+                             const vsim::MachineConfig& config,
+                             const suite::SuiteOptions& suite_options,
+                             const std::vector<MatrixRecord>& records) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("schema");
+  json.value("smtu-bench-v1");
+  json.key("bench");
+  json.value(bench_name);
+  json.key("config");
+  vsim::write_machine_config_json(json, config);
+  json.key("suite");
+  json.begin_object();
+  json.key("scale");
+  json.value(suite_options.scale);
+  json.key("seed");
+  json.value(suite_options.seed);
+  json.end_object();
+  json.key("matrices");
+  write_matrix_records_json(json, records);
+  json.key("summary");
+  write_speedup_summary_json(json, summarize_speedups(records));
+  json.end_object();
+  out << '\n';
+}
+
+void write_transpose_trace_json(const std::string& path, const suite::SuiteMatrix& entry,
+                                const vsim::MachineConfig& config) {
+  const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
+  vsim::ExecutionTrace trace(1u << 20);
+  kernels::time_hism_transpose(hism, config, /*split_drain_registers=*/false, &trace);
+  std::ofstream out(path);
+  SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open trace output " + path);
+  vsim::write_chrome_trace(out, trace, "hism_transpose:" + entry.name);
+  std::fprintf(stderr, "wrote Chrome trace (%zu events) to %s\n", trace.events().size(),
+               path.c_str());
 }
 
 }  // namespace smtu::bench

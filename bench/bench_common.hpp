@@ -1,11 +1,16 @@
 // Shared plumbing for the figure-reproduction benchmark binaries.
 //
 // Every binary accepts:
-//   --scale=<0..1>   shrink the suite for quick runs (default 1 = paper scale)
-//   --seed=<u64>     suite generation seed
-//   --csv=<path>     also write the table as CSV
-//   --json=<path>    also write the table as a JSON array of row objects
-//   --verify         decode results from simulated memory and check them
+//   --scale=<0..1>     shrink the suite for quick runs (default 1 = paper scale)
+//   --seed=<u64>       suite generation seed
+//   --csv=<path>       also write the table as CSV
+//   --json=<path>      machine-readable results: the comparison benches write
+//                      an "smtu-bench-v1" report (per-matrix cycles, speedups,
+//                      per-unit busy counters — see docs/TRACE.md); the
+//                      table-shaped benches write the table as a JSON array
+//   --trace-json=<path> Chrome trace-event dump (chrome://tracing / Perfetto)
+//                      of the HiSM transpose of the first suite matrix
+//   --verify           decode results from simulated memory and check them
 //
 // summary_speedup additionally accepts --mtxdir=<dir>: run on every .mtx
 // file found there (e.g. the original D-SAB matrices) instead of the
@@ -21,9 +26,11 @@
 #include "stm/unit.hpp"
 #include "suite/dsab.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "vsim/config.hpp"
+#include "vsim/machine.hpp"
 
 namespace smtu::bench {
 
@@ -31,6 +38,7 @@ struct BenchOptions {
   suite::SuiteOptions suite;
   std::optional<std::string> csv_path;
   std::optional<std::string> json_path;
+  std::optional<std::string> trace_json_path;
   bool verify = false;
 };
 
@@ -38,12 +46,16 @@ struct BenchOptions {
 BenchOptions parse_options(CommandLine& cli);
 
 // One matrix through both transposition paths on the simulated machine.
+// The full per-run counters (unit busy cycles, instruction mix, STM phase
+// cycles) ride along for the JSON reports.
 struct TransposeComparison {
   u64 hism_cycles = 0;
   u64 crs_cycles = 0;
   double hism_cycles_per_nnz = 0.0;
   double crs_cycles_per_nnz = 0.0;
   double speedup = 0.0;
+  vsim::RunStats hism_stats;
+  vsim::RunStats crs_stats;
 };
 
 TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
@@ -79,5 +91,45 @@ void emit(const TextTable& table, const BenchOptions& options);
 
 // Back-compatible overload used by older call sites (CSV only).
 void emit(const TextTable& table, const std::optional<std::string>& csv_path);
+
+// ---- structured benchmark reports (the "smtu-bench-v1" schema) -------------
+
+// One suite matrix with its comparison result, ready for serialization.
+struct MatrixRecord {
+  std::string name;
+  std::string set;
+  std::string metric_name;  // empty: no figure metric for this bench
+  double metric = 0.0;
+  usize nnz = 0;
+  TransposeComparison comparison;
+};
+
+// Speedup statistics over a record span (the per-figure summary line).
+struct SpeedupSummary {
+  usize count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double avg = 0.0;
+};
+SpeedupSummary summarize_speedups(const std::vector<MatrixRecord>& records);
+
+// Mid-document helpers: the per-matrix array (each element carries cycles,
+// cycles/nnz, speedup, and both kernels' full RunStats) and the summary
+// object. The caller owns the surrounding JSON structure.
+void write_matrix_records_json(JsonWriter& json, const std::vector<MatrixRecord>& records);
+void write_speedup_summary_json(JsonWriter& json, const SpeedupSummary& summary);
+
+// Complete "smtu-bench-v1" document: schema/bench tags, machine config,
+// suite options, matrices, summary. This is what `--json=PATH` writes for
+// the comparison benches and what tools/bench_diff.py consumes.
+void write_bench_report_json(std::ostream& out, const std::string& bench_name,
+                             const vsim::MachineConfig& config,
+                             const suite::SuiteOptions& suite_options,
+                             const std::vector<MatrixRecord>& records);
+
+// Runs the HiSM transpose of `entry` with an ExecutionTrace attached and
+// writes the Chrome trace-event JSON to `path` (the --trace-json flag).
+void write_transpose_trace_json(const std::string& path, const suite::SuiteMatrix& entry,
+                                const vsim::MachineConfig& config);
 
 }  // namespace smtu::bench

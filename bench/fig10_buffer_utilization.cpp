@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::move(row));
   }
-  bench::emit(table, options.csv_path);
+  bench::emit(table, options);
 
   std::printf(
       "\npaper shape: BU max at B=1 (<1.0 only due to the 6-cycle block penalty),\n"

@@ -1,9 +1,12 @@
 // One-shot paper reproduction: runs every figure of §IV plus the headline
-// and the storage claim, and writes a single Markdown report with measured
-// numbers next to the paper's. The per-figure binaries remain the tools for
-// focused runs and sweeps; this produces the shareable artifact.
+// and the storage claim, writes a single Markdown report with measured
+// numbers next to the paper's, and a canonical machine-readable
+// BENCH_repro.json (the "smtu-repro-v1" schema) for per-PR perf tracking
+// via tools/bench_diff.py. The per-figure binaries remain the tools for
+// focused runs and sweeps; this produces the shareable artifacts.
 //
-//   ./reproduce_all [--out=REPORT.md] [--scale=1.0] [--seed=...]
+//   ./reproduce_all [--out=REPORT.md] [--json=BENCH_repro.json]
+//                   [--scale=1.0] [--seed=...]
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -11,7 +14,10 @@
 #include "bench_common.hpp"
 #include "hism/stats.hpp"
 #include "kernels/utilization.hpp"
+#include "support/assert.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
+#include "vsim/json_export.hpp"
 
 namespace {
 
@@ -22,21 +28,21 @@ void markdown_table(std::ostream& out, const TextTable& table) {
   out << '\n';
 }
 
-struct SetSummary {
-  double min_speedup = 1e300;
-  double max_speedup = 0.0;
-  double sum_speedup = 0.0;
-  usize count = 0;
+struct FigureResult {
+  const char* figure;  // "fig11" ...
+  const char* set;
+  double paper_min, paper_max, paper_avg;
+  std::vector<bench::MatrixRecord> records;
 };
 
-SetSummary run_set(std::ostream& out, const std::string& set_name,
-                   const std::string& metric_header,
-                   double (*metric)(const suite::MatrixMetrics&),
-                   const suite::SuiteOptions& suite_options,
-                   const vsim::MachineConfig& config) {
+std::vector<bench::MatrixRecord> run_set(std::ostream& out, const std::string& set_name,
+                                         const std::string& metric_header,
+                                         double (*metric)(const suite::MatrixMetrics&),
+                                         const suite::SuiteOptions& suite_options,
+                                         const vsim::MachineConfig& config) {
   const auto set = suite::build_dsab_set(set_name, suite_options);
   TextTable table({"matrix", metric_header, "nnz", "HiSM cyc/nnz", "CRS cyc/nnz", "speedup"});
-  SetSummary summary;
+  std::vector<bench::MatrixRecord> records;
   for (const auto& entry : set) {
     const auto comparison = bench::compare_transposes(entry, config, /*verify=*/false);
     table.add_row({entry.name, format("%.2f", metric(entry.metrics)),
@@ -44,15 +50,24 @@ SetSummary run_set(std::ostream& out, const std::string& set_name,
                    format("%.2f", comparison.hism_cycles_per_nnz),
                    format("%.2f", comparison.crs_cycles_per_nnz),
                    format("%.1f", comparison.speedup)});
-    summary.min_speedup = std::min(summary.min_speedup, comparison.speedup);
-    summary.max_speedup = std::max(summary.max_speedup, comparison.speedup);
-    summary.sum_speedup += comparison.speedup;
-    summary.count++;
+    records.push_back({entry.name, entry.set, metric_header, metric(entry.metrics),
+                      entry.matrix.nnz(), comparison});
     std::fprintf(stderr, "  %s done\n", entry.name.c_str());
   }
   markdown_table(out, table);
-  return summary;
+  return records;
 }
+
+struct Fig10Grid {
+  std::vector<u32> bandwidths{1, 2, 4, 8};
+  std::vector<u32> lines{1, 2, 4, 8};
+  std::vector<std::vector<double>> utilization;  // [bandwidth][lines]
+};
+
+struct StorageSummary {
+  double hism_crs_byte_ratio_avg = 0.0;
+  double overhead_fraction_avg = 0.0;
+};
 
 }  // namespace
 
@@ -60,6 +75,9 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   const std::string out_path = cli.get_string("out", "REPORT.md");
   bench::BenchOptions options = bench::parse_options(cli);
+  // The JSON artifact is always produced; it lands next to REPORT.md under
+  // its canonical name unless --json overrides the path.
+  if (!options.json_path) options.json_path = "BENCH_repro.json";
   const vsim::MachineConfig config;
 
   std::ofstream out(out_path);
@@ -79,6 +97,7 @@ int main(int argc, char** argv) {
   // ---- Fig. 10 -----------------------------------------------------------
   std::fprintf(stderr, "Fig. 10 ...\n");
   out << "## Fig. 10 — buffer bandwidth utilization\n\n";
+  Fig10Grid fig10;
   {
     const auto suite_matrices = suite::build_dsab_suite(options.suite);
     std::vector<HismMatrix> hisms;
@@ -86,9 +105,10 @@ int main(int argc, char** argv) {
       hisms.push_back(HismMatrix::from_coo(entry.matrix, config.section));
     }
     TextTable table({"B", "L=1", "L=2", "L=4", "L=8"});
-    for (const u32 bandwidth : {1u, 2u, 4u, 8u}) {
+    for (const u32 bandwidth : fig10.bandwidths) {
       std::vector<std::string> row = {format("%u", bandwidth)};
-      for (const u32 lines : {1u, 2u, 4u, 8u}) {
+      std::vector<double> util_row;
+      for (const u32 lines : fig10.lines) {
         StmConfig stm;
         stm.bandwidth = bandwidth;
         stm.lines = lines;
@@ -96,8 +116,10 @@ int main(int argc, char** argv) {
         for (const HismMatrix& hism : hisms) {
           sum += kernels::stm_utilization(hism, stm).utilization;
         }
-        row.push_back(format("%.3f", sum / static_cast<double>(hisms.size())));
+        util_row.push_back(sum / static_cast<double>(hisms.size()));
+        row.push_back(format("%.3f", util_row.back()));
       }
+      fig10.utilization.push_back(std::move(util_row));
       table.add_row(std::move(row));
     }
     markdown_table(out, table);
@@ -108,45 +130,48 @@ int main(int argc, char** argv) {
   // ---- Figs. 11-13 ---------------------------------------------------------
   struct Figure {
     const char* title;
+    const char* figure;
     const char* set;
     const char* metric_header;
     double (*metric)(const suite::MatrixMetrics&);
     double paper_min, paper_max, paper_avg;
   };
   const Figure figures[] = {
-      {"Fig. 11 — performance vs. locality", suite::kSetLocality, "locality",
+      {"Fig. 11 — performance vs. locality", "fig11", suite::kSetLocality, "locality",
        [](const suite::MatrixMetrics& m) { return m.locality; }, 1.8, 32.0, 16.5},
-      {"Fig. 12 — performance vs. avg non-zeros/row", suite::kSetAnz, "nnz/row",
+      {"Fig. 12 — performance vs. avg non-zeros/row", "fig12", suite::kSetAnz, "nnz/row",
        [](const suite::MatrixMetrics& m) { return m.avg_nnz_per_row; }, 11.9, 28.9, 20.0},
-      {"Fig. 13 — performance vs. size", suite::kSetSize, "nnz",
+      {"Fig. 13 — performance vs. size", "fig13", suite::kSetSize, "nnz",
        [](const suite::MatrixMetrics& m) { return static_cast<double>(m.nnz); }, 3.4, 28.2,
        15.5},
   };
-  SetSummary overall;
+  std::vector<FigureResult> figure_results;
+  std::vector<bench::MatrixRecord> all_records;
   for (const Figure& figure : figures) {
     std::fprintf(stderr, "%s ...\n", figure.title);
     out << "## " << figure.title << "\n\n";
-    const SetSummary summary = run_set(out, figure.set, figure.metric_header, figure.metric,
-                                       options.suite, config);
+    FigureResult result{figure.figure, figure.set, figure.paper_min, figure.paper_max,
+                        figure.paper_avg, {}};
+    result.records = run_set(out, figure.set, figure.metric_header, figure.metric,
+                             options.suite, config);
+    const bench::SpeedupSummary summary = bench::summarize_speedups(result.records);
     out << format("measured speedup: min %.1f, max %.1f, avg %.1f — paper: %.1f / %.1f / %.1f\n\n",
-                  summary.min_speedup, summary.max_speedup,
-                  summary.sum_speedup / static_cast<double>(summary.count), figure.paper_min,
-                  figure.paper_max, figure.paper_avg);
-    overall.min_speedup = std::min(overall.min_speedup, summary.min_speedup);
-    overall.max_speedup = std::max(overall.max_speedup, summary.max_speedup);
-    overall.sum_speedup += summary.sum_speedup;
-    overall.count += summary.count;
+                  summary.min, summary.max, summary.avg, figure.paper_min, figure.paper_max,
+                  figure.paper_avg);
+    all_records.insert(all_records.end(), result.records.begin(), result.records.end());
+    figure_results.push_back(std::move(result));
   }
 
   // ---- Headline + storage --------------------------------------------------
+  const bench::SpeedupSummary headline = bench::summarize_speedups(all_records);
   out << "## Headline\n\n";
-  out << format("All 30 matrices: speedup %.1f .. %.1f, average %.1f "
+  out << format("All %zu matrices: speedup %.1f .. %.1f, average %.1f "
                 "(paper: 1.8 .. 32.0, average 17.6).\n\n",
-                overall.min_speedup, overall.max_speedup,
-                overall.sum_speedup / static_cast<double>(overall.count));
+                headline.count, headline.min, headline.max, headline.avg);
 
   std::fprintf(stderr, "storage ...\n");
   out << "## Storage (§II claim)\n\n";
+  StorageSummary storage;
   {
     double ratio_sum = 0.0;
     double overhead_sum = 0.0;
@@ -159,13 +184,91 @@ int main(int argc, char** argv) {
       overhead_sum += stats.overhead_fraction;
       ++count;
     }
+    storage.hism_crs_byte_ratio_avg = ratio_sum / static_cast<double>(count);
+    storage.overhead_fraction_avg = overhead_sum / static_cast<double>(count);
     out << format("HiSM/CRS byte ratio averages %.2f over the suite; hierarchy overhead "
                   "averages %.1f%% (paper: ~2-5%% at s = 64).\n",
-                  ratio_sum / static_cast<double>(count),
-                  100.0 * overhead_sum / static_cast<double>(count));
+                  storage.hism_crs_byte_ratio_avg, 100.0 * storage.overhead_fraction_avg);
+  }
+
+  // ---- machine-readable artifact -------------------------------------------
+  {
+    std::ofstream json_out(*options.json_path);
+    SMTU_CHECK_MSG(static_cast<bool>(json_out),
+                   "cannot open JSON output " + *options.json_path);
+    JsonWriter json(json_out);
+    json.begin_object();
+    json.key("schema");
+    json.value("smtu-repro-v1");
+    json.key("bench");
+    json.value("reproduce_all");
+    json.key("config");
+    vsim::write_machine_config_json(json, config);
+    json.key("suite");
+    json.begin_object();
+    json.key("scale");
+    json.value(options.suite.scale);
+    json.key("seed");
+    json.value(options.suite.seed);
+    json.end_object();
+    json.key("fig10");
+    json.begin_object();
+    json.key("bandwidths");
+    json.begin_array();
+    for (const u32 bandwidth : fig10.bandwidths) json.value(static_cast<u64>(bandwidth));
+    json.end_array();
+    json.key("lines");
+    json.begin_array();
+    for (const u32 lines : fig10.lines) json.value(static_cast<u64>(lines));
+    json.end_array();
+    json.key("utilization");
+    json.begin_array();
+    for (const auto& row : fig10.utilization) {
+      json.begin_array();
+      for (const double utilization : row) json.value(utilization);
+      json.end_array();
+    }
+    json.end_array();
+    json.end_object();
+    json.key("figures");
+    json.begin_array();
+    for (const FigureResult& result : figure_results) {
+      json.begin_object();
+      json.key("figure");
+      json.value(result.figure);
+      json.key("set");
+      json.value(result.set);
+      json.key("matrices");
+      bench::write_matrix_records_json(json, result.records);
+      json.key("summary");
+      bench::write_speedup_summary_json(json, bench::summarize_speedups(result.records));
+      json.key("paper");
+      json.begin_object();
+      json.key("min_speedup");
+      json.value(result.paper_min);
+      json.key("max_speedup");
+      json.value(result.paper_max);
+      json.key("avg_speedup");
+      json.value(result.paper_avg);
+      json.end_object();
+      json.end_object();
+    }
+    json.end_array();
+    json.key("headline");
+    bench::write_speedup_summary_json(json, headline);
+    json.key("storage");
+    json.begin_object();
+    json.key("hism_crs_byte_ratio_avg");
+    json.value(storage.hism_crs_byte_ratio_avg);
+    json.key("overhead_fraction_avg");
+    json.value(storage.overhead_fraction_avg);
+    json.end_object();
+    json.end_object();
+    json_out << '\n';
+    SMTU_CHECK_MSG(json.complete(), "BENCH_repro.json document left unbalanced");
   }
 
   std::fprintf(stderr, "report written to %s\n", out_path.c_str());
-  std::printf("wrote %s\n", out_path.c_str());
+  std::printf("wrote %s and %s\n", out_path.c_str(), options.json_path->c_str());
   return 0;
 }

@@ -2,10 +2,11 @@
 // CRS across the full 30-matrix suite.
 //
 // Paper: range 1.8 .. 32.0, average 17.6.
-#include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
+#include "support/assert.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -22,22 +23,31 @@ int main(int argc, char** argv) {
               mtxdir.empty() ? "synthetic D-SAB stand-in" : mtxdir.c_str());
 
   TextTable table({"matrix", "set", "nnz", "HiSM cyc/nnz", "CRS cyc/nnz", "speedup"});
-  std::vector<double> speedups;
+  std::vector<bench::MatrixRecord> records;
   for (const auto& entry : suite_matrices) {
     const auto comparison = bench::compare_transposes(entry, config, options.verify);
-    speedups.push_back(comparison.speedup);
     table.add_row({entry.name, entry.set, format("%zu", entry.matrix.nnz()),
                    format("%.2f", comparison.hism_cycles_per_nnz),
                    format("%.2f", comparison.crs_cycles_per_nnz),
                    format("%.1f", comparison.speedup)});
+    records.push_back({entry.name, entry.set, /*metric_name=*/"", /*metric=*/0.0,
+                       entry.matrix.nnz(), comparison});
   }
-  bench::emit(table, options);
+  bench::emit(table, options.csv_path);
+  if (options.json_path) {
+    std::ofstream out(*options.json_path);
+    SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open JSON output " + *options.json_path);
+    bench::write_bench_report_json(out, "summary_speedup", config, options.suite, records);
+    std::fprintf(stderr, "wrote JSON report to %s\n", options.json_path->c_str());
+  }
+  if (options.trace_json_path) {
+    bench::write_transpose_trace_json(*options.trace_json_path, suite_matrices.front(),
+                                      config);
+  }
 
-  const auto [min_it, max_it] = std::minmax_element(speedups.begin(), speedups.end());
-  double sum = 0.0;
-  for (const double s : speedups) sum += s;
-  std::printf("\nmeasured: speedup %.1f .. %.1f, average %.1f (%zu matrices)\n", *min_it,
-              *max_it, sum / static_cast<double>(speedups.size()), speedups.size());
+  const bench::SpeedupSummary summary = bench::summarize_speedups(records);
+  std::printf("\nmeasured: speedup %.1f .. %.1f, average %.1f (%zu matrices)\n", summary.min,
+              summary.max, summary.avg, summary.count);
   std::printf("paper:    speedup 1.8 .. 32.0, average 17.6 (30 matrices)\n");
   return 0;
 }

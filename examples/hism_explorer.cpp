@@ -2,22 +2,30 @@
 // block format and what it costs to store, next to CRS and Jagged Diagonal.
 //
 //   ./hism_explorer [--matrix=<path.mtx>] [--section=64] [--pattern=stencil5]
-//                   [--dim=1000] [--nnz=20000]
+//                   [--dim=1000] [--nnz=20000] [--trace-json=<out.json>]
 //
 // Without --matrix, a synthetic matrix is generated (--pattern one of:
 // random, stencil5, stencil9, banded, diagonal, clusters).
+//
+// --trace-json additionally runs the HiSM transposition kernel on the
+// simulated STM-equipped machine, prints its cycle statistics, and dumps the
+// execution trace in Chrome trace-event format (open in chrome://tracing or
+// Perfetto; one track per functional unit — see docs/TRACE.md).
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "formats/csr.hpp"
 #include "formats/jagged.hpp"
 #include "formats/matrix_market.hpp"
 #include "hism/stats.hpp"
+#include "kernels/hism_transpose.hpp"
 #include "suite/generators.hpp"
 #include "suite/metrics.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "vsim/json_export.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -27,6 +35,7 @@ int main(int argc, char** argv) {
   const std::string pattern = cli.get_string("pattern", "stencil5");
   const Index dim = static_cast<Index>(cli.get_int("dim", 1000));
   const usize nnz = static_cast<usize>(cli.get_int("nnz", 20000));
+  const std::string trace_json = cli.get_string("trace-json", "");
   cli.finish();
 
   Rng rng(7);
@@ -85,5 +94,29 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(jd_bytes));
   std::printf("HiSM/CRS ratio: %.2f\n", static_cast<double>(stats.storage_bytes) /
                                             static_cast<double>(csr.storage_bytes()));
+
+  if (!trace_json.empty()) {
+    vsim::MachineConfig machine_config;
+    machine_config.section = section;
+    vsim::ExecutionTrace trace(usize{1} << 20);
+    std::printf("\nsimulated HiSM transposition (s=%u, STM B=%u, L=%u):\n", section,
+                machine_config.stm.bandwidth, machine_config.stm.lines);
+    const auto result = kernels::run_hism_transpose(
+        hism, machine_config, /*split_drain_registers=*/false, &trace);
+    if (!structurally_equal(result.transposed.to_coo(), matrix.transposed())) {
+      std::fprintf(stderr, "simulated transpose does not match the reference\n");
+      return 1;
+    }
+    std::fputs(vsim::run_stats_summary(result.stats).c_str(), stdout);
+    std::ofstream trace_out(trace_json);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_json.c_str());
+      return 2;
+    }
+    vsim::write_chrome_trace(trace_out, trace, "hism_transpose");
+    std::printf("wrote Chrome trace (%zu events, %llu dropped) to %s\n",
+                trace.events().size(), static_cast<unsigned long long>(trace.dropped()),
+                trace_json.c_str());
+  }
   return 0;
 }

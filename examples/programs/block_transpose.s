@@ -4,10 +4,31 @@
 #
 # Inputs:  r1 = block-array position base, r2 = block length n,
 #          r3 = block-array value base (= r1 + align4(2n))
+#          r7 = if non-zero, first synthesize a demo block of n entries on
+#               the anti-diagonal (entry i at row i, column n-1-i, value i),
+#               so the program is runnable without externally staged memory
 #
 # Run with: ./vsim_run programs/block_transpose.s --r1=4096 --r2=0 --r3=4096
+# Demo:     ./vsim_run programs/block_transpose.s --r1=4096 --r2=16 --r3=8192 \
+#               --r7=1 --timeline --trace-json=block_transpose_trace.json
 main:
     beq   r2, r0, done
+    beq   r7, r0, transpose
+    li    r8, 0              # ---- stage the demo block: i = 0..n-1 --------
+init:
+    bge   r8, r2, transpose
+    slli  r9, r8, 1
+    add   r9, r9, r1         # &positions[i]
+    sb    r8, 0(r9)          # row = i
+    sub   r10, r2, r8
+    addi  r10, r10, -1
+    sb    r10, 1(r9)         # col = n-1-i
+    slli  r10, r8, 2
+    add   r10, r10, r3       # &values[i]
+    sw    r8, (r10)          # value = i
+    addi  r8, r8, 1
+    beq   r0, r0, init
+transpose:
     icm                      # clear the non-zero indicators
     mv    r4, r1             # position cursor
     mv    r5, r3             # value cursor

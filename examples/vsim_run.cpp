@@ -3,11 +3,13 @@
 //
 //   ./vsim_run program.s [--r1=value ... --r9=value] [--section=64]
 //               [--no-chaining] [--trace=N] [--dump-regs] [--listing]
-//               [--timeline] [--events]
+//               [--timeline] [--events] [--trace-json=out.json]
 //
 // Scalar registers r1..r29 can be preset via --rN=value (decimal or hex).
 // After the run, cycle statistics are printed; --dump-regs adds the final
-// scalar register file.
+// scalar register file. --trace-json writes the execution trace in Chrome
+// trace-event format (load it in chrome://tracing or Perfetto; one track
+// per functional unit — see docs/TRACE.md).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -15,6 +17,7 @@
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 #include "vsim/assembler.hpp"
+#include "vsim/json_export.hpp"
 #include "vsim/machine.hpp"
 #include "vsim/trace.hpp"
 
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
   const bool listing = cli.get_flag("listing");
   const bool timeline = cli.get_flag("timeline");
   const bool events = cli.get_flag("events");
+  const std::string trace_json = cli.get_string("trace-json", "");
 
   vsim::MachineConfig config;
   config.section = static_cast<u32>(section);
@@ -65,8 +69,8 @@ int main(int argc, char** argv) {
   machine.set_sreg(vsim::kRegSp, 0x10000);  // stack below the usual image base
   machine.memory().ensure(0, 1 << 20);      // a scratch megabyte
   if (trace > 0) machine.enable_trace(static_cast<u64>(trace));
-  vsim::ExecutionTrace execution_trace(512);
-  if (timeline || events) machine.attach_trace(&execution_trace);
+  vsim::ExecutionTrace execution_trace(trace_json.empty() ? 512 : (usize{1} << 20));
+  if (timeline || events || !trace_json.empty()) machine.attach_trace(&execution_trace);
 
   const vsim::RunStats stats =
       machine.run(program, program.has_label("main") ? program.label("main") : 0);
@@ -80,6 +84,16 @@ int main(int argc, char** argv) {
     std::ostringstream gantt;
     execution_trace.print_timeline(gantt);
     std::fputs(gantt.str().c_str(), stdout);
+  }
+  if (!trace_json.empty()) {
+    std::ofstream trace_out(trace_json);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_json.c_str());
+      return 2;
+    }
+    vsim::write_chrome_trace(trace_out, execution_trace, cli.positional()[0]);
+    std::fprintf(stderr, "wrote Chrome trace (%zu events) to %s\n",
+                 execution_trace.events().size(), trace_json.c_str());
   }
 
   if (dump_regs) {

@@ -136,11 +136,13 @@ vsim::Machine make_machine_with_image(const HismMatrix& hism,
 
 HismTransposeResult run_hism_transpose(const HismMatrix& hism,
                                        const vsim::MachineConfig& config,
-                                       bool split_drain_registers) {
+                                       bool split_drain_registers,
+                                       vsim::ExecutionTrace* trace) {
   const vsim::Program program =
       vsim::assemble(hism_transpose_source(split_drain_registers));
   HismImage image;
   vsim::Machine machine = make_machine_with_image(hism, config, image);
+  machine.attach_trace(trace);
   HismTransposeResult result;
   result.stats = machine.run(program);
   result.transposed = read_back_hism(machine, image, /*swap_dims=*/true);
@@ -148,11 +150,13 @@ HismTransposeResult run_hism_transpose(const HismMatrix& hism,
 }
 
 vsim::RunStats time_hism_transpose(const HismMatrix& hism, const vsim::MachineConfig& config,
-                                   bool split_drain_registers) {
+                                   bool split_drain_registers,
+                                   vsim::ExecutionTrace* trace) {
   const vsim::Program program =
       vsim::assemble(hism_transpose_source(split_drain_registers));
   HismImage image;
   vsim::Machine machine = make_machine_with_image(hism, config, image);
+  machine.attach_trace(trace);
   return machine.run(program);
 }
 

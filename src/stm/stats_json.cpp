@@ -1,0 +1,27 @@
+#include "stm/stats_json.hpp"
+
+namespace smtu {
+
+void write_stm_stats_json(JsonWriter& json, const StmUnit::Stats& stats,
+                          const StmConfig& config) {
+  json.begin_object();
+  json.key("blocks");
+  json.value(stats.blocks);
+  json.key("elements_in");
+  json.value(stats.elements_in);
+  json.key("elements_out");
+  json.value(stats.elements_out);
+  json.key("write_cycles");
+  json.value(stats.write_cycles);
+  json.key("read_cycles");
+  json.value(stats.read_cycles);
+  const u64 io_cycles = stats.write_cycles + stats.read_cycles;
+  const double capacity = static_cast<double>(io_cycles) * config.bandwidth;
+  json.key("buffer_utilization");
+  json.value(capacity == 0.0
+                 ? 0.0
+                 : static_cast<double>(stats.elements_in + stats.elements_out) / capacity);
+  json.end_object();
+}
+
+}  // namespace smtu

@@ -1,0 +1,16 @@
+// JSON export of the STM unit's lifetime micro-statistics, for the
+// observability layer's per-unit counters (see docs/TRACE.md).
+#pragma once
+
+#include "stm/unit.hpp"
+#include "support/json.hpp"
+
+namespace smtu {
+
+// Writes `stats` as one JSON object keyed by the Stats member names, plus
+// the derived `buffer_utilization` = (in + out) / ((write + read) * B),
+// the §IV-C metric the Fig. 10 sweep reports.
+void write_stm_stats_json(JsonWriter& json, const StmUnit::Stats& stats,
+                          const StmConfig& config);
+
+}  // namespace smtu

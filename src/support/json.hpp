@@ -1,11 +1,16 @@
-// Minimal JSON writer (no parsing) so benchmark tables can be exported for
-// plotting. Produces compact, valid JSON with correct string escaping and
+// Minimal JSON support: a streaming writer so benchmark tables and run
+// statistics can be exported for plotting/regression tracking, and a small
+// recursive-descent parser so tests and tools can validate those exports.
+// The writer produces compact, valid JSON with correct string escaping and
 // locale-independent number formatting.
 #pragma once
 
 #include <initializer_list>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "support/table.hpp"
@@ -54,5 +59,60 @@ class JsonWriter {
 // Serializes a TextTable as an array of objects keyed by the header cells.
 // Numeric-looking cells are emitted as numbers.
 void write_table_as_json(std::ostream& out, const TextTable& table);
+
+// Parsed JSON document. Numbers are stored as double (the exporters in this
+// repo never exceed 2^53, the exact-integer range); object member order is
+// preserved so golden tests can assert stable key ordering.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors abort (SMTU_CHECK) on kind mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  i64 as_i64() const;
+  u64 as_u64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;    // array elements
+  const std::vector<Member>& members() const;     // object members, in order
+
+  usize size() const;  // array/object element count
+
+  // Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  // Like find, but aborts when the key is missing.
+  const JsonValue& at(std::string_view key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool flag);
+  static JsonValue make_number(double number);
+  static JsonValue make_string(std::string text);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<Member> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, nothing
+// else). Returns nullopt on malformed input and, when `error` is non-null,
+// stores a one-line description with the byte offset.
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error = nullptr);
 
 }  // namespace smtu

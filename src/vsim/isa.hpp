@@ -118,6 +118,10 @@ enum class Op : u8 {
   kVScaC,  // v_scac vs, off(rs), vpos : memf32[rs + off + 4*col(pos_i)] += vs[i]
 };
 
+// Number of opcodes; keep in sync with the last enumerator above. Used by
+// tooling that iterates the ISA (docs coverage test, trace exporters).
+inline constexpr usize kOpCount = static_cast<usize>(Op::kVScaC) + 1;
+
 const char* op_name(Op op);
 
 // Decoded instruction. Register fields a..d are scalar or vector register

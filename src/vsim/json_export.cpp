@@ -1,0 +1,214 @@
+#include "vsim/json_export.hpp"
+
+#include <algorithm>
+
+namespace smtu::vsim {
+
+namespace {
+
+// One row per counter keeps the writer, the reader, and the docs in lock
+// step: add a RunStats member here and both directions pick it up.
+struct StatsField {
+  const char* key;
+  u64 RunStats::* member;
+};
+
+constexpr StatsField kU64Fields[] = {
+    {"instructions", &RunStats::instructions},
+    {"scalar_instructions", &RunStats::scalar_instructions},
+    {"vector_instructions", &RunStats::vector_instructions},
+    {"vector_elements", &RunStats::vector_elements},
+    {"mem_contiguous_bytes", &RunStats::mem_contiguous_bytes},
+    {"mem_indexed_elements", &RunStats::mem_indexed_elements},
+    {"stm_blocks", &RunStats::stm_blocks},
+    {"stm_write_cycles", &RunStats::stm_write_cycles},
+    {"stm_read_cycles", &RunStats::stm_read_cycles},
+    {"stm_elements", &RunStats::stm_elements},
+    {"vmem_busy_cycles", &RunStats::vmem_busy_cycles},
+    {"valu_busy_cycles", &RunStats::valu_busy_cycles},
+    {"stm_busy_cycles", &RunStats::stm_busy_cycles},
+};
+
+}  // namespace
+
+void write_run_stats_json(JsonWriter& json, const RunStats& stats) {
+  json.begin_object();
+  json.key("cycles");
+  json.value(static_cast<u64>(stats.cycles));
+  for (const StatsField& field : kU64Fields) {
+    json.key(field.key);
+    json.value(stats.*field.member);
+  }
+  json.end_object();
+}
+
+std::optional<RunStats> run_stats_from_json(const JsonValue& value) {
+  if (!value.is_object()) return std::nullopt;
+  const JsonValue* cycles = value.find("cycles");
+  if (cycles == nullptr || !cycles->is_number()) return std::nullopt;
+  RunStats stats;
+  stats.cycles = static_cast<Cycle>(cycles->as_u64());
+  for (const StatsField& field : kU64Fields) {
+    const JsonValue* counter = value.find(field.key);
+    if (counter == nullptr || !counter->is_number()) return std::nullopt;
+    stats.*field.member = counter->as_u64();
+  }
+  return stats;
+}
+
+void write_machine_config_json(JsonWriter& json, const MachineConfig& config) {
+  json.begin_object();
+  json.key("section");
+  json.value(static_cast<u64>(config.section));
+  json.key("lanes");
+  json.value(static_cast<u64>(config.lanes));
+  json.key("chaining");
+  json.value(config.chaining);
+  json.key("valu_startup");
+  json.value(static_cast<u64>(config.valu_startup));
+  json.key("mem_startup");
+  json.value(static_cast<u64>(config.mem_startup));
+  json.key("mem_bytes_per_cycle");
+  json.value(static_cast<u64>(config.mem_bytes_per_cycle));
+  json.key("mem_indexed_elems_per_cycle");
+  json.value(static_cast<u64>(config.mem_indexed_elems_per_cycle));
+  json.key("mem_pipelined_startup");
+  json.value(config.mem_pipelined_startup);
+  json.key("scalar_issue_width");
+  json.value(static_cast<u64>(config.scalar_issue_width));
+  json.key("scalar_mem_ports");
+  json.value(static_cast<u64>(config.scalar_mem_ports));
+  json.key("scalar_load_latency");
+  json.value(static_cast<u64>(config.scalar_load_latency));
+  json.key("scalar_op_latency");
+  json.value(static_cast<u64>(config.scalar_op_latency));
+  json.key("mul_latency");
+  json.value(static_cast<u64>(config.mul_latency));
+  json.key("branch_penalty");
+  json.value(static_cast<u64>(config.branch_penalty));
+  json.key("stm");
+  json.begin_object();
+  json.key("bandwidth");
+  json.value(static_cast<u64>(config.stm.bandwidth));
+  json.key("lines");
+  json.value(static_cast<u64>(config.stm.lines));
+  json.key("strict_consecutive_lines");
+  json.value(config.stm.strict_consecutive_lines);
+  json.key("fill_pipeline_cycles");
+  json.value(static_cast<u64>(config.stm.fill_pipeline_cycles));
+  json.key("drain_pipeline_cycles");
+  json.value(static_cast<u64>(config.stm.drain_pipeline_cycles));
+  json.key("skip_empty_lines");
+  json.value(config.stm.skip_empty_lines);
+  json.key("double_buffer");
+  json.value(config.stm.double_buffer);
+  json.end_object();
+  json.end_object();
+}
+
+void write_chrome_trace(std::ostream& out, const ExecutionTrace& trace,
+                        const std::string& process_name) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+
+  // Track metadata: one process, one named thread per functional unit,
+  // ordered scalar / vmem / valu / stm top to bottom.
+  json.begin_object();
+  json.key("name");
+  json.value("process_name");
+  json.key("ph");
+  json.value("M");
+  json.key("pid");
+  json.value(u64{1});
+  json.key("args");
+  json.begin_object();
+  json.key("name");
+  json.value(process_name);
+  json.end_object();
+  json.end_object();
+  constexpr TraceUnit kUnits[] = {TraceUnit::kScalar, TraceUnit::kVMem, TraceUnit::kVAlu,
+                                  TraceUnit::kStm};
+  for (const TraceUnit unit : kUnits) {
+    const u64 tid = static_cast<u8>(unit);
+    json.begin_object();
+    json.key("name");
+    json.value("thread_name");
+    json.key("ph");
+    json.value("M");
+    json.key("pid");
+    json.value(u64{1});
+    json.key("tid");
+    json.value(tid);
+    json.key("args");
+    json.begin_object();
+    json.key("name");
+    json.value(trace_unit_name(unit));
+    json.end_object();
+    json.end_object();
+    json.begin_object();
+    json.key("name");
+    json.value("thread_sort_index");
+    json.key("ph");
+    json.value("M");
+    json.key("pid");
+    json.value(u64{1});
+    json.key("tid");
+    json.value(tid);
+    json.key("args");
+    json.begin_object();
+    json.key("sort_index");
+    json.value(tid);
+    json.end_object();
+    json.end_object();
+  }
+
+  // One complete ("X") slice per instruction on its unit's track. ts/dur are
+  // in the format's microsecond unit; we map one simulated cycle to 1 us so
+  // viewers show raw cycle numbers.
+  for (const TraceEvent& event : trace.events()) {
+    const u64 start = static_cast<u64>(event.start);
+    const u64 last = static_cast<u64>(std::max(event.last, event.start));
+    json.begin_object();
+    json.key("name");
+    json.value(op_name(event.op));
+    json.key("cat");
+    json.value(trace_unit_name(event.unit));
+    json.key("ph");
+    json.value("X");
+    json.key("ts");
+    json.value(start);
+    json.key("dur");
+    json.value(std::max<u64>(1, last - start));
+    json.key("pid");
+    json.value(u64{1});
+    json.key("tid");
+    json.value(static_cast<u64>(static_cast<u8>(event.unit)));
+    json.key("args");
+    json.begin_object();
+    json.key("pc");
+    json.value(static_cast<u64>(event.pc));
+    json.key("vl");
+    json.value(static_cast<u64>(event.vl));
+    json.key("issue");
+    json.value(static_cast<u64>(event.issue));
+    json.key("start");
+    json.value(start);
+    json.key("first");
+    json.value(static_cast<u64>(event.first));
+    json.key("last");
+    json.value(last);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("displayTimeUnit");
+  json.value("ns");
+  json.key("dropped");
+  json.value(trace.dropped());
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace smtu::vsim

@@ -1,0 +1,44 @@
+// Machine-readable exports of the simulator's measurement types.
+//
+// Two consumers drive the shapes here:
+//  * per-PR perf tracking — RunStats as a flat JSON object with stable keys
+//    (`tools/bench_diff.py` compares these across benchmark runs);
+//  * interactive timing inspection — ExecutionTrace as Chrome trace-event
+//    JSON (the `chrome://tracing` / Perfetto format), one track per
+//    functional unit so chaining overlap is directly visible.
+//
+// Field semantics are documented in docs/TRACE.md; the JSON keys mirror the
+// RunStats member names one-to-one so the schema never drifts from the code.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "support/json.hpp"
+#include "vsim/machine.hpp"
+#include "vsim/trace.hpp"
+
+namespace smtu::vsim {
+
+// Writes `stats` as one JSON object: every RunStats counter under its member
+// name. Usable mid-document (the caller owns surrounding structure).
+void write_run_stats_json(JsonWriter& json, const RunStats& stats);
+
+// Rebuilds RunStats from a parsed object produced by write_run_stats_json.
+// Returns nullopt if any counter key is missing or non-numeric.
+std::optional<RunStats> run_stats_from_json(const JsonValue& value);
+
+// Writes the machine configuration knobs that shape timing, so exported
+// measurements are self-describing.
+void write_machine_config_json(JsonWriter& json, const MachineConfig& config);
+
+// Chrome trace-event export. Produces a complete JSON object document:
+//   {"traceEvents": [...], "displayTimeUnit": "ns", "dropped": N}
+// with one metadata-named thread (track) per TraceUnit and one complete "X"
+// event per trace record (ts = start cycle, dur = last - start, clamped to
+// at least 1 so zero-length scalar ops stay visible). `process_name` labels
+// the single process track group.
+void write_chrome_trace(std::ostream& out, const ExecutionTrace& trace,
+                        const std::string& process_name = "vsim");
+
+}  // namespace smtu::vsim

@@ -49,6 +49,10 @@ void ExecutionTrace::print_table(std::ostream& out) const {
 void ExecutionTrace::print_timeline(std::ostream& out, usize width) const {
   if (events_.empty()) {
     out << "(empty trace)\n";
+    if (dropped_ > 0) {
+      out << format("(+%llu events beyond capacity)\n",
+                    static_cast<unsigned long long>(dropped_));
+    }
     return;
   }
   Cycle horizon = 1;
@@ -67,6 +71,10 @@ void ExecutionTrace::print_timeline(std::ostream& out, usize width) const {
       lane[i] = unit_glyph[static_cast<u8>(e.unit)];
     }
     out << format("%-11s |%s|\n", op_name(e.op), lane.c_str());
+  }
+  if (dropped_ > 0) {
+    out << format("(+%llu events beyond capacity)\n",
+                  static_cast<unsigned long long>(dropped_));
   }
 }
 

@@ -1,0 +1,65 @@
+// Documentation cross-checks: the ISA reference must cover every opcode the
+// simulator implements, and the trace reference must describe the fields the
+// exporters emit. SMTU_DOCS_DIR is injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "vsim/isa.hpp"
+
+namespace smtu::vsim {
+namespace {
+
+std::string read_doc(const std::string& name) {
+  const std::string path = std::string(SMTU_DOCS_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(Docs, IsaReferenceCoversEveryOpcode) {
+  const std::string doc = read_doc("ISA.md");
+  ASSERT_FALSE(doc.empty());
+  for (usize i = 0; i < kOpCount; ++i) {
+    const std::string mnemonic = op_name(static_cast<Op>(i));
+    ASSERT_NE(mnemonic, "?") << "op " << i << " has no mnemonic";
+    // Every instruction appears code-formatted, either bare (`halt`) or as
+    // the start of a syntax example (`add rd, rs1, rs2`).
+    const bool documented = doc.find("`" + mnemonic + "`") != std::string::npos ||
+                            doc.find("`" + mnemonic + " ") != std::string::npos;
+    EXPECT_TRUE(documented) << "docs/ISA.md does not document `" << mnemonic << "`";
+  }
+}
+
+TEST(Docs, IsaReferenceCoversAssemblerAliases) {
+  const std::string doc = read_doc("ISA.md");
+  for (const char* alias : {"call", "v_ld_idx", "v_st_idx", "v_add_imm", "v_setimm"}) {
+    EXPECT_NE(doc.find("`" + std::string(alias) + "`"), std::string::npos)
+        << "docs/ISA.md does not mention alias `" << alias << "`";
+  }
+}
+
+TEST(Docs, TraceReferenceDescribesEventFieldsAndTracks) {
+  const std::string doc = read_doc("TRACE.md");
+  ASSERT_FALSE(doc.empty());
+  // The TraceEvent timing fields, as documented for both renderers and the
+  // Chrome export.
+  for (const char* field : {"`issue`", "`start`", "`first`", "`last`", "`pc`", "`vl`"}) {
+    EXPECT_NE(doc.find(field), std::string::npos)
+        << "docs/TRACE.md does not document " << field;
+  }
+  // The four tracks and the truncation marker.
+  for (const char* needle : {"scalar", "vmem", "valu", "stm", "dropped", "capacity"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/TRACE.md does not mention " << needle;
+  }
+  // The worked example stays tied to the shipped demo program.
+  EXPECT_NE(doc.find("block_transpose.s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smtu::vsim

@@ -82,6 +82,99 @@ TEST(Json, TableKeepsNonNumericCellsAsStrings) {
   EXPECT_EQ(out.str(), "[{\"a\":\"1.5x\",\"b\":\"12%\"}]\n");
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_EQ(parse_json("true")->as_bool(), true);
+  EXPECT_EQ(parse_json("false")->as_bool(), false);
+  EXPECT_EQ(parse_json("42")->as_i64(), 42);
+  EXPECT_EQ(parse_json("-7")->as_i64(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5")->as_double(), -3.5);
+  EXPECT_DOUBLE_EQ(parse_json("1.25e2")->as_double(), 125.0);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+  EXPECT_EQ(parse_json("  [1, 2]  ")->size(), 2u);
+}
+
+TEST(JsonParse, ObjectPreservesMemberOrder) {
+  const auto doc = parse_json(R"({"zeta":1,"alpha":2,"mid":3})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_EQ(doc->size(), 3u);
+  EXPECT_EQ(doc->members()[0].first, "zeta");
+  EXPECT_EQ(doc->members()[1].first, "alpha");
+  EXPECT_EQ(doc->members()[2].first, "mid");
+  EXPECT_EQ(doc->at("alpha").as_u64(), 2u);
+  EXPECT_EQ(doc->find("absent"), nullptr);
+}
+
+TEST(JsonParse, NestedStructure) {
+  const auto doc = parse_json(R"({"rows":[{"name":"a","v":[1,2]},{"name":"b","v":[]}]})");
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& rows = doc->at("rows");
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.items()[0].at("name").as_string(), "a");
+  EXPECT_EQ(rows.items()[0].at("v").items()[1].as_i64(), 2);
+  EXPECT_EQ(rows.items()[1].at("v").size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd")")->as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(parse_json("\"\\u0041\\u00e9\"")->as_string(), "A\xc3\xa9");
+  // A \u surrogate pair decodes to one 4-byte UTF-8 sequence (U+1F600).
+  EXPECT_EQ(parse_json("\"\\ud83d\\ude00\"")->as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, MalformedInputsReportOffset) {
+  std::string error;
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} extra", &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  EXPECT_NE(error.find("at byte"), std::string::npos);
+  EXPECT_FALSE(parse_json("\"unterminated", &error).has_value());
+  EXPECT_FALSE(parse_json("[1,]", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\" 1}", &error).has_value());
+  EXPECT_FALSE(parse_json("nul", &error).has_value());
+  EXPECT_FALSE(parse_json("01", &error).has_value());
+  EXPECT_FALSE(parse_json("\"\x01\"", &error).has_value());
+  EXPECT_FALSE(parse_json(R"("\ud83d")", &error).has_value());
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  const std::string deep(400, '[');
+  std::string error;
+  EXPECT_FALSE(parse_json(deep + std::string(400, ']'), &error).has_value());
+  EXPECT_NE(error.find("nesting"), std::string::npos);
+}
+
+TEST(JsonParse, WriterOutputRoundTrips) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("text");
+  json.value("line\nbreak \"quoted\"");
+  json.key("big");
+  json.value(u64{1} << 53);
+  json.key("neg");
+  json.value(i64{-12});
+  json.key("list");
+  json.begin_array();
+  json.value(0.25);
+  json.value(false);
+  json.null();
+  json.end_array();
+  json.end_object();
+  ASSERT_TRUE(json.complete());
+
+  const auto doc = parse_json(out.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("text").as_string(), "line\nbreak \"quoted\"");
+  EXPECT_EQ(doc->at("big").as_u64(), u64{1} << 53);
+  EXPECT_EQ(doc->at("neg").as_i64(), -12);
+  EXPECT_DOUBLE_EQ(doc->at("list").items()[0].as_double(), 0.25);
+  EXPECT_EQ(doc->at("list").items()[1].as_bool(), false);
+  EXPECT_TRUE(doc->at("list").items()[2].is_null());
+}
+
 TEST(JsonDeathTest, MisuseAborts) {
   std::ostringstream out;
   {

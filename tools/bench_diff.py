@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two smtu benchmark JSON files and flag perf regressions.
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--threshold=0.05] [--all]
+
+Accepts any JSON the benchmark binaries emit: "smtu-bench-v1" /
+"smtu-repro-v1" reports (``--json=`` on the comparison benches and
+``reproduce_all``) as well as the plain table-array form the grid/ablation
+benches write. Both documents are flattened to dotted-path -> number maps;
+array elements carrying a "name"/"matrix" field are keyed by that name, so
+reordering a suite does not produce spurious diffs.
+
+A metric's direction decides what counts as a regression:
+  * higher-is-better (key contains "speedup" or "utilization"):
+        regression when NEW < OLD * (1 - threshold)
+  * lower-is-better (key contains "cycles"):
+        regression when NEW > OLD * (1 + threshold)
+  * anything else (sizes, counts, configuration echoes) is reported with
+    --all but never fails the run.
+
+Exit status: 0 = no regression, 1 = at least one regression,
+2 = usage / unreadable input. Improvements are reported but never fail.
+"""
+
+import argparse
+import json
+import sys
+
+SKIPPED_KEYS = {"schema", "bench", "seed", "scale"}
+
+
+def flatten(value, prefix, out):
+    """Collect numeric leaves of `value` into out[dotted-path]."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+        return
+    if isinstance(value, dict):
+        for key, child in value.items():
+            if key in SKIPPED_KEYS:
+                continue
+            flatten(child, f"{prefix}.{key}" if prefix else key, out)
+        return
+    if isinstance(value, list):
+        for index, child in enumerate(value):
+            label = str(index)
+            if isinstance(child, dict):
+                name = child.get("name") or child.get("matrix")
+                if isinstance(name, str):
+                    label = name
+            flatten(child, f"{prefix}[{label}]", out)
+
+
+def direction(path):
+    """'up' = higher is better, 'down' = lower is better, None = neutral."""
+    leaf = path.rsplit(".", 1)[-1]
+    if "speedup" in leaf or "utilization" in leaf:
+        return "up"
+    if "cycles" in leaf:
+        return "down"
+    return None
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench_diff: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline JSON file")
+    parser.add_argument("new", help="candidate JSON file")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="relative regression tolerance (default 0.05 = 5%%)")
+    parser.add_argument("--all", action="store_true",
+                        help="also print unchanged and neutral metrics")
+    args = parser.parse_args()
+
+    old_values, new_values = {}, {}
+    flatten(load(args.old), "", old_values)
+    flatten(load(args.new), "", new_values)
+
+    only_old = sorted(set(old_values) - set(new_values))
+    only_new = sorted(set(new_values) - set(old_values))
+    for path in only_old:
+        print(f"  [gone]    {path} (was {old_values[path]:g})")
+    for path in only_new:
+        print(f"  [new]     {path} = {new_values[path]:g}")
+
+    regressions = improvements = compared = 0
+    for path in sorted(set(old_values) & set(new_values)):
+        old, new = old_values[path], new_values[path]
+        sense = direction(path)
+        if sense is None:
+            if args.all and old != new:
+                print(f"  [info]    {path}: {old:g} -> {new:g}")
+            continue
+        compared += 1
+        if old == 0.0:
+            delta = 0.0 if new == 0.0 else float("inf")
+        else:
+            delta = (new - old) / old
+        worse = -delta if sense == "up" else delta
+        if worse > args.threshold:
+            regressions += 1
+            print(f"  [REGRESS] {path}: {old:g} -> {new:g} "
+                  f"({delta:+.1%}, {'lower' if sense == 'up' else 'higher'} is worse)")
+        elif worse < -args.threshold:
+            improvements += 1
+            print(f"  [better]  {path}: {old:g} -> {new:g} ({delta:+.1%})")
+        elif args.all and old != new:
+            print(f"  [ok]      {path}: {old:g} -> {new:g} ({delta:+.1%})")
+
+    print(f"bench_diff: {compared} metrics compared, {regressions} regression(s), "
+          f"{improvements} improvement(s), threshold {args.threshold:.0%} "
+          f"({len(only_old)} gone, {len(only_new)} new)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

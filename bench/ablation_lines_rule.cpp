@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -20,24 +21,32 @@ int main(int argc, char** argv) {
       "(avg BU over the 30-matrix suite, s=%u, B=%u)\n",
       kBandwidth, kSection, kBandwidth);
   const auto suite_matrices = suite::build_dsab_suite(options.suite);
-  std::vector<HismMatrix> hisms;
-  for (const auto& entry : suite_matrices) {
-    hisms.push_back(HismMatrix::from_coo(entry.matrix, kSection));
-  }
+  ThreadPool pool(options.jobs);
+  const auto hisms = parallel_map(pool, suite_matrices, [&](const suite::SuiteMatrix& entry) {
+    return HismMatrix::from_coo(entry.matrix, kSection);
+  });
 
   TextTable table({"L", "BU strict", "BU relaxed", "relaxed gain"});
+  struct UtilizationPair {
+    double strict_bu;
+    double relaxed_bu;
+  };
   for (const u32 lines : kLines) {
-    double strict_sum = 0.0;
-    double relaxed_sum = 0.0;
-    for (const HismMatrix& hism : hisms) {
+    const auto pairs = parallel_map(pool, hisms, [&](const HismMatrix& hism) {
       StmConfig config;
       config.section = kSection;
       config.bandwidth = kBandwidth;
       config.lines = lines;
       config.strict_consecutive_lines = true;
-      strict_sum += bench::buffer_utilization(hism, config);
+      const double strict_bu = bench::buffer_utilization(hism, config);
       config.strict_consecutive_lines = false;
-      relaxed_sum += bench::buffer_utilization(hism, config);
+      return UtilizationPair{strict_bu, bench::buffer_utilization(hism, config)};
+    });
+    double strict_sum = 0.0;
+    double relaxed_sum = 0.0;
+    for (const UtilizationPair& pair : pairs) {
+      strict_sum += pair.strict_bu;
+      relaxed_sum += pair.relaxed_bu;
     }
     const double n = static_cast<double>(hisms.size());
     table.add_row({format("%u", lines), format("%.3f", strict_sum / n),

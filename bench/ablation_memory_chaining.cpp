@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "kernels/crs_transpose.hpp"
 #include "kernels/hism_transpose.hpp"
+#include "support/parallel.hpp"
 #include "vsim/assembler.hpp"
 #include "vsim/machine.hpp"
 
@@ -59,22 +60,36 @@ int main(int argc, char** argv) {
 
   TextTable table({"matrix", "HiSM chained", "HiSM unchained", "CRS chained",
                    "CRS unchained"});
-  for (const auto& entry : set) {
-    const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
+  struct ChainTimings {
+    u64 hism_on;
+    u64 hism_off;
+    u64 crs_on;
+    u64 crs_off;
+  };
+  ThreadPool pool(options.jobs);
+  const auto timings = parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
+    // Each task mutates its own copy of the machine config.
+    vsim::MachineConfig local = config;
+    const HismMatrix hism = HismMatrix::from_coo(entry.matrix, local.section);
     const Csr csr = Csr::from_coo(entry.matrix);
-    config.chaining = true;
-    const u64 hism_on = kernels::time_hism_transpose(hism, config).cycles;
-    const u64 crs_on = kernels::time_crs_transpose(csr, config).cycles;
-    config.chaining = false;
-    const u64 hism_off = kernels::time_hism_transpose(hism, config).cycles;
-    const u64 crs_off = kernels::time_crs_transpose(csr, config).cycles;
-    config.chaining = true;
-    table.add_row({entry.name, format("%llu", static_cast<unsigned long long>(hism_on)),
-                   format("%llu (+%.0f%%)", static_cast<unsigned long long>(hism_off),
-                          100.0 * (static_cast<double>(hism_off) / static_cast<double>(hism_on) - 1.0)),
-                   format("%llu", static_cast<unsigned long long>(crs_on)),
-                   format("%llu (+%.0f%%)", static_cast<unsigned long long>(crs_off),
-                          100.0 * (static_cast<double>(crs_off) / static_cast<double>(crs_on) - 1.0))});
+    ChainTimings t;
+    local.chaining = true;
+    t.hism_on = kernels::time_hism_transpose(hism, local).cycles;
+    t.crs_on = kernels::time_crs_transpose(csr, local).cycles;
+    local.chaining = false;
+    t.hism_off = kernels::time_hism_transpose(hism, local).cycles;
+    t.crs_off = kernels::time_crs_transpose(csr, local).cycles;
+    return t;
+  });
+  for (usize i = 0; i < set.size(); ++i) {
+    const auto& entry = set[i];
+    const ChainTimings& t = timings[i];
+    table.add_row({entry.name, format("%llu", static_cast<unsigned long long>(t.hism_on)),
+                   format("%llu (+%.0f%%)", static_cast<unsigned long long>(t.hism_off),
+                          100.0 * (static_cast<double>(t.hism_off) / static_cast<double>(t.hism_on) - 1.0)),
+                   format("%llu", static_cast<unsigned long long>(t.crs_on)),
+                   format("%llu (+%.0f%%)", static_cast<unsigned long long>(t.crs_off),
+                          100.0 * (static_cast<double>(t.crs_off) / static_cast<double>(t.crs_on) - 1.0))});
   }
   bench::emit(table, options.csv_path);
   return 0;

@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 #include "kernels/crs_transpose.hpp"
 #include "kernels/hism_transpose.hpp"
+#include "support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -23,10 +24,10 @@ int main(int argc, char** argv) {
   const auto set = suite::build_dsab_set(suite::kSetLocality, suite_options);
 
   TextTable table({"matrix", "lat=2", "lat=4", "lat=8", "lat=16", "lat=32"});
-  std::vector<double> totals(std::size(kLatencies), 0.0);
-  for (const auto& entry : set) {
-    std::vector<std::string> row = {entry.name};
-    usize column = 0;
+  ThreadPool pool(options.jobs);
+  const auto speedup_rows = parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
+    std::vector<double> speedups;
+    speedups.reserve(std::size(kLatencies));
     for (const u32 latency : kLatencies) {
       vsim::MachineConfig config;
       config.scalar_load_latency = latency;
@@ -34,10 +35,16 @@ int main(int argc, char** argv) {
       const u64 hism_cycles = kernels::time_hism_transpose(hism, config).cycles;
       const u64 crs_cycles =
           kernels::time_crs_transpose(Csr::from_coo(entry.matrix), config).cycles;
-      const double speedup =
-          static_cast<double>(crs_cycles) / static_cast<double>(hism_cycles);
-      totals[column++] += speedup;
-      row.push_back(format("%.1f", speedup));
+      speedups.push_back(static_cast<double>(crs_cycles) / static_cast<double>(hism_cycles));
+    }
+    return speedups;
+  });
+  std::vector<double> totals(std::size(kLatencies), 0.0);
+  for (usize i = 0; i < set.size(); ++i) {
+    std::vector<std::string> row = {set[i].name};
+    for (usize column = 0; column < speedup_rows[i].size(); ++column) {
+      totals[column] += speedup_rows[i][column];
+      row.push_back(format("%.1f", speedup_rows[i][column]));
     }
     table.add_row(std::move(row));
   }

@@ -7,6 +7,7 @@
 
 #include "bench_common.hpp"
 #include "kernels/hism_transpose.hpp"
+#include "support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -21,19 +22,26 @@ int main(int argc, char** argv) {
   const auto set = suite::build_dsab_set(suite::kSetLocality, suite_options);
 
   TextTable table({"matrix", "s=16", "s=32", "s=64", "s=128", "s=256"});
-  std::vector<double> totals(std::size(kSections), 0.0);
-  for (const auto& entry : set) {
-    std::vector<std::string> row = {entry.name};
-    usize column = 0;
+  ThreadPool pool(options.jobs);
+  const auto per_nnz_rows = parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
+    std::vector<double> per_nnz_row;
+    per_nnz_row.reserve(std::size(kSections));
     for (const u32 section : kSections) {
       vsim::MachineConfig config;
       config.section = section;
       const HismMatrix hism = HismMatrix::from_coo(entry.matrix, section);
       const u64 cycles = kernels::time_hism_transpose(hism, config).cycles;
-      const double per_nnz =
-          static_cast<double>(cycles) / static_cast<double>(std::max<usize>(1, entry.matrix.nnz()));
-      totals[column++] += per_nnz;
-      row.push_back(format("%.2f", per_nnz));
+      per_nnz_row.push_back(static_cast<double>(cycles) /
+                            static_cast<double>(std::max<usize>(1, entry.matrix.nnz())));
+    }
+    return per_nnz_row;
+  });
+  std::vector<double> totals(std::size(kSections), 0.0);
+  for (usize i = 0; i < set.size(); ++i) {
+    std::vector<std::string> row = {set[i].name};
+    for (usize column = 0; column < per_nnz_rows[i].size(); ++column) {
+      totals[column] += per_nnz_rows[i][column];
+      row.push_back(format("%.2f", per_nnz_rows[i][column]));
     }
     table.add_row(std::move(row));
   }

@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "kernels/crs_transpose.hpp"
+#include "support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -23,14 +24,23 @@ int main(int argc, char** argv) {
   const auto set = suite::build_dsab_set(suite::kSetAnz, suite_options);
 
   TextTable table({"matrix", "nnz/row", "t=0", "t=2", "t=4", "t=8", "t=16", "t=64"});
-  for (const auto& entry : set) {
+  ThreadPool pool(options.jobs);
+  const auto cycle_rows = parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
     const Csr csr = Csr::from_coo(entry.matrix);
-    std::vector<std::string> row = {entry.name,
-                                    format("%.1f", entry.metrics.avg_nnz_per_row)};
+    std::vector<u64> cycles_row;
+    cycles_row.reserve(std::size(kThresholds));
     for (const u32 threshold : kThresholds) {
       kernels::CrsKernelOptions kernel_options;
       kernel_options.short_row_threshold = threshold;
-      const u64 cycles = kernels::time_crs_transpose(csr, config, kernel_options).cycles;
+      cycles_row.push_back(kernels::time_crs_transpose(csr, config, kernel_options).cycles);
+    }
+    return cycles_row;
+  });
+  for (usize i = 0; i < set.size(); ++i) {
+    const auto& entry = set[i];
+    std::vector<std::string> row = {entry.name,
+                                    format("%.1f", entry.metrics.avg_nnz_per_row)};
+    for (const u64 cycles : cycle_rows[i]) {
       row.push_back(format("%.1f", static_cast<double>(cycles) /
                                        static_cast<double>(entry.matrix.nnz())));
     }

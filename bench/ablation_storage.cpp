@@ -5,6 +5,7 @@
 
 #include "bench_common.hpp"
 #include "hism/stats.hpp"
+#include "support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -16,19 +17,29 @@ int main(int argc, char** argv) {
   const auto suite_matrices = suite::build_dsab_suite(options.suite);
 
   TextTable table({"matrix", "nnz", "CRS bytes", "HiSM bytes", "HiSM/CRS", "hier overhead"});
+  struct StorageRow {
+    u64 crs_bytes;
+    HismStats stats;
+  };
+  ThreadPool pool(options.jobs);
+  const auto rows = parallel_map(pool, suite_matrices, [&](const suite::SuiteMatrix& entry) {
+    const Csr csr = Csr::from_coo(entry.matrix);
+    return StorageRow{csr.storage_bytes(),
+                      compute_stats(HismMatrix::from_coo(entry.matrix, kSection))};
+  });
   double ratio_sum = 0.0;
   double overhead_sum = 0.0;
-  for (const auto& entry : suite_matrices) {
-    const Csr csr = Csr::from_coo(entry.matrix);
-    const HismStats stats = compute_stats(HismMatrix::from_coo(entry.matrix, kSection));
+  for (usize i = 0; i < suite_matrices.size(); ++i) {
+    const auto& entry = suite_matrices[i];
+    const StorageRow& r = rows[i];
     const double ratio =
-        static_cast<double>(stats.storage_bytes) / static_cast<double>(csr.storage_bytes());
+        static_cast<double>(r.stats.storage_bytes) / static_cast<double>(r.crs_bytes);
     ratio_sum += ratio;
-    overhead_sum += stats.overhead_fraction;
+    overhead_sum += r.stats.overhead_fraction;
     table.add_row({entry.name, format("%zu", entry.matrix.nnz()),
-                   format("%llu", static_cast<unsigned long long>(csr.storage_bytes())),
-                   format("%llu", static_cast<unsigned long long>(stats.storage_bytes)),
-                   format("%.2f", ratio), format("%.1f%%", 100.0 * stats.overhead_fraction)});
+                   format("%llu", static_cast<unsigned long long>(r.crs_bytes)),
+                   format("%llu", static_cast<unsigned long long>(r.stats.storage_bytes)),
+                   format("%.2f", ratio), format("%.1f%%", 100.0 * r.stats.overhead_fraction)});
   }
   bench::emit(table, options.csv_path);
 

@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -13,16 +14,28 @@
 #include "kernels/utilization.hpp"
 #include "support/assert.hpp"
 #include "support/json.hpp"
+#include "support/parallel.hpp"
 #include "support/strings.hpp"
 #include "vsim/json_export.hpp"
 #include "vsim/trace.hpp"
 
 namespace smtu::bench {
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  const auto delta = std::chrono::steady_clock::now() - since;
+  return std::chrono::duration<double, std::milli>(delta).count();
+}
+
+}  // namespace
 
 BenchOptions parse_options(CommandLine& cli) {
   BenchOptions options;
   options.suite.scale = cli.get_double("scale", 1.0);
   options.suite.seed = static_cast<u64>(cli.get_int("seed", 0xD5ABD5ABll));
+  const i64 jobs = cli.get_int("jobs", 0);
+  SMTU_CHECK_MSG(jobs >= 0, "--jobs must be >= 0 (0 = all hardware threads)");
+  options.jobs = static_cast<u32>(jobs);
   const std::string csv = cli.get_string("csv", "");
   if (!csv.empty()) options.csv_path = csv;
   const std::string json = cli.get_string("json", "");
@@ -36,6 +49,7 @@ BenchOptions parse_options(CommandLine& cli) {
 
 TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
                                        const vsim::MachineConfig& config, bool verify) {
+  const auto started = std::chrono::steady_clock::now();
   const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
   const Csr csr = Csr::from_coo(entry.matrix);
 
@@ -64,7 +78,24 @@ TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
                            ? 0.0
                            : static_cast<double>(comparison.crs_cycles) /
                                  static_cast<double>(comparison.hism_cycles);
+  comparison.wall_ms = elapsed_ms(started);
   return comparison;
+}
+
+std::vector<MatrixRecord> run_comparisons(const std::vector<suite::SuiteMatrix>& set,
+                                          const vsim::MachineConfig& config,
+                                          const BenchOptions& options,
+                                          const std::string& metric_name,
+                                          double (*metric)(const suite::MatrixMetrics&)) {
+  ThreadPool pool(options.jobs);
+  return parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
+    return MatrixRecord{entry.name,
+                        entry.set,
+                        metric_name,
+                        metric ? metric(entry.metrics) : 0.0,
+                        entry.matrix.nnz(),
+                        compare_transposes(entry, config, options.verify)};
+  });
 }
 
 double buffer_utilization(const HismMatrix& hism, const StmConfig& config) {
@@ -72,6 +103,9 @@ double buffer_utilization(const HismMatrix& hism, const StmConfig& config) {
 }
 
 std::vector<suite::SuiteMatrix> load_external_suite(const std::string& dir) {
+  std::error_code ec;
+  SMTU_CHECK_MSG(std::filesystem::is_directory(dir, ec),
+                 "--mtxdir: '" + dir + "' is not a readable directory");
   std::vector<std::filesystem::path> paths;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (entry.is_regular_file() && entry.path().extension() == ".mtx") {
@@ -126,25 +160,25 @@ int run_figure_bench(int argc, const char* const* argv, const FigureSeries& seri
     std::printf("(suite scaled by %.3f; paper scale is --scale=1)\n", options.suite.scale);
   }
 
+  const auto started = std::chrono::steady_clock::now();
   const auto set = suite::build_dsab_set(series.set, options.suite);
+  const std::vector<MatrixRecord> records =
+      run_comparisons(set, config, options, series.metric_header, series.metric);
+  const HarnessInfo harness{resolve_jobs(options.jobs), elapsed_ms(started)};
+
   TextTable table({"matrix", series.metric_header, "nnz", "HiSM cyc/nnz", "CRS cyc/nnz",
                    "speedup"});
-  std::vector<MatrixRecord> records;
-  for (const auto& entry : set) {
-    const TransposeComparison comparison = compare_transposes(entry, config, options.verify);
-    table.add_row({entry.name, format("%.2f", series.metric(entry.metrics)),
-                   format("%zu", entry.matrix.nnz()),
-                   format("%.2f", comparison.hism_cycles_per_nnz),
-                   format("%.2f", comparison.crs_cycles_per_nnz),
-                   format("%.1f", comparison.speedup)});
-    records.push_back({entry.name, entry.set, series.metric_header,
-                       series.metric(entry.metrics), entry.matrix.nnz(), comparison});
+  for (const MatrixRecord& record : records) {
+    table.add_row({record.name, format("%.2f", record.metric), format("%zu", record.nnz),
+                   format("%.2f", record.comparison.hism_cycles_per_nnz),
+                   format("%.2f", record.comparison.crs_cycles_per_nnz),
+                   format("%.1f", record.comparison.speedup)});
   }
   emit(table, options.csv_path);
   if (options.json_path) {
     std::ofstream out(*options.json_path);
     SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open JSON output " + *options.json_path);
-    write_bench_report_json(out, series.set, config, options.suite, records);
+    write_bench_report_json(out, series.set, config, options.suite, records, harness);
     std::fprintf(stderr, "wrote JSON report to %s\n", options.json_path->c_str());
   }
   if (options.trace_json_path) {
@@ -199,6 +233,8 @@ void write_matrix_records_json(JsonWriter& json, const std::vector<MatrixRecord>
     json.value(record.comparison.crs_cycles_per_nnz);
     json.key("speedup");
     json.value(record.comparison.speedup);
+    json.key("wall_ms");
+    json.value(record.comparison.wall_ms);
     json.key("hism");
     vsim::write_run_stats_json(json, record.comparison.hism_stats);
     json.key("crs");
@@ -221,10 +257,20 @@ void write_speedup_summary_json(JsonWriter& json, const SpeedupSummary& summary)
   json.end_object();
 }
 
+void write_harness_json(JsonWriter& json, const HarnessInfo& harness) {
+  json.begin_object();
+  json.key("jobs");
+  json.value(static_cast<u64>(harness.jobs));
+  json.key("wall_ms");
+  json.value(harness.wall_ms);
+  json.end_object();
+}
+
 void write_bench_report_json(std::ostream& out, const std::string& bench_name,
                              const vsim::MachineConfig& config,
                              const suite::SuiteOptions& suite_options,
-                             const std::vector<MatrixRecord>& records) {
+                             const std::vector<MatrixRecord>& records,
+                             const HarnessInfo& harness) {
   JsonWriter json(out);
   json.begin_object();
   json.key("schema");
@@ -240,6 +286,8 @@ void write_bench_report_json(std::ostream& out, const std::string& bench_name,
   json.key("seed");
   json.value(suite_options.seed);
   json.end_object();
+  json.key("harness");
+  write_harness_json(json, harness);
   json.key("matrices");
   write_matrix_records_json(json, records);
   json.key("summary");

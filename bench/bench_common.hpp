@@ -3,6 +3,10 @@
 // Every binary accepts:
 //   --scale=<0..1>     shrink the suite for quick runs (default 1 = paper scale)
 //   --seed=<u64>       suite generation seed
+//   --jobs=<N> / -j N  worker threads for per-matrix simulation (default 0 =
+//                      all hardware threads). Results are deterministic: any
+//                      -jN produces cycle counts identical to -j1; only the
+//                      wall_ms keys vary
 //   --csv=<path>       also write the table as CSV
 //   --json=<path>      machine-readable results: the comparison benches write
 //                      an "smtu-bench-v1" report (per-matrix cycles, speedups,
@@ -36,6 +40,7 @@ namespace smtu::bench {
 
 struct BenchOptions {
   suite::SuiteOptions suite;
+  u32 jobs = 0;  // --jobs/-j: 0 = all hardware threads, 1 = serial
   std::optional<std::string> csv_path;
   std::optional<std::string> json_path;
   std::optional<std::string> trace_json_path;
@@ -54,6 +59,7 @@ struct TransposeComparison {
   double hism_cycles_per_nnz = 0.0;
   double crs_cycles_per_nnz = 0.0;
   double speedup = 0.0;
+  double wall_ms = 0.0;  // host wall time of this comparison (nondeterministic)
   vsim::RunStats hism_stats;
   vsim::RunStats crs_stats;
 };
@@ -104,6 +110,23 @@ struct MatrixRecord {
   TransposeComparison comparison;
 };
 
+// Runs compare_transposes for every matrix of `set` across a thread pool
+// sized by options.jobs, preserving set order in the returned records. Each
+// task builds its own HiSM/CSR/Machine, so cycle counts are identical for
+// every jobs value; only wall_ms differs.
+std::vector<MatrixRecord> run_comparisons(const std::vector<suite::SuiteMatrix>& set,
+                                          const vsim::MachineConfig& config,
+                                          const BenchOptions& options,
+                                          const std::string& metric_name = "",
+                                          double (*metric)(const suite::MatrixMetrics&) = nullptr);
+
+// Host-side harness facts for the JSON reports: resolved worker count and
+// total wall time. Both are excluded from bench_diff gating.
+struct HarnessInfo {
+  u32 jobs = 1;
+  double wall_ms = 0.0;
+};
+
 // Speedup statistics over a record span (the per-figure summary line).
 struct SpeedupSummary {
   usize count = 0;
@@ -120,12 +143,16 @@ void write_matrix_records_json(JsonWriter& json, const std::vector<MatrixRecord>
 void write_speedup_summary_json(JsonWriter& json, const SpeedupSummary& summary);
 
 // Complete "smtu-bench-v1" document: schema/bench tags, machine config,
-// suite options, matrices, summary. This is what `--json=PATH` writes for
-// the comparison benches and what tools/bench_diff.py consumes.
+// suite options, harness info, matrices, summary. This is what `--json=PATH`
+// writes for the comparison benches and what tools/bench_diff.py consumes.
 void write_bench_report_json(std::ostream& out, const std::string& bench_name,
                              const vsim::MachineConfig& config,
                              const suite::SuiteOptions& suite_options,
-                             const std::vector<MatrixRecord>& records);
+                             const std::vector<MatrixRecord>& records,
+                             const HarnessInfo& harness = {});
+
+// The "harness" sub-object shared by smtu-bench-v1 and smtu-repro-v1.
+void write_harness_json(JsonWriter& json, const HarnessInfo& harness);
 
 // Runs the HiSM transpose of `entry` with an ExecutionTrace attached and
 // writes the Chrome trace-event JSON to `path` (the --trace-json flag).

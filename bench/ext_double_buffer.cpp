@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "kernels/hism_transpose.hpp"
+#include "support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -26,23 +27,31 @@ int main(int argc, char** argv) {
   const auto set = suite::build_dsab_set(suite::kSetLocality, suite_options);
 
   TextTable table({"matrix", "single", "dbuf naive", "dbuf pipelined", "gain"});
-  double total_gain = 0.0;
-  for (const auto& entry : set) {
+  struct BufferTimings {
+    u64 single;
+    u64 naive;
+    u64 pipelined;
+  };
+  ThreadPool pool(options.jobs);
+  const auto timings = parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
     vsim::MachineConfig config;
     const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
-
+    BufferTimings t;
     config.stm.double_buffer = false;
-    const u64 single =
-        kernels::time_hism_transpose(hism, config, /*split_drain_registers=*/true).cycles;
+    t.single = kernels::time_hism_transpose(hism, config, /*split_drain_registers=*/true).cycles;
     config.stm.double_buffer = true;
-    const u64 naive =
-        kernels::time_hism_transpose(hism, config, /*split_drain_registers=*/true).cycles;
-    const u64 pipelined = kernels::time_hism_transpose_pipelined(hism, config).cycles;
-    const double gain = static_cast<double>(single) / static_cast<double>(pipelined);
+    t.naive = kernels::time_hism_transpose(hism, config, /*split_drain_registers=*/true).cycles;
+    t.pipelined = kernels::time_hism_transpose_pipelined(hism, config).cycles;
+    return t;
+  });
+  double total_gain = 0.0;
+  for (usize i = 0; i < set.size(); ++i) {
+    const BufferTimings& t = timings[i];
+    const double gain = static_cast<double>(t.single) / static_cast<double>(t.pipelined);
     total_gain += gain;
-    table.add_row({entry.name, format("%llu", static_cast<unsigned long long>(single)),
-                   format("%llu", static_cast<unsigned long long>(naive)),
-                   format("%llu", static_cast<unsigned long long>(pipelined)),
+    table.add_row({set[i].name, format("%llu", static_cast<unsigned long long>(t.single)),
+                   format("%llu", static_cast<unsigned long long>(t.naive)),
+                   format("%llu", static_cast<unsigned long long>(t.pipelined)),
                    format("%.2fx", gain)});
   }
   table.add_row({"AVERAGE", "", "", "",

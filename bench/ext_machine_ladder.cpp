@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 #include "kernels/crs_transpose.hpp"
 #include "kernels/hism_transpose.hpp"
+#include "support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -23,16 +24,27 @@ int main(int argc, char** argv) {
 
   TextTable table({"matrix", "scalar c/nnz", "vector c/nnz", "HiSM c/nnz",
                    "vector gain", "STM gain", "total"});
-  double total_vector = 0.0;
-  double total_stm = 0.0;
-  for (const auto& entry : set) {
+  struct LadderTimings {
+    u64 scalar_cycles;
+    u64 vector_cycles;
+    u64 hism_cycles;
+  };
+  ThreadPool pool(options.jobs);
+  const auto timings = parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
     const Csr csr = Csr::from_coo(entry.matrix);
     const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
+    return LadderTimings{kernels::time_scalar_crs_transpose(csr, config).cycles,
+                         kernels::time_crs_transpose(csr, config).cycles,
+                         kernels::time_hism_transpose(hism, config).cycles};
+  });
+  double total_vector = 0.0;
+  double total_stm = 0.0;
+  for (usize i = 0; i < set.size(); ++i) {
+    const auto& entry = set[i];
     const double nnz = static_cast<double>(std::max<usize>(1, entry.matrix.nnz()));
-
-    const u64 scalar_cycles = kernels::time_scalar_crs_transpose(csr, config).cycles;
-    const u64 vector_cycles = kernels::time_crs_transpose(csr, config).cycles;
-    const u64 hism_cycles = kernels::time_hism_transpose(hism, config).cycles;
+    const u64 scalar_cycles = timings[i].scalar_cycles;
+    const u64 vector_cycles = timings[i].vector_cycles;
+    const u64 hism_cycles = timings[i].hism_cycles;
 
     const double vector_gain =
         static_cast<double>(scalar_cycles) / static_cast<double>(vector_cycles);

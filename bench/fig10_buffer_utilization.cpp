@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -24,25 +25,37 @@ int main(int argc, char** argv) {
   const auto suite_matrices = suite::build_dsab_suite(options.suite);
 
   // Build the HiSM images once; sweep the unit parameters over them.
-  std::vector<HismMatrix> hisms;
-  hisms.reserve(suite_matrices.size());
-  for (const auto& entry : suite_matrices) {
-    hisms.push_back(HismMatrix::from_coo(entry.matrix, kSection));
-  }
+  ThreadPool pool(options.jobs);
+  const auto hisms = parallel_map(pool, suite_matrices, [&](const suite::SuiteMatrix& entry) {
+    return HismMatrix::from_coo(entry.matrix, kSection);
+  });
+
+  // Each task sweeps the full (B, L) grid for one matrix; the averages are
+  // accumulated serially afterwards so the sums stay order-stable.
+  const auto grids = parallel_map(pool, hisms, [&](const HismMatrix& hism) {
+    std::vector<double> grid;
+    grid.reserve(std::size(kBandwidths) * std::size(kLines));
+    for (const u32 bandwidth : kBandwidths) {
+      for (const u32 lines : kLines) {
+        StmConfig config;
+        config.section = kSection;
+        config.bandwidth = bandwidth;
+        config.lines = lines;
+        grid.push_back(bench::buffer_utilization(hism, config));
+      }
+    }
+    return grid;
+  });
 
   TextTable table({"B", "L=1", "L=2", "L=4", "L=8"});
-  for (const u32 bandwidth : kBandwidths) {
-    std::vector<std::string> row = {format("%u", bandwidth)};
-    for (const u32 lines : kLines) {
-      StmConfig config;
-      config.section = kSection;
-      config.bandwidth = bandwidth;
-      config.lines = lines;
+  for (usize b = 0; b < std::size(kBandwidths); ++b) {
+    std::vector<std::string> row = {format("%u", kBandwidths[b])};
+    for (usize l = 0; l < std::size(kLines); ++l) {
       double sum = 0.0;
-      for (const HismMatrix& hism : hisms) {
-        sum += bench::buffer_utilization(hism, config);
+      for (const auto& grid : grids) {
+        sum += grid[b * std::size(kLines) + l];
       }
-      row.push_back(format("%.3f", sum / static_cast<double>(hisms.size())));
+      row.push_back(format("%.3f", sum / static_cast<double>(grids.size())));
     }
     table.add_row(std::move(row));
   }

@@ -7,15 +7,18 @@
 //
 //   ./reproduce_all [--out=REPORT.md] [--json=BENCH_repro.json]
 //                   [--scale=1.0] [--seed=...]
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "hism/stats.hpp"
 #include "kernels/utilization.hpp"
 #include "support/assert.hpp"
 #include "support/json.hpp"
+#include "support/parallel.hpp"
 #include "support/strings.hpp"
 #include "vsim/json_export.hpp"
 
@@ -38,22 +41,21 @@ struct FigureResult {
 std::vector<bench::MatrixRecord> run_set(std::ostream& out, const std::string& set_name,
                                          const std::string& metric_header,
                                          double (*metric)(const suite::MatrixMetrics&),
-                                         const suite::SuiteOptions& suite_options,
+                                         const bench::BenchOptions& options,
                                          const vsim::MachineConfig& config) {
-  const auto set = suite::build_dsab_set(set_name, suite_options);
+  const auto set = suite::build_dsab_set(set_name, options.suite);
+  // Fanned across the pool; record order (and thus every table/JSON row)
+  // matches the serial -j1 run.
+  const std::vector<bench::MatrixRecord> records =
+      bench::run_comparisons(set, config, options, metric_header, metric);
   TextTable table({"matrix", metric_header, "nnz", "HiSM cyc/nnz", "CRS cyc/nnz", "speedup"});
-  std::vector<bench::MatrixRecord> records;
-  for (const auto& entry : set) {
-    const auto comparison = bench::compare_transposes(entry, config, /*verify=*/false);
-    table.add_row({entry.name, format("%.2f", metric(entry.metrics)),
-                   format("%zu", entry.matrix.nnz()),
-                   format("%.2f", comparison.hism_cycles_per_nnz),
-                   format("%.2f", comparison.crs_cycles_per_nnz),
-                   format("%.1f", comparison.speedup)});
-    records.push_back({entry.name, entry.set, metric_header, metric(entry.metrics),
-                      entry.matrix.nnz(), comparison});
-    std::fprintf(stderr, "  %s done\n", entry.name.c_str());
+  for (const auto& record : records) {
+    table.add_row({record.name, format("%.2f", record.metric), format("%zu", record.nnz),
+                   format("%.2f", record.comparison.hism_cycles_per_nnz),
+                   format("%.2f", record.comparison.crs_cycles_per_nnz),
+                   format("%.1f", record.comparison.speedup)});
   }
+  std::fprintf(stderr, "  %s done (%zu matrices)\n", set_name.c_str(), records.size());
   markdown_table(out, table);
   return records;
 }
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
   // its canonical name unless --json overrides the path.
   if (!options.json_path) options.json_path = "BENCH_repro.json";
   const vsim::MachineConfig config;
+  const auto started = std::chrono::steady_clock::now();
 
   std::ofstream out(out_path);
   if (!out) {
@@ -100,10 +103,11 @@ int main(int argc, char** argv) {
   Fig10Grid fig10;
   {
     const auto suite_matrices = suite::build_dsab_suite(options.suite);
-    std::vector<HismMatrix> hisms;
-    for (const auto& entry : suite_matrices) {
-      hisms.push_back(HismMatrix::from_coo(entry.matrix, config.section));
-    }
+    ThreadPool pool(options.jobs);
+    const std::vector<HismMatrix> hisms =
+        parallel_map(pool, suite_matrices, [&](const suite::SuiteMatrix& entry) {
+          return HismMatrix::from_coo(entry.matrix, config.section);
+        });
     TextTable table({"B", "L=1", "L=2", "L=4", "L=8"});
     for (const u32 bandwidth : fig10.bandwidths) {
       std::vector<std::string> row = {format("%u", bandwidth)};
@@ -153,7 +157,7 @@ int main(int argc, char** argv) {
     FigureResult result{figure.figure, figure.set, figure.paper_min, figure.paper_max,
                         figure.paper_avg, {}};
     result.records = run_set(out, figure.set, figure.metric_header, figure.metric,
-                             options.suite, config);
+                             options, config);
     const bench::SpeedupSummary summary = bench::summarize_speedups(result.records);
     out << format("measured speedup: min %.1f, max %.1f, avg %.1f — paper: %.1f / %.1f / %.1f\n\n",
                   summary.min, summary.max, summary.avg, figure.paper_min, figure.paper_max,
@@ -173,23 +177,47 @@ int main(int argc, char** argv) {
   out << "## Storage (§II claim)\n\n";
   StorageSummary storage;
   {
+    struct StorageRow {
+      double ratio;
+      double overhead;
+    };
+    const auto suite_matrices = suite::build_dsab_suite(options.suite);
+    ThreadPool pool(options.jobs);
+    const std::vector<StorageRow> rows =
+        parallel_map(pool, suite_matrices, [&](const suite::SuiteMatrix& entry) {
+          const Csr csr = Csr::from_coo(entry.matrix);
+          const HismStats stats =
+              compute_stats(HismMatrix::from_coo(entry.matrix, config.section));
+          return StorageRow{static_cast<double>(stats.storage_bytes) /
+                                static_cast<double>(csr.storage_bytes()),
+                            stats.overhead_fraction};
+        });
+    // Summed in suite order, off the pool: identical for every -j value.
     double ratio_sum = 0.0;
     double overhead_sum = 0.0;
-    usize count = 0;
-    for (const auto& entry : suite::build_dsab_suite(options.suite)) {
-      const Csr csr = Csr::from_coo(entry.matrix);
-      const HismStats stats = compute_stats(HismMatrix::from_coo(entry.matrix, config.section));
-      ratio_sum += static_cast<double>(stats.storage_bytes) /
-                   static_cast<double>(csr.storage_bytes());
-      overhead_sum += stats.overhead_fraction;
-      ++count;
+    for (const StorageRow& row : rows) {
+      ratio_sum += row.ratio;
+      overhead_sum += row.overhead;
     }
-    storage.hism_crs_byte_ratio_avg = ratio_sum / static_cast<double>(count);
-    storage.overhead_fraction_avg = overhead_sum / static_cast<double>(count);
+    storage.hism_crs_byte_ratio_avg = ratio_sum / static_cast<double>(rows.size());
+    storage.overhead_fraction_avg = overhead_sum / static_cast<double>(rows.size());
     out << format("HiSM/CRS byte ratio averages %.2f over the suite; hierarchy overhead "
                   "averages %.1f%% (paper: ~2-5%% at s = 64).\n",
                   storage.hism_crs_byte_ratio_avg, 100.0 * storage.overhead_fraction_avg);
   }
+
+  // ---- harness -------------------------------------------------------------
+  const bench::HarnessInfo harness{
+      resolve_jobs(options.jobs),
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - started)
+          .count()};
+  out << "\n## Harness\n\n";
+  out << format("Simulations fanned over %u worker thread(s) (--jobs) on a host with %u "
+                "hardware thread(s); total wall time %.0f ms. Cycle counts are "
+                "deterministic: identical for every -j value. Wall-clock speedup tracks "
+                "the host's core count — on a single-core host the fan-out buys no time, "
+                "only the determinism guarantee is exercised.\n",
+                harness.jobs, std::thread::hardware_concurrency(), harness.wall_ms);
 
   // ---- machine-readable artifact -------------------------------------------
   {
@@ -211,6 +239,8 @@ int main(int argc, char** argv) {
     json.key("seed");
     json.value(options.suite.seed);
     json.end_object();
+    json.key("harness");
+    bench::write_harness_json(json, harness);
     json.key("fig10");
     json.begin_object();
     json.key("bandwidths");

@@ -2,11 +2,13 @@
 // CRS across the full 30-matrix suite.
 //
 // Paper: range 1.8 .. 32.0, average 17.6.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
 #include "bench_common.hpp"
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace smtu;
@@ -15,6 +17,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(cli);
   const vsim::MachineConfig config;
 
+  const auto started = std::chrono::steady_clock::now();
   const auto suite_matrices =
       mtxdir.empty() ? suite::build_dsab_suite(options.suite)
                      : bench::load_external_suite(mtxdir);
@@ -22,22 +25,26 @@ int main(int argc, char** argv) {
               suite_matrices.size(),
               mtxdir.empty() ? "synthetic D-SAB stand-in" : mtxdir.c_str());
 
+  const std::vector<bench::MatrixRecord> records =
+      bench::run_comparisons(suite_matrices, config, options);
+  const bench::HarnessInfo harness{
+      resolve_jobs(options.jobs),
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - started)
+          .count()};
+
   TextTable table({"matrix", "set", "nnz", "HiSM cyc/nnz", "CRS cyc/nnz", "speedup"});
-  std::vector<bench::MatrixRecord> records;
-  for (const auto& entry : suite_matrices) {
-    const auto comparison = bench::compare_transposes(entry, config, options.verify);
-    table.add_row({entry.name, entry.set, format("%zu", entry.matrix.nnz()),
-                   format("%.2f", comparison.hism_cycles_per_nnz),
-                   format("%.2f", comparison.crs_cycles_per_nnz),
-                   format("%.1f", comparison.speedup)});
-    records.push_back({entry.name, entry.set, /*metric_name=*/"", /*metric=*/0.0,
-                       entry.matrix.nnz(), comparison});
+  for (const auto& record : records) {
+    table.add_row({record.name, record.set, format("%zu", record.nnz),
+                   format("%.2f", record.comparison.hism_cycles_per_nnz),
+                   format("%.2f", record.comparison.crs_cycles_per_nnz),
+                   format("%.1f", record.comparison.speedup)});
   }
   bench::emit(table, options.csv_path);
   if (options.json_path) {
     std::ofstream out(*options.json_path);
     SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open JSON output " + *options.json_path);
-    bench::write_bench_report_json(out, "summary_speedup", config, options.suite, records);
+    bench::write_bench_report_json(out, "summary_speedup", config, options.suite, records,
+                                   harness);
     std::fprintf(stderr, "wrote JSON report to %s\n", options.json_path->c_str());
   }
   if (options.trace_json_path) {

@@ -15,30 +15,33 @@ constexpr u32 digit(Index coord, u32 level, u32 section) {
   return static_cast<u32>((coord / ipow(section, level)) % section);
 }
 
-// Hierarchical sort key: most-significant digits first, row before column, so
-// sorting groups entries into top-level blocks, then sub-blocks, and leaves
-// each level-0 block row-major.
-u64 hierarchical_key(Index row, Index col, u32 levels, u32 section) {
+// Hierarchical sort key: most-significant digits first, so sorting groups
+// entries into top-level blocks, then sub-blocks. The digit order at levels
+// >= 1 realizes the requested high-level storage order directly in the key —
+// no post-build re-sort pass. Level 0 is always row-major (the paper's
+// element layout).
+u64 hierarchical_key(Index row, Index col, u32 levels, u32 section,
+                     HighLevelOrder high_order) {
+  const bool col_first = high_order == HighLevelOrder::kColMajor;
   u64 key = 0;
-  for (u32 k = levels; k-- > 0;) {
-    key = (key * section + digit(row, k, section)) * section + digit(col, k, section);
+  for (u32 k = levels; k-- > 1;) {
+    const u32 r = digit(row, k, section);
+    const u32 c = digit(col, k, section);
+    key = (key * section + (col_first ? c : r)) * section + (col_first ? r : c);
   }
-  return key;
+  return (key * section + digit(row, 0, section)) * section + digit(col, 0, section);
 }
 
 }  // namespace
 
-namespace {
-
-void sort_block(BlockArray& block, bool row_major) {
+void sort_block_row_major(BlockArray& block) {
   const usize n = block.size();
   std::vector<u32> order(n);
-  for (u32 i = 0; i < n; ++i) order[i] = i;
+  for (usize i = 0; i < n; ++i) order[i] = static_cast<u32>(i);
   std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
     const BlockPos& pa = block.pos[a];
     const BlockPos& pb = block.pos[b];
-    if (row_major) return pa.row != pb.row ? pa.row < pb.row : pa.col < pb.col;
-    return pa.col != pb.col ? pa.col < pb.col : pa.row < pb.row;
+    return pa.row != pb.row ? pa.row < pb.row : pa.col < pb.col;
   });
 
   BlockArray sorted;
@@ -52,10 +55,6 @@ void sort_block(BlockArray& block, bool row_major) {
   }
   block = std::move(sorted);
 }
-
-}  // namespace
-
-void sort_block_row_major(BlockArray& block) { sort_block(block, /*row_major=*/true); }
 
 HismMatrix HismMatrix::from_coo(const Coo& coo, u32 section, HighLevelOrder high_order) {
   SMTU_CHECK_MSG(section >= 2 && section <= kMaxSection, "section size must be in [2, 256]");
@@ -73,13 +72,13 @@ HismMatrix HismMatrix::from_coo(const Coo& coo, u32 section, HighLevelOrder high
   hism.levels_.resize(levels);
 
   // Sort entries by hierarchical key so each block at every level is a
-  // contiguous range, row-major within its parent. Keys are precomputed —
-  // evaluating the digit decomposition inside the comparator would dominate
-  // construction time for paper-scale matrices.
+  // contiguous range, already in the requested storage order. Keys are
+  // precomputed — evaluating the digit decomposition inside the comparator
+  // would dominate construction time for paper-scale matrices.
   std::vector<std::pair<u64, CooEntry>> keyed;
   keyed.reserve(canonical.nnz());
   for (const CooEntry& e : canonical.entries()) {
-    keyed.emplace_back(hierarchical_key(e.row, e.col, levels, section), e);
+    keyed.emplace_back(hierarchical_key(e.row, e.col, levels, section, high_order), e);
   }
   std::sort(keyed.begin(), keyed.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -132,11 +131,6 @@ HismMatrix HismMatrix::from_coo(const Coo& coo, u32 section, HighLevelOrder high
 
   Builder builder{hism, entries, section};
   hism.root_id_ = builder.build(0, entries.size(), levels - 1);
-  if (high_order == HighLevelOrder::kColMajor) {
-    for (u32 k = 1; k < levels; ++k) {
-      for (BlockArray& block : hism.levels_[k]) sort_block(block, /*row_major=*/false);
-    }
-  }
   return hism;
 }
 

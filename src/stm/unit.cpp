@@ -8,12 +8,13 @@
 namespace smtu {
 namespace {
 
-// Cumulative I/O-buffer cycle after which each entry has moved, for a stream
-// of entries tagged with their line id. One cycle moves at most B entries,
-// all within a window of L lines (consecutive indices under the strict rule,
-// any L distinct lines otherwise).
-std::vector<u32> stream_schedule(std::span<const u8> lines, const StmConfig& config) {
-  std::vector<u32> schedule(lines.size());
+// Walks a stream of entries tagged with their line id, calling
+// per_entry(index, cycle) as each one moves, and returns the total cycle
+// count. One cycle moves at most B entries, all within a window of L lines
+// (consecutive indices under the strict rule, any L distinct lines
+// otherwise). Templated so the counting-only path allocates nothing.
+template <typename PerEntry>
+u32 stream_pass(std::span<const u8> lines, const StmConfig& config, PerEntry per_entry) {
   u32 cycles = 0;
   usize i = 0;
   while (i < lines.size()) {
@@ -33,19 +34,26 @@ std::vector<u32> stream_schedule(std::span<const u8> lines, const StmConfig& con
         ++distinct;
         last = static_cast<i32>(line);
       }
-      schedule[i] = cycles;
+      per_entry(i, cycles);
       ++taken;
       ++i;
     }
   }
-  return schedule;
+  return cycles;
+}
+
+// Cumulative I/O-buffer cycle after which each entry has moved, written into
+// `schedule` (resized to match).
+void stream_schedule(std::span<const u8> lines, const StmConfig& config,
+                     std::vector<u32>& schedule) {
+  schedule.assign(lines.size(), 0);
+  stream_pass(lines, config, [&](usize i, u32 cycle) { schedule[i] = cycle; });
 }
 
 }  // namespace
 
 u32 stream_cycles(std::span<const u8> lines, const StmConfig& config) {
-  const auto schedule = stream_schedule(lines, config);
-  return schedule.empty() ? 0 : schedule.back();
+  return stream_pass(lines, config, [](usize, u32) {});
 }
 
 StmUnit::StmUnit(const StmConfig& config) : config_(config) {
@@ -75,14 +83,14 @@ u32 StmUnit::write_batch(std::span<const StmEntry> entries) {
   Bank& bank = banks_[fill_bank_];
   SMTU_CHECK_MSG(!bank.draining,
                  "cannot fill the s x s memory while draining it; issue icm first");
-  std::vector<u8> rows;
-  rows.reserve(entries.size());
+  line_scratch_.clear();
+  line_scratch_.reserve(entries.size());
   for (const StmEntry& e : entries) {
     bank.grid.insert(e.row, e.col, e.value_bits);
     bank.filled.push_back(e);
-    rows.push_back(e.row);
+    line_scratch_.push_back(e.row);
   }
-  const u32 cycles = stream_cycles(rows, config_);
+  const u32 cycles = stream_cycles(line_scratch_, config_);
   stats_.elements_in += entries.size();
   stats_.write_cycles += cycles;
   return cycles;
@@ -106,13 +114,14 @@ void StmUnit::freeze_drain_schedule(Bank& bank) {
             [](const StmEntry& a, const StmEntry& b) {
               return a.row != b.row ? a.row < b.row : a.col < b.col;
             });
-  std::vector<u8> drain_lines;
-  drain_lines.reserve(bank.drain_entries.size());
-  for (const StmEntry& e : bank.drain_entries) drain_lines.push_back(e.row);
+  line_scratch_.clear();
+  line_scratch_.reserve(bank.drain_entries.size());
+  for (const StmEntry& e : bank.drain_entries) line_scratch_.push_back(e.row);
+  const std::span<const u8> drain_lines = line_scratch_;
   const u32 s = config_.section;
 
   if (config_.skip_empty_lines) {
-    bank.drain_cycle_of = stream_schedule(drain_lines, config_);
+    stream_schedule(drain_lines, config_, bank.drain_cycle_of);
   } else {
     // Without per-line occupancy summaries the drain scans aligned groups of
     // L consecutive columns, paying one cycle even for an empty group.
@@ -157,9 +166,7 @@ StmUnit::ReadBatch StmUnit::read_batch(u32 count) {
   const u32 before = bank.drain_cursor == 0 ? 0 : bank.drain_cycle_of[bank.drain_cursor - 1];
   const u32 after = bank.drain_cycle_of[bank.drain_cursor + count - 1];
   batch.cycles = after - before;
-  batch.entries.assign(
-      bank.drain_entries.begin() + static_cast<std::ptrdiff_t>(bank.drain_cursor),
-      bank.drain_entries.begin() + static_cast<std::ptrdiff_t>(bank.drain_cursor + count));
+  batch.entries = std::span<const StmEntry>(bank.drain_entries).subspan(bank.drain_cursor, count);
   bank.drain_cursor += count;
   stats_.elements_out += count;
   stats_.read_cycles += batch.cycles;
@@ -176,9 +183,9 @@ StmUnit::BlockResult StmUnit::transpose_block(std::span<const StmEntry> entries)
   clear();
   BlockResult result;
   result.write_cycles = write_batch(entries);
-  ReadBatch drained = read_batch(static_cast<u32>(entries.size()));
+  const ReadBatch drained = read_batch(static_cast<u32>(entries.size()));
   result.read_cycles = drained.cycles;
-  result.transposed = std::move(drained.entries);
+  result.transposed.assign(drained.entries.begin(), drained.entries.end());
   result.cycles = static_cast<u64>(result.write_cycles) + result.read_cycles +
                   config_.fill_pipeline_cycles + config_.drain_pipeline_cycles;
   return result;

@@ -77,7 +77,10 @@ class StmUnit {
   u32 write_batch(std::span<const StmEntry> entries);
 
   struct ReadBatch {
-    std::vector<StmEntry> entries;  // transposed coordinates (row/col swapped)
+    // Transposed coordinates (row/col swapped). A view into the unit's
+    // frozen drain buffer — no per-batch allocation; valid until the drained
+    // bank is cleared (`icm`). Copy before the next clear if needed longer.
+    std::span<const StmEntry> entries;
     u32 cycles = 0;
     u32 bank = 0;  // which bank drained (for per-bank timing in the machine)
   };
@@ -141,6 +144,9 @@ class StmUnit {
   std::vector<Bank> banks_;
   u32 fill_bank_ = 0;
   Stats stats_;
+  // Reused line-id buffer for write_batch / freeze_drain_schedule, so the
+  // per-batch hot path performs no heap allocation after warm-up.
+  std::vector<u8> line_scratch_;
 };
 
 // Shared cycle engine: number of I/O-buffer cycles needed to stream entries

@@ -18,6 +18,16 @@ CommandLine::CommandLine(int argc, const char* const* argv) {
       } else {
         options_.emplace(std::string(arg.substr(2, eq - 2)), std::string(arg.substr(eq + 1)));
       }
+    } else if (arg == "-j" || starts_with(arg, "-j")) {
+      // Short alias for --jobs: accepts -j4, -j=4, and "-j 4".
+      std::string_view value = arg.substr(2);
+      if (starts_with(value, "=")) value.remove_prefix(1);
+      if (value.empty() && i + 1 < argc) value = argv[++i];
+      if (value.empty()) {
+        std::fprintf(stderr, "%s: option -j expects a worker count\n", program_.c_str());
+        std::exit(2);
+      }
+      options_.emplace("jobs", std::string(value));
     } else {
       positional_.emplace_back(arg);
     }

@@ -2,6 +2,7 @@
 //
 // Accepts --key=value and --flag forms; positional arguments are collected in
 // order. Unknown options are an error so typos in sweep parameters fail fast.
+// `-j N` / `-jN` is the one short option, an alias for --jobs=N.
 #pragma once
 
 #include <map>

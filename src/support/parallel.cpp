@@ -1,0 +1,61 @@
+#include "support/parallel.hpp"
+
+namespace smtu {
+
+u32 resolve_jobs(u32 requested) {
+  if (requested > 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1u : static_cast<u32>(hardware);
+}
+
+ThreadPool::ThreadPool(u32 jobs) : jobs_(resolve_jobs(jobs)) {
+  workers_.reserve(jobs_ - 1);
+  for (u32 i = 0; i + 1 < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+}
+
+bool ThreadPool::run_one() {
+  Job job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    job = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  job();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace smtu

@@ -1,0 +1,124 @@
+// Reusable thread pool + order-preserving parallel map for the benchmark
+// harness.
+//
+// Design constraints (see HACKING.md, "Parallel benchmarking"):
+//  * Determinism: parallel_map returns results in item order, so reductions
+//    over them are independent of scheduling. Tasks must not share mutable
+//    state — each suite matrix gets its own Machine/StmUnit/Rng.
+//  * jobs == 1 degenerates to fully serial execution on the calling thread
+//    (the `-j1` baseline the determinism tests compare against); submit()
+//    then runs tasks inline and never spawns a thread.
+//  * Nested parallelism is safe: a thread that waits on futures of this
+//    pool helps drain the queue instead of deadlocking.
+//  * Exceptions propagate: a throwing task poisons its future; parallel_map
+//    rethrows the first failure (in item order) after every task finished.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace smtu {
+
+// Resolves a --jobs/-j request: 0 means "all hardware threads" (at least 1).
+u32 resolve_jobs(u32 requested);
+
+class ThreadPool {
+ public:
+  // `jobs` is the total parallelism including the submitting thread, i.e.
+  // the pool starts jobs - 1 workers; 0 resolves to the hardware thread
+  // count. The submitting thread contributes whenever it waits.
+  explicit ThreadPool(u32 jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  u32 jobs() const { return jobs_; }
+
+  // Schedules `fn` and returns its future. With jobs == 1 the task runs
+  // inline (exceptions still land in the future, not the caller).
+  template <typename F>
+  auto submit(F fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    std::packaged_task<R()> task(std::move(fn));
+    std::future<R> future = task.get_future();
+    if (workers_.empty()) {
+      task();
+      return future;
+    }
+    auto shared = std::make_shared<std::packaged_task<R()>>(std::move(task));
+    enqueue([shared] { (*shared)(); });
+    return future;
+  }
+
+  // Runs one queued task on the calling thread, if any; false when idle.
+  bool run_one();
+
+  // Blocks until `future` is ready, executing queued tasks meanwhile so
+  // tasks that submit (and wait on) subtasks of the same pool cannot
+  // deadlock.
+  template <typename R>
+  void wait_helping(std::future<R>& future) {
+    using namespace std::chrono_literals;
+    while (future.wait_for(0s) != std::future_status::ready) {
+      // The bounded wait covers the race where a task is enqueued after
+      // run_one saw an empty queue: we re-poll instead of sleeping forever.
+      if (!run_one()) future.wait_for(1ms);
+    }
+  }
+
+ private:
+  using Job = std::function<void()>;
+
+  void enqueue(Job job);
+  void worker_loop();
+
+  u32 jobs_ = 1;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Job> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Applies `fn` to every element of `items` across the pool and returns the
+// results in item order, making downstream reductions deterministic
+// regardless of how tasks interleave. `fn` is invoked concurrently and must
+// be safe to call from several threads at once. If any invocation throws,
+// the first exception (in item order) is rethrown after all tasks finished.
+template <typename T, typename F>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, F fn)
+    -> std::vector<std::invoke_result_t<F&, const T&>> {
+  using R = std::invoke_result_t<F&, const T&>;
+  static_assert(!std::is_void_v<R>, "parallel_map requires a value-returning fn");
+  std::vector<std::future<R>> futures;
+  futures.reserve(items.size());
+  for (const T& item : items) {
+    futures.push_back(pool.submit([&fn, &item] { return fn(item); }));
+  }
+  for (auto& future : futures) pool.wait_helping(future);
+  std::vector<R> results;
+  results.reserve(items.size());
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      results.push_back(future.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace smtu

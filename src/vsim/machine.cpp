@@ -223,20 +223,20 @@ u32 Machine::execute_vector(const Instruction& inst) {
       return ceil_rate(vl, config_.lanes);
     case Op::kVSlideUp: {
       const u32 shift = static_cast<u32>(inst.imm);
-      std::vector<u32> result(vl, 0);
+      slide_scratch_.assign(vl, 0);
       for (u32 i = 0; i < vl; ++i) {
-        if (i >= shift) result[i] = V[inst.b][i - shift];
+        if (i >= shift) slide_scratch_[i] = V[inst.b][i - shift];
       }
-      std::copy(result.begin(), result.end(), V[inst.a].begin());
+      std::copy(slide_scratch_.begin(), slide_scratch_.end(), V[inst.a].begin());
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVSlideDown: {
       const u32 shift = static_cast<u32>(inst.imm);
-      std::vector<u32> result(vl, 0);
+      slide_scratch_.assign(vl, 0);
       for (u32 i = 0; i < vl; ++i) {
-        if (i + shift < vl) result[i] = V[inst.b][i + shift];
+        if (i + shift < vl) slide_scratch_[i] = V[inst.b][i + shift];
       }
-      std::copy(result.begin(), result.end(), V[inst.a].begin());
+      std::copy(slide_scratch_.begin(), slide_scratch_.end(), V[inst.a].begin());
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVRedSum: {
@@ -338,14 +338,14 @@ u32 Machine::execute_vector(const Instruction& inst) {
       return ceil_rate(6ull * vl, config_.mem_bytes_per_cycle);
     }
     case Op::kVStcr: {
-      std::vector<StmEntry> batch(vl);
+      stm_batch_scratch_.resize(vl);
       for (u32 i = 0; i < vl; ++i) {
         const u32 pos = V[inst.b][i];
-        batch[i] = {static_cast<u8>(pos & 0xff), static_cast<u8>((pos >> 8) & 0xff),
-                    V[inst.a][i]};
+        stm_batch_scratch_[i] = {static_cast<u8>(pos & 0xff),
+                                 static_cast<u8>((pos >> 8) & 0xff), V[inst.a][i]};
       }
       stats_.stm_elements += vl;
-      return stm_.write_batch(batch);
+      return stm_.write_batch(stm_batch_scratch_);
     }
     case Op::kVLdcc: {
       const StmUnit::ReadBatch batch = stm_.read_batch(vl);

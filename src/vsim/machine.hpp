@@ -135,6 +135,12 @@ class Machine {
   RunStats stats_;
   u64 trace_remaining_ = 0;
   ExecutionTrace* trace_sink_ = nullptr;
+
+  // Reused per-instruction buffers for vector slides and STM batches, so
+  // the interpreter's hot loop performs no heap allocation after warm-up.
+  // (A Machine is single-threaded state; run one per thread.)
+  std::vector<u32> slide_scratch_;
+  std::vector<StmEntry> stm_batch_scratch_;
 };
 
 }  // namespace smtu::vsim

@@ -4,11 +4,13 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "formats/matrix_market.hpp"
 #include "suite/generators.hpp"
 #include "testing.hpp"
+#include "vsim/json_export.hpp"
 
 namespace smtu {
 namespace {
@@ -33,6 +35,29 @@ TEST(BenchCommon, ParseOptionsDefaultsAndOverrides) {
     EXPECT_EQ(options.csv_path.value(), "a.csv");
     EXPECT_EQ(options.json_path.value(), "b.json");
     EXPECT_TRUE(options.verify);
+  }
+}
+
+TEST(BenchCommon, ParseOptionsAcceptsJobsSpellings) {
+  {
+    const char* argv[] = {"bench"};
+    CommandLine cli(1, argv);
+    EXPECT_EQ(bench::parse_options(cli).jobs, 0u);  // 0 = all hardware threads
+  }
+  {
+    const char* argv[] = {"bench", "--jobs=3"};
+    CommandLine cli(2, argv);
+    EXPECT_EQ(bench::parse_options(cli).jobs, 3u);
+  }
+  {
+    const char* argv[] = {"bench", "-j4"};
+    CommandLine cli(2, argv);
+    EXPECT_EQ(bench::parse_options(cli).jobs, 4u);
+  }
+  {
+    const char* argv[] = {"bench", "-j", "5"};
+    CommandLine cli(3, argv);
+    EXPECT_EQ(bench::parse_options(cli).jobs, 5u);
   }
 }
 
@@ -83,6 +108,56 @@ TEST(BenchCommonDeathTest, EmptyExternalDirAborts) {
   std::filesystem::create_directories(dir);
   EXPECT_DEATH(bench::load_external_suite(dir.string()), "no .mtx files");
   std::filesystem::remove_all(dir);
+}
+
+TEST(BenchCommonDeathTest, MissingExternalDirFailsWithClearMessage) {
+  // A nonexistent --mtxdir must produce our diagnostic, not an unhandled
+  // std::filesystem exception.
+  EXPECT_DEATH(bench::load_external_suite("/nonexistent/smtu_no_such_dir"),
+               "not a readable directory");
+}
+
+TEST(ParallelHarness, RunComparisonsIsDeterministicAcrossJobs) {
+  // The determinism contract of the parallel harness: any -jN produces the
+  // same records (cycles, speedups, full RunStats) in the same order as the
+  // serial -j1 run; only wall_ms may differ.
+  suite::SuiteOptions suite_options;
+  suite_options.scale = 0.02;
+  const auto set = suite::build_dsab_set(suite::kSetLocality, suite_options);
+  const vsim::MachineConfig config;
+
+  bench::BenchOptions serial;
+  serial.suite = suite_options;
+  serial.jobs = 1;
+  bench::BenchOptions parallel = serial;
+  parallel.jobs = 4;
+
+  const auto base = bench::run_comparisons(set, config, serial, "locality",
+                                           [](const suite::MatrixMetrics& m) {
+                                             return m.locality;
+                                           });
+  const auto fanned = bench::run_comparisons(set, config, parallel, "locality",
+                                             [](const suite::MatrixMetrics& m) {
+                                               return m.locality;
+                                             });
+  ASSERT_EQ(base.size(), set.size());
+  ASSERT_EQ(base.size(), fanned.size());
+  for (usize i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].name, fanned[i].name) << i;
+    EXPECT_DOUBLE_EQ(base[i].metric, fanned[i].metric) << i;
+    EXPECT_EQ(base[i].comparison.hism_cycles, fanned[i].comparison.hism_cycles) << i;
+    EXPECT_EQ(base[i].comparison.crs_cycles, fanned[i].comparison.crs_cycles) << i;
+    EXPECT_DOUBLE_EQ(base[i].comparison.speedup, fanned[i].comparison.speedup) << i;
+    // Full stats equality via the canonical serialization (RunStats has no
+    // operator==): everything but the host wall time must match bit-for-bit.
+    std::ostringstream lhs, rhs;
+    {
+      JsonWriter a(lhs), b(rhs);
+      vsim::write_run_stats_json(a, base[i].comparison.hism_stats);
+      vsim::write_run_stats_json(b, fanned[i].comparison.hism_stats);
+    }
+    EXPECT_EQ(lhs.str(), rhs.str()) << base[i].name;
+  }
 }
 
 }  // namespace

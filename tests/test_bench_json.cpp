@@ -67,6 +67,12 @@ TEST(BenchJson, ReproduceAllEmitsSchemaValidArtifact) {
   EXPECT_TRUE(config.at("stm").is_object());
   EXPECT_DOUBLE_EQ(doc.at("suite").at("scale").as_double(), 0.02);
 
+  // Harness facts: resolved worker count and (nondeterministic) wall time.
+  const JsonValue& harness = doc.at("harness");
+  EXPECT_GE(harness.at("jobs").as_u64(), 1u);
+  expect_finite(harness.at("wall_ms"), "harness wall_ms");
+  EXPECT_GE(harness.at("wall_ms").as_double(), 0.0);
+
   // Fig. 10 grid: utilization[bandwidth][line] in (0, 1].
   const JsonValue& fig10 = doc.at("fig10");
   const usize num_bandwidths = fig10.at("bandwidths").size();
@@ -123,8 +129,8 @@ TEST(BenchJson, ReproduceAllEmitsSchemaValidArtifact) {
   // may rely on it for readable diffs.
   std::vector<std::string> keys;
   for (const auto& [key, value] : doc.members()) keys.push_back(key);
-  EXPECT_EQ(keys, (std::vector<std::string>{"schema", "bench", "config", "suite", "fig10",
-                                            "figures", "headline", "storage"}));
+  EXPECT_EQ(keys, (std::vector<std::string>{"schema", "bench", "config", "suite", "harness",
+                                            "fig10", "figures", "headline", "storage"}));
 }
 
 }  // namespace

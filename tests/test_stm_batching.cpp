@@ -142,8 +142,12 @@ TEST(StmBatching, DoubleBufferBanksInterleaveCorrectly) {
     });
     return entries;
   };
-  EXPECT_EQ(drained_a.entries, sorted_transposed(block_a));
-  EXPECT_EQ(drained_b.entries, sorted_transposed(block_b));
+  // ReadBatch::entries is a view into the unit's drain buffer; materialize
+  // before comparing.
+  const std::vector<StmEntry> got_a(drained_a.entries.begin(), drained_a.entries.end());
+  const std::vector<StmEntry> got_b(drained_b.entries.begin(), drained_b.entries.end());
+  EXPECT_EQ(got_a, sorted_transposed(block_a));
+  EXPECT_EQ(got_b, sorted_transposed(block_b));
 }
 
 TEST(StmBatchingDeathTest, DoubleBufferIcmGuardsUndrainedBank) {

@@ -19,6 +19,11 @@ A metric's direction decides what counts as a regression:
   * anything else (sizes, counts, configuration echoes) is reported with
     --all but never fails the run.
 
+Host-timing keys are ignored entirely: any key containing "wall_ms" (the
+per-matrix and harness wall-time measurements) is nondeterministic by
+nature, and "jobs"/"harness" only describe how the run was executed. None
+of them can gate, appear as [new]/[gone], or show under --all.
+
 Exit status: 0 = no regression, 1 = at least one regression,
 2 = usage / unreadable input. Improvements are reported but never fail.
 """
@@ -27,7 +32,11 @@ import argparse
 import json
 import sys
 
-SKIPPED_KEYS = {"schema", "bench", "seed", "scale"}
+SKIPPED_KEYS = {"schema", "bench", "seed", "scale", "jobs", "harness"}
+
+# Any key containing one of these fragments is host-timing noise, never a
+# simulated metric; skipped at flatten time so it cannot gate or diff.
+TIMING_KEY_FRAGMENTS = ("wall_ms",)
 
 
 def flatten(value, prefix, out):
@@ -40,6 +49,8 @@ def flatten(value, prefix, out):
     if isinstance(value, dict):
         for key, child in value.items():
             if key in SKIPPED_KEYS:
+                continue
+            if any(fragment in key for fragment in TIMING_KEY_FRAGMENTS):
                 continue
             flatten(child, f"{prefix}.{key}" if prefix else key, out)
         return

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Assert that reproduce_all is deterministic across --jobs values.
+
+Usage:
+    tools/check_repro_determinism.py PATH/TO/reproduce_all [--scale=0.02]
+                                     [--jobs A B ...]
+
+Runs the binary once per jobs value (default: 1 and 4) and asserts the
+smtu-repro-v1 JSON artifacts are identical after stripping the host-timing
+keys (any key containing "wall_ms", plus the "harness" section). Everything
+else — cycle counts, speedups, utilization grids, full RunStats — must match
+exactly; a single differing leaf fails the check.
+
+Exit status: 0 identical, 1 mismatch, 2 usage/run failure.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def strip_timing(value):
+    """Recursively drop nondeterministic host-timing keys."""
+    if isinstance(value, dict):
+        return {
+            key: strip_timing(child)
+            for key, child in value.items()
+            if key != "harness" and "wall_ms" not in key
+        }
+    if isinstance(value, list):
+        return [strip_timing(child) for child in value]
+    return value
+
+
+def run_once(binary, scale, jobs, tmp):
+    report = os.path.join(tmp, f"report_j{jobs}.md")
+    artifact = os.path.join(tmp, f"repro_j{jobs}.json")
+    command = [binary, f"--scale={scale}", f"--jobs={jobs}",
+               f"--out={report}", f"--json={artifact}"]
+    result = subprocess.run(command, capture_output=True, text=True, check=False)
+    if result.returncode != 0:
+        print(f"check_repro_determinism: {' '.join(command)} failed "
+              f"(exit {result.returncode}):\n{result.stderr}", file=sys.stderr)
+        sys.exit(2)
+    with open(artifact, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def first_difference(a, b, path=""):
+    """Dotted path of the first differing leaf, or None."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                return f"{path}.{key} (missing on one side)"
+            found = first_difference(a[key], b[key], f"{path}.{key}")
+            if found:
+                return found
+        return None
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return f"{path} (length {len(a)} vs {len(b)})"
+        for index, (x, y) in enumerate(zip(a, b)):
+            found = first_difference(x, y, f"{path}[{index}]")
+            if found:
+                return found
+        return None
+    return None if a == b else f"{path} ({a!r} vs {b!r})"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("binary", help="path to the reproduce_all binary")
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 4])
+    args = parser.parse_args()
+
+    if len(args.jobs) < 2:
+        print("check_repro_determinism: need at least two --jobs values",
+              file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory() as tmp:
+        docs = {jobs: run_once(args.binary, args.scale, jobs, tmp)
+                for jobs in args.jobs}
+
+    reference_jobs = args.jobs[0]
+    reference = strip_timing(docs[reference_jobs])
+    for jobs in args.jobs[1:]:
+        candidate = strip_timing(docs[jobs])
+        difference = first_difference(reference, candidate)
+        if difference:
+            print(f"check_repro_determinism: -j{reference_jobs} vs -j{jobs} "
+                  f"differ at {difference}", file=sys.stderr)
+            return 1
+        print(f"check_repro_determinism: -j{jobs} identical to "
+              f"-j{reference_jobs} (modulo wall_ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py gating rules.
+
+Focus: host-timing keys (wall_ms, harness.*, jobs) must never gate a run or
+appear in the diff output, while real metric regressions (cycles, speedup)
+still fail. Run directly or via ctest (test name: bench_diff_unit).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+BENCH_DIFF = os.path.join(TOOLS_DIR, "bench_diff.py")
+
+
+def report(hism_cycles, speedup, wall_ms, harness=None):
+    doc = {
+        "schema": "smtu-bench-v1",
+        "bench": "unit",
+        "suite": {"scale": 0.05, "seed": 1},
+        "matrices": [
+            {
+                "name": "m0",
+                "nnz": 100,
+                "hism_cycles": hism_cycles,
+                "crs_cycles": 5000,
+                "speedup": speedup,
+                "wall_ms": wall_ms,
+            }
+        ],
+        "summary": {"count": 1, "avg_speedup": speedup},
+    }
+    if harness is not None:
+        doc["harness"] = harness
+    return doc
+
+
+def run_diff(old, new, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        old_path = os.path.join(tmp, "old.json")
+        new_path = os.path.join(tmp, "new.json")
+        with open(old_path, "w", encoding="utf-8") as handle:
+            json.dump(old, handle)
+        with open(new_path, "w", encoding="utf-8") as handle:
+            json.dump(new, handle)
+        result = subprocess.run(
+            [sys.executable, BENCH_DIFF, old_path, new_path, *extra],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    return result.returncode, result.stdout + result.stderr
+
+
+class BenchDiffGating(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        doc = report(1000, 5.0, 20.0)
+        code, out = run_diff(doc, doc)
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[REGRESS]", out)
+
+    def test_wall_ms_blowup_does_not_gate(self):
+        # 100x slower wall clock with identical simulated metrics: clean.
+        old = report(1000, 5.0, wall_ms=10.0)
+        new = report(1000, 5.0, wall_ms=1000.0)
+        code, out = run_diff(old, new, "--all")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("wall_ms", out)
+
+    def test_harness_keys_are_invisible(self):
+        # Baseline without a harness section vs candidate with one: the new
+        # keys must not even show up as [new].
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 12.0, harness={"jobs": 8, "wall_ms": 125.0})
+        code, out = run_diff(old, new, "--all")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[new]", out)
+        self.assertNotIn("harness", out)
+        self.assertNotIn("jobs", out)
+
+    def test_cycle_regression_still_fails(self):
+        old = report(1000, 5.0, 10.0)
+        new = report(1500, 5.0, 10.0)  # 50% more simulated cycles
+        code, out = run_diff(old, new)
+        self.assertEqual(code, 1, out)
+        self.assertIn("[REGRESS]", out)
+        self.assertIn("hism_cycles", out)
+
+    def test_speedup_regression_still_fails(self):
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 3.0, 10.0)
+        code, out = run_diff(old, new)
+        self.assertEqual(code, 1, out)
+        self.assertIn("[REGRESS]", out)
+
+    def test_cycle_improvement_passes(self):
+        old = report(1500, 5.0, 10.0)
+        new = report(1000, 5.0, 10.0)
+        code, out = run_diff(old, new)
+        self.assertEqual(code, 0, out)
+        self.assertIn("[better]", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -43,30 +43,37 @@ BenchOptions parse_options(CommandLine& cli) {
   const std::string trace_json = cli.get_string("trace-json", "");
   if (!trace_json.empty()) options.trace_json_path = trace_json;
   options.verify = cli.get_flag("verify");
+  options.profile = cli.get_flag("profile");
   cli.finish();
   return options;
 }
 
 TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
-                                       const vsim::MachineConfig& config, bool verify) {
+                                       const vsim::MachineConfig& config, bool verify,
+                                       bool profile) {
   const auto started = std::chrono::steady_clock::now();
   const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
   const Csr csr = Csr::from_coo(entry.matrix);
 
   TransposeComparison comparison;
+  comparison.profiled = profile;
+  vsim::PerfCounters* hism_profiler = profile ? &comparison.hism_profile : nullptr;
+  vsim::PerfCounters* crs_profiler = profile ? &comparison.crs_profile : nullptr;
   if (verify) {
     const Coo expected = entry.matrix.transposed();
-    const auto hism_result = kernels::run_hism_transpose(hism, config);
+    const auto hism_result = kernels::run_hism_transpose(
+        hism, config, /*split_drain_registers=*/false, nullptr, hism_profiler);
     SMTU_CHECK_MSG(structurally_equal(hism_result.transposed.to_coo(), expected),
                    "HiSM kernel produced a wrong transpose for " + entry.name);
     comparison.hism_stats = hism_result.stats;
-    const auto crs_result = kernels::run_crs_transpose(csr, config);
+    const auto crs_result = kernels::run_crs_transpose(csr, config, {}, crs_profiler);
     SMTU_CHECK_MSG(structurally_equal(crs_result.transposed, expected),
                    "CRS kernel produced a wrong transpose for " + entry.name);
     comparison.crs_stats = crs_result.stats;
   } else {
-    comparison.hism_stats = kernels::time_hism_transpose(hism, config);
-    comparison.crs_stats = kernels::time_crs_transpose(csr, config);
+    comparison.hism_stats = kernels::time_hism_transpose(
+        hism, config, /*split_drain_registers=*/false, nullptr, hism_profiler);
+    comparison.crs_stats = kernels::time_crs_transpose(csr, config, {}, crs_profiler);
   }
   comparison.hism_cycles = comparison.hism_stats.cycles;
   comparison.crs_cycles = comparison.crs_stats.cycles;
@@ -94,7 +101,7 @@ std::vector<MatrixRecord> run_comparisons(const std::vector<suite::SuiteMatrix>&
                         metric_name,
                         metric ? metric(entry.metrics) : 0.0,
                         entry.matrix.nnz(),
-                        compare_transposes(entry, config, options.verify)};
+                        compare_transposes(entry, config, options.verify, options.profile)};
   });
 }
 
@@ -239,6 +246,15 @@ void write_matrix_records_json(JsonWriter& json, const std::vector<MatrixRecord>
     vsim::write_run_stats_json(json, record.comparison.hism_stats);
     json.key("crs");
     vsim::write_run_stats_json(json, record.comparison.crs_stats);
+    if (record.comparison.profiled) {
+      json.key("profile");
+      json.begin_object();
+      json.key("hism");
+      vsim::write_profile_json(json, record.comparison.hism_profile);
+      json.key("crs");
+      vsim::write_profile_json(json, record.comparison.crs_profile);
+      json.end_object();
+    }
     json.end_object();
   }
   json.end_array();

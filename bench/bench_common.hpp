@@ -15,6 +15,8 @@
 //   --trace-json=<path> Chrome trace-event dump (chrome://tracing / Perfetto)
 //                      of the HiSM transpose of the first suite matrix
 //   --verify           decode results from simulated memory and check them
+//   --profile          attach the cycle-attribution profiler; JSON reports
+//                      gain a per-matrix "profile" section (docs/PROFILING.md)
 //
 // summary_speedup additionally accepts --mtxdir=<dir>: run on every .mtx
 // file found there (e.g. the original D-SAB matrices) instead of the
@@ -35,6 +37,7 @@
 #include "support/table.hpp"
 #include "vsim/config.hpp"
 #include "vsim/machine.hpp"
+#include "vsim/profiler.hpp"
 
 namespace smtu::bench {
 
@@ -45,6 +48,10 @@ struct BenchOptions {
   std::optional<std::string> json_path;
   std::optional<std::string> trace_json_path;
   bool verify = false;
+  // --profile: attach a cycle-attribution profiler to both kernels of every
+  // comparison; the JSON reports gain a per-matrix "profile" section
+  // (docs/PROFILING.md). Deterministic across -j values like the cycles.
+  bool profile = false;
 };
 
 // Parses the standard flags; calls cli.finish() so unknown flags fail fast.
@@ -62,10 +69,15 @@ struct TransposeComparison {
   double wall_ms = 0.0;  // host wall time of this comparison (nondeterministic)
   vsim::RunStats hism_stats;
   vsim::RunStats crs_stats;
+  // Populated only when profiling was requested (see BenchOptions::profile).
+  bool profiled = false;
+  vsim::PerfCounters hism_profile;
+  vsim::PerfCounters crs_profile;
 };
 
 TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
-                                       const vsim::MachineConfig& config, bool verify);
+                                       const vsim::MachineConfig& config, bool verify,
+                                       bool profile = false);
 
 // Buffer-bandwidth utilization of the STM over every block-array of a HiSM
 // matrix, mimicking the kernel's pass structure (one pass per level-0 block,

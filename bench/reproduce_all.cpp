@@ -6,7 +6,7 @@
 // focused runs and sweeps; this produces the shareable artifacts.
 //
 //   ./reproduce_all [--out=REPORT.md] [--json=BENCH_repro.json]
-//                   [--scale=1.0] [--seed=...]
+//                   [--scale=1.0] [--seed=...] [--profile]
 #include <chrono>
 #include <cstdio>
 #include <fstream>

@@ -11,10 +11,12 @@
 # Run with: ./vsim_run programs/block_transpose.s --r1=4096 --r2=0 --r3=4096
 # Demo:     ./vsim_run programs/block_transpose.s --r1=4096 --r2=16 --r3=8192 \
 #               --r7=1 --timeline --trace-json=block_transpose_trace.json
+# Profile:  add --profile for the cycle-attribution tables (docs/PROFILING.md)
 main:
     beq   r2, r0, done
     beq   r7, r0, transpose
     li    r8, 0              # ---- stage the demo block: i = 0..n-1 --------
+;; profile: stage_demo
 init:
     bge   r8, r2, transpose
     slli  r9, r8, 1
@@ -28,23 +30,28 @@ init:
     sw    r8, (r10)          # value = i
     addi  r8, r8, 1
     beq   r0, r0, init
+;; profile: end
 transpose:
     icm                      # clear the non-zero indicators
     mv    r4, r1             # position cursor
     mv    r5, r3             # value cursor
     mv    r6, r2             # remaining
+;; profile: fill
 fill:
     ssvl  r6                 # set vector length, decrement remaining
     v_ldb vr1, vr2, r4, r5   # load block elements      (Fig. 7: v_ldb)
     v_stcr vr1, vr2          # store row-wise in s x s  (Fig. 7: v_stcr)
     bne   r6, r0, fill
+;; profile: end
     mv    r4, r1
     mv    r5, r3
     mv    r6, r2
+;; profile: drain
 drain:
     ssvl  r6
     v_ldcc vr1, vr2          # load column-wise         (Fig. 7: v_ldcc)
     v_stb vr1, vr2, r4, r5   # store block elements     (Fig. 7: v_stb)
     bne   r6, r0, drain
+;; profile: end
 done:
     halt

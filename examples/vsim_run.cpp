@@ -4,12 +4,17 @@
 //   ./vsim_run program.s [--r1=value ... --r9=value] [--section=64]
 //               [--no-chaining] [--trace=N] [--dump-regs] [--listing]
 //               [--timeline] [--events] [--trace-json=out.json]
+//               [--profile] [--profile-json=out.json]
+//               [--profile-speedscope=out.json]
 //
 // Scalar registers r1..r29 can be preset via --rN=value (decimal or hex).
 // After the run, cycle statistics are printed; --dump-regs adds the final
 // scalar register file. --trace-json writes the execution trace in Chrome
 // trace-event format (load it in chrome://tracing or Perfetto; one track
-// per functional unit — see docs/TRACE.md).
+// per functional unit — see docs/TRACE.md). --profile prints the
+// cycle-attribution summary (stall taxonomy, FU occupancy, hottest source
+// lines); --profile-json / --profile-speedscope write the same counters as
+// smtu-profile-v1 JSON and a speedscope.app flamegraph (docs/PROFILING.md).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -19,6 +24,7 @@
 #include "vsim/assembler.hpp"
 #include "vsim/json_export.hpp"
 #include "vsim/machine.hpp"
+#include "vsim/profiler.hpp"
 #include "vsim/trace.hpp"
 
 int main(int argc, char** argv) {
@@ -32,6 +38,9 @@ int main(int argc, char** argv) {
   const bool timeline = cli.get_flag("timeline");
   const bool events = cli.get_flag("events");
   const std::string trace_json = cli.get_string("trace-json", "");
+  const bool profile = cli.get_flag("profile");
+  const std::string profile_json = cli.get_string("profile-json", "");
+  const std::string profile_speedscope = cli.get_string("profile-speedscope", "");
 
   vsim::MachineConfig config;
   config.section = static_cast<u32>(section);
@@ -71,6 +80,10 @@ int main(int argc, char** argv) {
   if (trace > 0) machine.enable_trace(static_cast<u64>(trace));
   vsim::ExecutionTrace execution_trace(trace_json.empty() ? 512 : (usize{1} << 20));
   if (timeline || events || !trace_json.empty()) machine.attach_trace(&execution_trace);
+  vsim::PerfCounters profiler;
+  if (profile || !profile_json.empty() || !profile_speedscope.empty()) {
+    machine.attach_profiler(&profiler);
+  }
 
   const vsim::RunStats stats =
       machine.run(program, program.has_label("main") ? program.label("main") : 0);
@@ -94,6 +107,27 @@ int main(int argc, char** argv) {
     vsim::write_chrome_trace(trace_out, execution_trace, cli.positional()[0]);
     std::fprintf(stderr, "wrote Chrome trace (%zu events) to %s\n",
                  execution_trace.events().size(), trace_json.c_str());
+  }
+  if (profile) std::fputs(vsim::profile_summary(profiler).c_str(), stdout);
+  if (!profile_json.empty()) {
+    std::ofstream profile_out(profile_json);
+    if (!profile_out) {
+      std::fprintf(stderr, "cannot open %s\n", profile_json.c_str());
+      return 2;
+    }
+    JsonWriter json(profile_out);
+    vsim::write_profile_json(json, profiler);
+    profile_out << '\n';
+    std::fprintf(stderr, "wrote profile JSON to %s\n", profile_json.c_str());
+  }
+  if (!profile_speedscope.empty()) {
+    std::ofstream speedscope_out(profile_speedscope);
+    if (!speedscope_out) {
+      std::fprintf(stderr, "cannot open %s\n", profile_speedscope.c_str());
+      return 2;
+    }
+    vsim::write_speedscope_profile(speedscope_out, profiler, cli.positional()[0]);
+    std::fprintf(stderr, "wrote speedscope profile to %s\n", profile_speedscope.c_str());
   }
 
   if (dump_regs) {

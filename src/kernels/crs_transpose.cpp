@@ -19,6 +19,7 @@ std::string crs_transpose_source(u32 section, const CrsKernelOptions& options) {
   out << R"asm(
 main:
     # ---- phase 0: initialize IAT[0..cols] to zero ----------------------
+;; profile: phase0_zero
     v_bcasti vr0, 0
     addi  r10, r8, 1
     mv    r11, r6
@@ -34,6 +35,7 @@ z_loop:
     out << R"asm(
     # ---- phase 1, mask-vector variant (§IV-A, rejected by the authors):
     # for every column i, compare all of JA against i and sum the mask.
+;; profile: phase1_histogram
     li    r10, 0                 # column i
 m1_col:
     bge   r10, r8, h_done
@@ -65,6 +67,7 @@ h_done:
     # ---- phase 1 (Fig. 9 lines 1-2): per-column counts, scalar code ----
     # IAT[col + 1]++ for every non-zero; runs on the 4-way scalar core as
     # in the paper (the mask-vector scheme is inefficient on sparse data).
+;; profile: phase1_histogram
     mv    r10, r2
     mv    r11, r9
     beq   r11, r0, h_done
@@ -85,6 +88,7 @@ h_done:
 
     # ---- phase 2 (Fig. 9 line 3): vectorized inclusive scan-add --------
     # Log-step slide-and-add within each strip (Wang et al.), carry in r14.
+;; profile: phase2_scan
     li    r14, 0
     addi  r10, r8, 1
     mv    r11, r6
@@ -107,6 +111,7 @@ s_loop:
     bne   r10, r0, s_loop
 
     # ---- phase 3 (Fig. 9 lines 4-13): vectorized permutation loop ------
+;; profile: phase3_permute
     li    r10, 0
 p3_row:
     bge   r10, r7, p3_done
@@ -144,6 +149,7 @@ p3_seg:
 )asm";
   if (short_row_threshold > 0) {
     out << R"asm(
+;; profile: phase3_short_rows
 p3_scalar:
     # Short rows element by element on the scalar core: a 1-3 element
     # gather/scatter sequence would pay four 20-cycle vector startups.
@@ -167,6 +173,7 @@ p3s_loop:
 )asm";
   }
   out << R"asm(
+;; profile: phase3_permute
 p3_next:
     addi  r10, r10, 1
     beq   r0, r0, p3_row
@@ -175,6 +182,7 @@ p3_done:
     # ---- restore IAT from row ends to row starts ------------------------
     # The in-place cursor update leaves IAT[j] = start of row j+1; shift
     # right by one strip-by-strip from the top, then IAT[0] = 0.
+;; profile: restore_iat
     mv    r10, r8
 r_loop:
     beq   r10, r0, r_done
@@ -203,6 +211,7 @@ const std::string& scalar_crs_transpose_source() {
   static const std::string source = R"asm(
 main:
     # ---- zero IAT[0..cols] ---------------------------------------------
+;; profile: zero_iat
     mv    r10, r6
     addi  r11, r8, 1
 sz_loop:
@@ -214,6 +223,7 @@ sz_loop:
 sz_done:
 
     # ---- per-column counts: IAT[col + 1]++ ------------------------------
+;; profile: histogram
     mv    r10, r2
     mv    r11, r9
 sh_loop:
@@ -230,6 +240,7 @@ sh_loop:
 sh_done:
 
     # ---- inclusive scan over IAT[0..cols] -------------------------------
+;; profile: scan
     addi  r12, r8, 1             # index bound
     li    r10, 1
     lw    r11, (r6)              # running sum = IAT[0]
@@ -245,6 +256,7 @@ ss_body:
 ss_done:
 
     # ---- permutation pass (Fig. 9 lines 4-13), element by element -------
+;; profile: permute
     li    r10, 0                 # i
 sp_row:
     bge   r10, r7, sp_done
@@ -280,6 +292,7 @@ sp_next:
 sp_done:
 
     # ---- restore IAT to row starts: shift right, descending -------------
+;; profile: restore_iat
     mv    r10, r8                # j = cols .. 1
 sr_loop:
     beq   r10, r0, sr_done
@@ -317,11 +330,13 @@ vsim::Machine make_machine_with_image(const Csr& csr, const vsim::MachineConfig&
 }  // namespace
 
 CrsTransposeResult run_crs_transpose(const Csr& csr, const vsim::MachineConfig& config,
-                                     const CrsKernelOptions& options) {
+                                     const CrsKernelOptions& options,
+                                     vsim::PerfCounters* profiler) {
   const vsim::Program program =
       vsim::assemble(crs_transpose_source(config.section, options));
   CrsImage image;
   vsim::Machine machine = make_machine_with_image(csr, config, image);
+  machine.attach_profiler(profiler);
   CrsTransposeResult result;
   result.stats = machine.run(program);
   result.transposed = read_back_crs_transpose(machine, image);
@@ -329,29 +344,35 @@ CrsTransposeResult run_crs_transpose(const Csr& csr, const vsim::MachineConfig& 
 }
 
 vsim::RunStats time_crs_transpose(const Csr& csr, const vsim::MachineConfig& config,
-                                  const CrsKernelOptions& options) {
+                                  const CrsKernelOptions& options,
+                                  vsim::PerfCounters* profiler) {
   const vsim::Program program =
       vsim::assemble(crs_transpose_source(config.section, options));
   CrsImage image;
   vsim::Machine machine = make_machine_with_image(csr, config, image);
+  machine.attach_profiler(profiler);
   return machine.run(program);
 }
 
 CrsTransposeResult run_scalar_crs_transpose(const Csr& csr,
-                                            const vsim::MachineConfig& config) {
+                                            const vsim::MachineConfig& config,
+                                            vsim::PerfCounters* profiler) {
   const vsim::Program program = vsim::assemble(scalar_crs_transpose_source());
   CrsImage image;
   vsim::Machine machine = make_machine_with_image(csr, config, image);
+  machine.attach_profiler(profiler);
   CrsTransposeResult result;
   result.stats = machine.run(program);
   result.transposed = read_back_crs_transpose(machine, image);
   return result;
 }
 
-vsim::RunStats time_scalar_crs_transpose(const Csr& csr, const vsim::MachineConfig& config) {
+vsim::RunStats time_scalar_crs_transpose(const Csr& csr, const vsim::MachineConfig& config,
+                                         vsim::PerfCounters* profiler) {
   const vsim::Program program = vsim::assemble(scalar_crs_transpose_source());
   CrsImage image;
   vsim::Machine machine = make_machine_with_image(csr, config, image);
+  machine.attach_profiler(profiler);
   return machine.run(program);
 }
 

@@ -52,13 +52,19 @@ struct CrsTransposeResult {
   Coo transposed;  // read back from simulated memory
 };
 
+// A non-null `profiler` receives cycle attribution for the run (see
+// vsim/profiler.hpp and docs/PROFILING.md); counters are not reset first.
 CrsTransposeResult run_crs_transpose(const Csr& csr, const vsim::MachineConfig& config,
-                                     const CrsKernelOptions& options = {});
+                                     const CrsKernelOptions& options = {},
+                                     vsim::PerfCounters* profiler = nullptr);
 
 vsim::RunStats time_crs_transpose(const Csr& csr, const vsim::MachineConfig& config,
-                                  const CrsKernelOptions& options = {});
+                                  const CrsKernelOptions& options = {},
+                                  vsim::PerfCounters* profiler = nullptr);
 
-CrsTransposeResult run_scalar_crs_transpose(const Csr& csr, const vsim::MachineConfig& config);
-vsim::RunStats time_scalar_crs_transpose(const Csr& csr, const vsim::MachineConfig& config);
+CrsTransposeResult run_scalar_crs_transpose(const Csr& csr, const vsim::MachineConfig& config,
+                                            vsim::PerfCounters* profiler = nullptr);
+vsim::RunStats time_scalar_crs_transpose(const Csr& csr, const vsim::MachineConfig& config,
+                                         vsim::PerfCounters* profiler = nullptr);
 
 }  // namespace smtu::kernels

@@ -18,6 +18,7 @@ main:
     halt
 
 # ---- transpose_block(r1 = BSA, r2 = BSL, r3 = LVL) --------------------
+;; profile: block_setup
 transpose_block:
     beq   r2, r0, tb_done        # empty block array: nothing to transpose
 
@@ -35,6 +36,7 @@ transpose_block:
     # ---- lengths pass (Fig. 6 lines 11-18): permute the lengths vector
     # through the s x s memory using the *original* positions; store only
     # the values (v_stbv) so the element pass still sees those positions.
+;; profile: len_fill
     icm
     mv    r6, r1                 # position cursor
     mv    r7, r5                 # lengths cursor
@@ -44,6 +46,7 @@ tb_len_fill:
     v_ldb vr1, vr2, r6, r7       # lengths as values + positions
     v_stcr vr1, vr2              # scatter row-wise into the s x s memory
     bne   r8, r0, tb_len_fill
+;; profile: len_drain
     mv    r7, r5
     mv    r8, r2
 tb_len_drain:
@@ -54,6 +57,7 @@ tb_len_drain:
 
 tb_elems:
     # ---- element pass (Fig. 6 lines 2-9 / the code of Fig. 7) ----------
+;; profile: elem_fill
     icm
     mv    r6, r1
     mv    r7, r4
@@ -63,6 +67,7 @@ tb_elem_fill:
     v_ldb vr1, vr2, r6, r7       # values/pointers + positions
     v_stcr vr1, vr2
     bne   r8, r0, tb_elem_fill
+;; profile: elem_drain
     mv    r6, r1
     mv    r7, r4
     mv    r8, r2
@@ -75,6 +80,7 @@ tb_elem_drain:
     beq   r3, r0, tb_done        # level 0: no children to recurse into
 
     # ---- recursion (Fig. 6 lines 19-23) --------------------------------
+;; profile: recurse
     li    r9, 0
 tb_child_loop:
     bge   r9, r2, tb_done
@@ -137,12 +143,14 @@ vsim::Machine make_machine_with_image(const HismMatrix& hism,
 HismTransposeResult run_hism_transpose(const HismMatrix& hism,
                                        const vsim::MachineConfig& config,
                                        bool split_drain_registers,
-                                       vsim::ExecutionTrace* trace) {
+                                       vsim::ExecutionTrace* trace,
+                                       vsim::PerfCounters* profiler) {
   const vsim::Program program =
       vsim::assemble(hism_transpose_source(split_drain_registers));
   HismImage image;
   vsim::Machine machine = make_machine_with_image(hism, config, image);
   machine.attach_trace(trace);
+  machine.attach_profiler(profiler);
   HismTransposeResult result;
   result.stats = machine.run(program);
   result.transposed = read_back_hism(machine, image, /*swap_dims=*/true);
@@ -151,12 +159,14 @@ HismTransposeResult run_hism_transpose(const HismMatrix& hism,
 
 vsim::RunStats time_hism_transpose(const HismMatrix& hism, const vsim::MachineConfig& config,
                                    bool split_drain_registers,
-                                   vsim::ExecutionTrace* trace) {
+                                   vsim::ExecutionTrace* trace,
+                                   vsim::PerfCounters* profiler) {
   const vsim::Program program =
       vsim::assemble(hism_transpose_source(split_drain_registers));
   HismImage image;
   vsim::Machine machine = make_machine_with_image(hism, config, image);
   machine.attach_trace(trace);
+  machine.attach_profiler(profiler);
   return machine.run(program);
 }
 

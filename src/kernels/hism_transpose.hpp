@@ -37,16 +37,20 @@ struct HismTransposeResult {
 
 // Stages `hism` in a fresh machine, runs the kernel, decodes the result.
 // A non-null `trace` collects per-instruction timing events (see
-// vsim/trace.hpp and docs/TRACE.md); the trace is not cleared first.
+// vsim/trace.hpp and docs/TRACE.md); the trace is not cleared first. A
+// non-null `profiler` receives cycle attribution (vsim/profiler.hpp,
+// docs/PROFILING.md); counters are not reset first.
 HismTransposeResult run_hism_transpose(const HismMatrix& hism,
                                        const vsim::MachineConfig& config,
                                        bool split_drain_registers = false,
-                                       vsim::ExecutionTrace* trace = nullptr);
+                                       vsim::ExecutionTrace* trace = nullptr,
+                                       vsim::PerfCounters* profiler = nullptr);
 
 // Cycle count only (skips the decode for benchmark sweeps).
 vsim::RunStats time_hism_transpose(const HismMatrix& hism, const vsim::MachineConfig& config,
                                    bool split_drain_registers = false,
-                                   vsim::ExecutionTrace* trace = nullptr);
+                                   vsim::ExecutionTrace* trace = nullptr,
+                                   vsim::PerfCounters* profiler = nullptr);
 
 // Software-pipelined variant for the double-buffered STM (extension E4):
 // while leaf child k drains from one bank, child k+1 fills the other.

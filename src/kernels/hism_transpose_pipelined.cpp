@@ -27,6 +27,7 @@ main:
     halt
 
 # ---- transpose_block(r1 = BSA, r2 = BSL, r3 = LVL) --------------------
+;; profile: block_setup
 transpose_block:
     beq   r2, r0, tb_done
 
@@ -40,6 +41,7 @@ transpose_block:
     beq   r3, r0, tb_elems
 
     # ---- lengths pass (sequential, as in the base kernel) --------------
+;; profile: len_fill
     icm
     mv    r6, r1
     mv    r7, r5
@@ -49,6 +51,7 @@ tb_len_fill:
     v_ldb vr1, vr2, r6, r7
     v_stcr vr1, vr2
     bne   r8, r0, tb_len_fill
+;; profile: len_drain
     mv    r7, r5
     mv    r8, r2
 tb_len_drain:
@@ -59,6 +62,7 @@ tb_len_drain:
 
 tb_elems:
     # ---- element pass (sequential) --------------------------------------
+;; profile: elem_fill
     icm
     mv    r6, r1
     mv    r7, r4
@@ -68,6 +72,7 @@ tb_elem_fill:
     v_ldb vr1, vr2, r6, r7
     v_stcr vr1, vr2
     bne   r8, r0, tb_elem_fill
+;; profile: elem_drain
     mv    r6, r1
     mv    r7, r4
     mv    r8, r2
@@ -83,6 +88,7 @@ tb_elem_drain:
     beq   r10, r0, tb_pipe       # children are leaves: pipeline them
 
     # ---- recursion for LVL > 1 (sequential, as in the base kernel) ------
+;; profile: recurse
     li    r9, 0
 tb_child_loop:
     bge   r9, r2, tb_done
@@ -111,6 +117,7 @@ tb_child_loop:
     beq   r0, r0, tb_child_loop
 
     # ---- software-pipelined leaf children (LVL == 1) --------------------
+;; profile: pipelined_leaves
 tb_pipe:
     # prime: set child 0 as the fill target; nothing drains yet
     li    r9, 0

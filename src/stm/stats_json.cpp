@@ -15,6 +15,10 @@ void write_stm_stats_json(JsonWriter& json, const StmUnit::Stats& stats,
   json.value(stats.write_cycles);
   json.key("read_cycles");
   json.value(stats.read_cycles);
+  json.key("write_batches");
+  json.value(stats.write_batches);
+  json.key("read_batches");
+  json.value(stats.read_batches);
   const u64 io_cycles = stats.write_cycles + stats.read_cycles;
   const double capacity = static_cast<double>(io_cycles) * config.bandwidth;
   json.key("buffer_utilization");

@@ -93,6 +93,7 @@ u32 StmUnit::write_batch(std::span<const StmEntry> entries) {
   const u32 cycles = stream_cycles(line_scratch_, config_);
   stats_.elements_in += entries.size();
   stats_.write_cycles += cycles;
+  ++stats_.write_batches;
   return cycles;
 }
 
@@ -170,6 +171,7 @@ StmUnit::ReadBatch StmUnit::read_batch(u32 count) {
   bank.drain_cursor += count;
   stats_.elements_out += count;
   stats_.read_cycles += batch.cycles;
+  ++stats_.read_batches;
   return batch;
 }
 

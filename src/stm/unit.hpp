@@ -114,6 +114,10 @@ class StmUnit {
     u64 elements_out = 0;
     u64 write_cycles = 0;
     u64 read_cycles = 0;
+    // Batch counts expose how often the unit was driven, so occupancy can
+    // be separated into per-batch startup vs. streaming time.
+    u64 write_batches = 0;
+    u64 read_batches = 0;
   };
   const Stats& stats() const { return stats_; }
 

@@ -229,6 +229,18 @@ AssemblyError::AssemblyError(usize line, const std::string& message)
 Program assemble(const std::string& source) {
   Program program;
   std::vector<PendingLabelRef> pending;
+  program.source_lines.emplace_back();  // [0] unused; source lines are 1-based
+
+  // The `;; profile: <name>` region currently open, if any.
+  bool region_open = false;
+  std::string region_name;
+  usize region_begin = 0;
+  auto close_region = [&]() {
+    if (!region_open) return;
+    region_open = false;
+    const usize end = program.instructions.size();
+    if (end > region_begin) program.regions.push_back({region_name, region_begin, end});
+  };
 
   usize line_number = 0;
   for (std::string_view rest = source; !rest.empty() || line_number == 0;) {
@@ -238,14 +250,37 @@ Program assemble(const std::string& source) {
         newline == std::string_view::npos ? rest : rest.substr(0, newline);
     rest = newline == std::string_view::npos ? std::string_view{} : rest.substr(newline + 1);
     ++line_number;
+    program.source_lines.emplace_back(trim(line));
+
+    Parser parser(line_number);
+
+    // Assembler directives start with ';;' and are recognised before comment
+    // stripping (the rest of the line may still carry a '#'/'%' comment).
+    if (std::string_view trimmed = trim(line); starts_with(trimmed, ";;")) {
+      std::string_view body = trimmed.substr(2);
+      if (const auto comment = body.find_first_of("#%"); comment != std::string_view::npos) {
+        body = body.substr(0, comment);
+      }
+      body = trim(body);
+      if (starts_with(body, "profile:")) {
+        const std::string name(trim(body.substr(8)));
+        if (name.empty()) parser.fail(";; profile: directive needs a region name");
+        close_region();
+        if (name != "end") {  // "end" closes the open region without opening one
+          region_open = true;
+          region_name = name;
+          region_begin = program.instructions.size();
+        }
+        continue;
+      }
+      parser.fail("unknown ';;' directive '" + std::string(body) + "'");
+    }
 
     // Strip comments ('#' or '%').
     const auto comment = line.find_first_of("#%");
     if (comment != std::string_view::npos) line = line.substr(0, comment);
     line = trim(line);
     if (line.empty()) continue;
-
-    Parser parser(line_number);
 
     // Leading labels (possibly several on one line).
     while (true) {
@@ -437,6 +472,8 @@ Program assemble(const std::string& source) {
     }
     program.instructions.push_back(inst);
   }
+
+  close_region();
 
   // Pass 2: resolve label references.
   for (const PendingLabelRef& ref : pending) {

@@ -14,6 +14,15 @@
 // sp (r30). The paper's mnemonics v_ld_idx, v_st_idx, v_setimm and
 // v_add_imm are accepted as aliases of v_ldx, v_stx, v_bcasti and v_addi.
 //
+// Lines starting with ';;' are assembler directives. The only one today is
+//
+//   ;; profile: <name>             # open a profiler region (docs/PROFILING.md)
+//
+// which names the instruction range up to the next directive (or end of
+// program); `;; profile: end` closes the open region without starting a new
+// one. Regions and the per-line source text are recorded in the Program for
+// the cycle-attribution profiler.
+//
 // Errors raise AssemblyError with the offending line number.
 #pragma once
 

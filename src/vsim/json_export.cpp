@@ -1,6 +1,9 @@
 #include "vsim/json_export.hpp"
 
 #include <algorithm>
+#include <map>
+
+#include "support/strings.hpp"
 
 namespace smtu::vsim {
 
@@ -205,8 +208,214 @@ void write_chrome_trace(std::ostream& out, const ExecutionTrace& trace,
   json.end_array();
   json.key("displayTimeUnit");
   json.value("ns");
+  // Machine-readable truncation marker: consumers should treat dropped > 0
+  // as an incomplete timeline (raise the ExecutionTrace capacity).
+  json.key("trace");
+  json.begin_object();
+  json.key("events");
+  json.value(static_cast<u64>(trace.events().size()));
+  json.key("capacity");
+  json.value(static_cast<u64>(trace.capacity()));
   json.key("dropped");
   json.value(trace.dropped());
+  json.end_object();
+  json.key("dropped");  // legacy location, kept for old consumers
+  json.value(trace.dropped());
+  json.end_object();
+  out << '\n';
+}
+
+void write_profile_json(JsonWriter& json, const PerfCounters& profile) {
+  const double total = static_cast<double>(std::max<Cycle>(1, profile.total_cycles()));
+  json.begin_object();
+  json.key("schema");
+  json.value("smtu-profile-v1");
+  json.key("cycles");
+  json.value(static_cast<u64>(profile.total_cycles()));
+  json.key("runs");
+  json.value(profile.runs());
+
+  // Every bucket, zeros included, in enum order — Σ values == "cycles".
+  json.key("buckets");
+  json.begin_object();
+  for (usize kind = 0; kind < kBusyKindCount; ++kind) {
+    json.key(std::string("busy_") + busy_kind_name(static_cast<BusyKind>(kind)));
+    json.value(profile.busy_cycles()[kind]);
+  }
+  for (usize reason = 0; reason < kStallReasonCount; ++reason) {
+    json.key(std::string("stall_") + stall_reason_name(static_cast<StallReason>(reason)));
+    json.value(profile.stall_cycles()[reason]);
+  }
+  json.end_object();
+
+  json.key("fu");
+  json.begin_object();
+  for (usize kind = 0; kind < kBusyKindCount; ++kind) {
+    const PerfCounters::FuCounters& fu = profile.fus()[kind];
+    json.key(busy_kind_name(static_cast<BusyKind>(kind)));
+    json.begin_object();
+    json.key("instructions");
+    json.value(fu.instructions);
+    json.key("occupancy_cycles");
+    json.value(fu.occupancy_cycles);
+    json.key("idle_cycles");
+    json.value(profile.total_cycles() > fu.occupancy_cycles
+                   ? profile.total_cycles() - fu.occupancy_cycles
+                   : 0);
+    json.key("occupancy");
+    json.value(static_cast<double>(fu.occupancy_cycles) / total);
+    json.end_object();
+  }
+  json.end_object();
+
+  json.key("opcodes");
+  json.begin_object();
+  for (usize op = 0; op < kOpCount; ++op) {
+    const PerfCounters::OpCounters& counters = profile.ops()[op];
+    if (counters.issued == 0) continue;
+    json.key(op_name(static_cast<Op>(op)));
+    json.begin_object();
+    json.key("issued");
+    json.value(counters.issued);
+    json.key("retired");
+    json.value(counters.retired);
+    json.key("elements");
+    json.value(counters.elements);
+    json.key("busy_cycles");
+    json.value(counters.busy_cycles);
+    json.key("stall_cycles");
+    json.value(counters.stall_cycles);
+    json.end_object();
+  }
+  json.end_object();
+
+  json.key("regions");
+  json.begin_array();
+  for (const PerfCounters::RegionCounters& region : profile.region_rollup()) {
+    json.begin_object();
+    json.key("name");
+    json.value(region.name);
+    json.key("issued");
+    json.value(region.issued);
+    json.key("busy_cycles");
+    json.value(region.busy_cycles);
+    json.key("stall_cycles");
+    json.value(region.stall_cycles);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("lines");
+  json.begin_array();
+  for (const PerfCounters::LineCounters& line : profile.line_rollup()) {
+    json.begin_object();
+    json.key("line");
+    json.value(static_cast<u64>(line.line));
+    json.key("text");
+    json.value(line.text);
+    json.key("region");
+    json.value(line.region);
+    json.key("issued");
+    json.value(line.issued);
+    json.key("busy_cycles");
+    json.value(line.busy_cycles);
+    json.key("stall_cycles");
+    json.value(line.stall_cycles);
+    json.key("stalls");
+    json.begin_object();
+    for (usize reason = 0; reason < kStallReasonCount; ++reason) {
+      if (line.stalls[reason] == 0) continue;
+      json.key(stall_reason_name(static_cast<StallReason>(reason)));
+      json.value(line.stalls[reason]);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_speedscope_profile(std::ostream& out, const PerfCounters& profile,
+                              const std::string& name) {
+  // "sampled" speedscope profile: one synthetic sample per (line, bucket)
+  // pair with the attributed cycle count as its weight, stacked as
+  // region > line > bucket so the flamegraph drills down naturally.
+  struct Sample {
+    std::vector<usize> stack;  // frame indices, outermost first
+    u64 weight;
+  };
+  std::vector<std::string> frames;
+  std::map<std::string, usize> frame_index;
+  auto intern = [&](const std::string& frame) {
+    const auto [it, inserted] = frame_index.emplace(frame, frames.size());
+    if (inserted) frames.push_back(frame);
+    return it->second;
+  };
+
+  std::vector<Sample> samples;
+  for (const PerfCounters::LineCounters& line : profile.line_rollup()) {
+    std::vector<usize> prefix;
+    prefix.push_back(intern(line.region.empty() ? "(no region)" : line.region));
+    prefix.push_back(intern(format("L%u: %s", line.line, line.text.c_str())));
+    if (line.busy_cycles > 0) {
+      Sample sample{prefix, line.busy_cycles};
+      sample.stack.push_back(intern("busy"));
+      samples.push_back(std::move(sample));
+    }
+    for (usize reason = 0; reason < kStallReasonCount; ++reason) {
+      if (line.stalls[reason] == 0) continue;
+      Sample sample{prefix, line.stalls[reason]};
+      sample.stack.push_back(intern(std::string("stall: ") +
+                                    stall_reason_name(static_cast<StallReason>(reason))));
+      samples.push_back(std::move(sample));
+    }
+  }
+
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("$schema");
+  json.value("https://www.speedscope.app/file-format-schema.json");
+  json.key("shared");
+  json.begin_object();
+  json.key("frames");
+  json.begin_array();
+  for (const std::string& frame : frames) {
+    json.begin_object();
+    json.key("name");
+    json.value(frame);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.key("profiles");
+  json.begin_array();
+  json.begin_object();
+  json.key("type");
+  json.value("sampled");
+  json.key("name");
+  json.value(name);
+  json.key("unit");
+  json.value("none");
+  json.key("startValue");
+  json.value(u64{0});
+  json.key("endValue");
+  json.value(static_cast<u64>(profile.total_cycles()));
+  json.key("samples");
+  json.begin_array();
+  for (const Sample& sample : samples) {
+    json.begin_array();
+    for (const usize frame : sample.stack) json.value(static_cast<u64>(frame));
+    json.end_array();
+  }
+  json.end_array();
+  json.key("weights");
+  json.begin_array();
+  for (const Sample& sample : samples) json.value(sample.weight);
+  json.end_array();
+  json.end_object();
+  json.end_array();
+  json.key("name");
+  json.value(name);
   json.end_object();
   out << '\n';
 }

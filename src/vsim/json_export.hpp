@@ -16,6 +16,7 @@
 
 #include "support/json.hpp"
 #include "vsim/machine.hpp"
+#include "vsim/profiler.hpp"
 #include "vsim/trace.hpp"
 
 namespace smtu::vsim {
@@ -33,12 +34,27 @@ std::optional<RunStats> run_stats_from_json(const JsonValue& value);
 void write_machine_config_json(JsonWriter& json, const MachineConfig& config);
 
 // Chrome trace-event export. Produces a complete JSON object document:
-//   {"traceEvents": [...], "displayTimeUnit": "ns", "dropped": N}
+//   {"traceEvents": [...], "displayTimeUnit": "ns",
+//    "trace": {"events": N, "capacity": C, "dropped": D}, "dropped": D}
 // with one metadata-named thread (track) per TraceUnit and one complete "X"
 // event per trace record (ts = start cycle, dur = last - start, clamped to
 // at least 1 so zero-length scalar ops stay visible). `process_name` labels
-// the single process track group.
+// the single process track group. The "trace" object makes truncation
+// machine-detectable (dropped > 0); the top-level "dropped" key is kept for
+// backwards compatibility.
 void write_chrome_trace(std::ostream& out, const ExecutionTrace& trace,
                         const std::string& process_name = "vsim");
+
+// Writes a profiler's counters as one "smtu-profile-v1" JSON object (schema
+// reference: docs/PROFILING.md). Usable mid-document, like
+// write_run_stats_json — the bench harness embeds it as a "profile" section
+// of smtu-bench-v1 records.
+void write_profile_json(JsonWriter& json, const PerfCounters& profile);
+
+// Writes a complete speedscope (https://www.speedscope.app) document for
+// interactive flamegraph inspection: one "sampled" profile whose stacks are
+// region > source line > attribution bucket, weighted by attributed cycles.
+void write_speedscope_profile(std::ostream& out, const PerfCounters& profile,
+                              const std::string& name = "vsim");
 
 }  // namespace smtu::vsim

@@ -7,6 +7,7 @@
 #include "support/assert.hpp"
 #include "support/bits.hpp"
 #include "support/strings.hpp"
+#include "vsim/profiler.hpp"
 
 namespace smtu::vsim {
 namespace {
@@ -62,6 +63,12 @@ bool is_vector_op(Op op) {
     default:
       return false;
   }
+}
+
+// Vector memory accesses that move one element per cycle (address per
+// element) rather than streaming at the port's byte rate.
+bool is_indexed_vmem(Op op) {
+  return op == Op::kVLdx || op == Op::kVStx || op == Op::kVLds || op == Op::kVSts;
 }
 
 }  // namespace
@@ -404,8 +411,10 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
   stm_drain_done_[0] = 0;
   stm_drain_done_[1] = 0;
   stm_drain_free_ = 0;
+  vmem_last_indexed_ = false;
   stats_ = {};
   const StmUnit::Stats stm_before = stm_.stats();
+  if (profiler_ != nullptr) profiler_->begin_run(program);
 
   usize pc = entry_pc;
   bool halted = false;
@@ -415,6 +424,10 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
                    "instruction budget exceeded (runaway program?)");
     const Instruction& inst = program.instructions[pc];
     ++stats_.instructions;
+    // Watermark increments bracket each instruction; they telescope to the
+    // final cycle count, which is what makes the profiler's attribution
+    // conservation-exact (see profiler.hpp).
+    const Cycle profile_w_before = watermark_;
 
     if (trace_remaining_ > 0) {
       --trace_remaining_;
@@ -425,9 +438,22 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
       ++stats_.vector_instructions;
       stats_.vector_elements += vl_;
 
-      // Scalar sources a vector instruction needs at issue.
-      Cycle ready = std::max(pc_redirect_, vl_ready_);
-      auto need_sreg = [&](u32 r) { ready = std::max(ready, sreg_ready_[r]); };
+      // Scalar sources a vector instruction needs at issue. Alongside the
+      // ready time, track which constraint set it (the profiler's stall
+      // reason); strictly-later constraints win, so ties keep the
+      // first-listed reason.
+      Cycle ready = pc_redirect_;
+      StallReason stall_why = StallReason::kScalarFetch;
+      if (vl_ready_ > ready) {
+        ready = vl_ready_;
+        stall_why = StallReason::kRawHazard;
+      }
+      auto need_sreg = [&](u32 r) {
+        if (sreg_ready_[r] > ready) {
+          ready = sreg_ready_[r];
+          stall_why = StallReason::kRawHazard;
+        }
+      };
       switch (inst.op) {
         case Op::kVLd:
         case Op::kVSt:
@@ -459,8 +485,12 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
         default:
           break;
       }
+      // Start absent hazard/resource constraints: the fetch point plus
+      // sequential issue — the profiler's baseline for constraint delay.
+      const Cycle profile_unblocked = std::max(pc_redirect_, last_issue_ + 1);
       const Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
       last_issue_ = t_issue;
+      if (t_issue > ready) stall_why = StallReason::kIssueLimit;
 
       // Vector sources and destinations by opcode.
       u8 srcs[3];
@@ -609,16 +639,27 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
           stm_op_bank = stm_double ? stm_.fill_bank() : 0u;
         }
       }
-      Cycle t_start = std::max<Cycle>(t_issue, resource_ready);
+      Cycle t_start = t_issue;
+      auto bind = [&](Cycle term, StallReason reason) {
+        if (term > t_start) {
+          t_start = term;
+          stall_why = reason;
+        }
+      };
+      bind(resource_ready,
+           unit == kUnitVMem
+               ? (vmem_last_indexed_ ? StallReason::kMemIndexedSerial : StallReason::kMemPort)
+               : (unit == kUnitStm ? StallReason::kStmBusy : StallReason::kValuBusy));
       Cycle src_last = 0;
       for (u32 i = 0; i < num_srcs; ++i) {
         const VregTiming& src = vreg_time_[srcs[i]];
-        t_start = std::max(t_start, config_.chaining ? src.first : src.last);
+        bind(config_.chaining ? src.first : src.last,
+             config_.chaining ? StallReason::kChainingWait : StallReason::kRawHazard);
         src_last = std::max(src_last, src.last);
       }
       for (u32 i = 0; i < num_dsts; ++i) {
         const VregTiming& dst = vreg_time_[dsts[i]];
-        t_start = std::max({t_start, dst.readers_done, dst.last});
+        bind(std::max(dst.readers_done, dst.last), StallReason::kVregBusy);
       }
 
       const u32 duration = execute_vector(inst);
@@ -648,6 +689,7 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
         }
       } else {
         unit_free_[unit] = std::max(unit_free_[unit], busy_until);
+        if (unit == kUnitVMem) vmem_last_indexed_ = is_indexed_vmem(inst.op);
       }
       const u64 busy = busy_until - t_start;
       if (unit == kUnitVMem) stats_.vmem_busy_cycles += busy;
@@ -688,6 +730,14 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
           break;
       }
       bump_watermark(last_out);
+      if (profiler_ != nullptr) {
+        const BusyKind kind =
+            unit == kUnitVMem
+                ? (is_indexed_vmem(inst.op) ? BusyKind::kVMemIndexed : BusyKind::kVMemStream)
+                : (unit == kUnitStm ? BusyKind::kStm : BusyKind::kVAlu);
+        profiler_->record({pc, inst.op, vl_, kind, stall_why, t_start, profile_unblocked,
+                           profile_w_before, watermark_, busy});
+      }
       ++pc;
       continue;
     }
@@ -695,7 +745,13 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
     // ---- Scalar instruction path. ----
     ++stats_.scalar_instructions;
     Cycle ready = pc_redirect_;
-    auto need = [&](u32 r) { ready = std::max(ready, sreg_ready_[r]); };
+    StallReason stall_why = StallReason::kScalarFetch;
+    auto need = [&](u32 r) {
+      if (sreg_ready_[r] > ready) {
+        ready = sreg_ready_[r];
+        stall_why = StallReason::kRawHazard;
+      }
+    };
 
     switch (inst.op) {
       case Op::kLi: break;
@@ -752,10 +808,18 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
         SMTU_CHECK_MSG(false, "unhandled scalar op");
     }
 
+    const Cycle profile_unblocked = std::max(pc_redirect_, last_issue_ + 1);
     Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
+    if (t_issue > ready) stall_why = StallReason::kIssueLimit;
     const bool is_mem = inst.op == Op::kLw || inst.op == Op::kSw || inst.op == Op::kLhu ||
                         inst.op == Op::kSh || inst.op == Op::kLbu || inst.op == Op::kSb;
-    if (is_mem) t_issue = std::max(t_issue, take_scalar_mem_slot(t_issue));
+    if (is_mem) {
+      const Cycle slot = take_scalar_mem_slot(t_issue);
+      if (slot > t_issue) {
+        t_issue = slot;
+        stall_why = StallReason::kMemPort;
+      }
+    }
     last_issue_ = t_issue;
     bump_watermark(t_issue);
 
@@ -923,6 +987,10 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
       trace_sink_->record({pc, inst.op, 0, TraceUnit::kScalar, t_issue, t_issue,
                            std::max(t_issue, done), std::max(t_issue, done)});
     }
+    if (profiler_ != nullptr) {
+      profiler_->record({pc, inst.op, 0, BusyKind::kScalar, stall_why, t_issue,
+                         profile_unblocked, profile_w_before, watermark_, 1});
+    }
     pc = next_pc;
   }
 
@@ -931,6 +999,7 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
   stats_.stm_blocks = stm_stats.blocks - stm_before.blocks;
   stats_.stm_write_cycles = stm_stats.write_cycles - stm_before.write_cycles;
   stats_.stm_read_cycles = stm_stats.read_cycles - stm_before.read_cycles;
+  if (profiler_ != nullptr) profiler_->end_run(stats_.cycles);
   return stats_;
 }
 

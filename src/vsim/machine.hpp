@@ -36,6 +36,8 @@
 
 namespace smtu::vsim {
 
+class PerfCounters;
+
 struct RunStats {
   Cycle cycles = 0;
   u64 instructions = 0;
@@ -79,6 +81,11 @@ class Machine {
   // Records structured timing events into `trace` during run() (nullptr
   // detaches). The trace is not cleared automatically.
   void attach_trace(ExecutionTrace* trace) { trace_sink_ = trace; }
+
+  // Attaches a cycle-attribution profiler (nullptr detaches). run() calls
+  // begin_run()/record()/end_run() on it; counters accumulate across runs
+  // of the same program until PerfCounters::reset().
+  void attach_profiler(PerfCounters* profiler) { profiler_ = profiler; }
 
   // Executes from `entry_pc` until halt; aborts on runaway programs.
   // Timing state and statistics are reset per run; memory and registers
@@ -131,10 +138,15 @@ class Machine {
   Cycle stm_fill_done_[2] = {0, 0};
   Cycle stm_drain_done_[2] = {0, 0};
   Cycle stm_drain_free_ = 0;
+  // Whether the vector memory pipe's current occupant is an indexed
+  // (1 element/cycle) access — distinguishes "waiting behind a slow
+  // gather/scatter" from plain port contention in the stall taxonomy.
+  bool vmem_last_indexed_ = false;
 
   RunStats stats_;
   u64 trace_remaining_ = 0;
   ExecutionTrace* trace_sink_ = nullptr;
+  PerfCounters* profiler_ = nullptr;
 
   // Reused per-instruction buffers for vector slides and STM batches, so
   // the interpreter's hot loop performs no heap allocation after warm-up.

@@ -1,4 +1,5 @@
-// An assembled program: decoded instructions plus the label map.
+// An assembled program: decoded instructions, the label map, and the
+// profiler's debug info (source-line text plus `;; profile:` regions).
 #pragma once
 
 #include <map>
@@ -9,13 +10,35 @@
 
 namespace smtu::vsim {
 
+// A named instruction range opened by a `;; profile: <name>` assembler
+// directive (closed by the next directive or the end of the program).
+// Ranges are ordered and non-overlapping; `end` is one past the last pc.
+struct ProfileRegion {
+  std::string name;
+  usize begin = 0;
+  usize end = 0;
+};
+
 struct Program {
   std::vector<Instruction> instructions;
   std::map<std::string, usize> labels;
+  std::vector<ProfileRegion> regions;
+  // Source text by 1-based line number (index 0 unused) — what
+  // Instruction::source_line points into; feeds the profiler's per-line
+  // hot-spot tables.
+  std::vector<std::string> source_lines;
 
   usize size() const { return instructions.size(); }
   bool has_label(const std::string& name) const { return labels.count(name) > 0; }
   usize label(const std::string& name) const;
+
+  // The region containing `pc`, or nullptr when the pc is outside every
+  // `;; profile:` range.
+  const ProfileRegion* region_of(usize pc) const;
+
+  // The source text of 1-based `line` ("" when unavailable, e.g. programs
+  // built directly from Instruction records).
+  const std::string& source_line_text(u32 line) const;
 
   // Disassembly listing with labels, for debugging kernels.
   std::string listing() const;

@@ -35,6 +35,7 @@ class ExecutionTrace {
   void clear();
 
   const std::vector<TraceEvent>& events() const { return events_; }
+  usize capacity() const { return capacity_; }
   u64 dropped() const { return dropped_; }
 
   // One line per event: pc, mnemonic, unit, issue/start/first/last columns.

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "vsim/isa.hpp"
+#include "vsim/profiler.hpp"
 
 namespace smtu::vsim {
 namespace {
@@ -59,6 +60,36 @@ TEST(Docs, TraceReferenceDescribesEventFieldsAndTracks) {
   }
   // The worked example stays tied to the shipped demo program.
   EXPECT_NE(doc.find("block_transpose.s"), std::string::npos);
+  // The machine-readable truncation marker is documented, and the
+  // profiler reference is cross-linked.
+  EXPECT_NE(doc.find("\"trace\""), std::string::npos);
+  EXPECT_NE(doc.find("PROFILING.md"), std::string::npos);
+}
+
+TEST(Docs, ProfilingReferenceCoversEveryBucketAndWorkflow) {
+  const std::string doc = read_doc("PROFILING.md");
+  ASSERT_FALSE(doc.empty());
+  // Every stall reason and busy kind the profiler can emit is defined in
+  // the reference, under the exact snake_case key used in JSON/reports.
+  for (usize reason = 0; reason < kStallReasonCount; ++reason) {
+    const std::string name = stall_reason_name(static_cast<StallReason>(reason));
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "docs/PROFILING.md does not define stall bucket `" << name << "`";
+  }
+  for (usize kind = 0; kind < kBusyKindCount; ++kind) {
+    const std::string name = busy_kind_name(static_cast<BusyKind>(kind));
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "docs/PROFILING.md does not define busy bucket `" << name << "`";
+  }
+  // The region directive, the schema, the conservation invariant, and the
+  // tooling entry points.
+  for (const char* needle :
+       {";; profile:", "smtu-profile-v1", "== total cycles", "--profile",
+        "--profile-speedscope", "prof_report.py", "speedscope",
+        "check_repro_determinism.py", "attach_profiler"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/PROFILING.md does not mention " << needle;
+  }
 }
 
 }  // namespace

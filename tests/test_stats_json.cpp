@@ -111,6 +111,8 @@ TEST(StmStatsJson, EmitsCountersAndDerivedUtilization) {
   stats.elements_out = 40;
   stats.write_cycles = 10;
   stats.read_cycles = 10;
+  stats.write_batches = 5;
+  stats.read_batches = 5;
   StmConfig config;
   config.bandwidth = 4;
 
@@ -126,6 +128,8 @@ TEST(StmStatsJson, EmitsCountersAndDerivedUtilization) {
   EXPECT_EQ(doc->at("elements_out").as_u64(), 40u);
   EXPECT_EQ(doc->at("write_cycles").as_u64(), 10u);
   EXPECT_EQ(doc->at("read_cycles").as_u64(), 10u);
+  EXPECT_EQ(doc->at("write_batches").as_u64(), 5u);
+  EXPECT_EQ(doc->at("read_batches").as_u64(), 5u);
   // (40 + 40) / ((10 + 10) * 4) = 1.0
   EXPECT_DOUBLE_EQ(doc->at("buffer_utilization").as_double(), 1.0);
 }

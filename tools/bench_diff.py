@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py OLD.json NEW.json [--threshold=0.05] [--all]
+                        [--allow-new]
 
 Accepts any JSON the benchmark binaries emit: "smtu-bench-v1" /
 "smtu-repro-v1" reports (``--json=`` on the comparison benches and
@@ -24,8 +25,16 @@ per-matrix and harness wall-time measurements) is nondeterministic by
 nature, and "jobs"/"harness" only describe how the run was executed. None
 of them can gate, appear as [new]/[gone], or show under --all.
 
-Exit status: 0 = no regression, 1 = at least one regression,
-2 = usage / unreadable input. Improvements are reported but never fail.
+Schema drift is gated, not just reported: a metric present in OLD but
+missing from NEW ([gone]) always fails — a silently vanished counter would
+otherwise hide a regression forever. Metrics only in NEW ([new]) also fail
+unless --allow-new is passed, the intended escape hatch for PRs that add
+counters (e.g. a new "profile" section) and update the baseline in the same
+change.
+
+Exit status: 0 = no regression, 1 = at least one regression or gated
+schema drift, 2 = usage / unreadable input. Improvements are reported but
+never fail.
 """
 
 import argparse
@@ -91,6 +100,9 @@ def main():
                         help="relative regression tolerance (default 0.05 = 5%%)")
     parser.add_argument("--all", action="store_true",
                         help="also print unchanged and neutral metrics")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="do not fail on metrics present only in NEW "
+                             "(use when a PR intentionally adds counters)")
     args = parser.parse_args()
 
     old_values, new_values = {}, {}
@@ -128,10 +140,17 @@ def main():
         elif args.all and old != new:
             print(f"  [ok]      {path}: {old:g} -> {new:g} ({delta:+.1%})")
 
+    gated_new = 0 if args.allow_new else len(only_new)
     print(f"bench_diff: {compared} metrics compared, {regressions} regression(s), "
           f"{improvements} improvement(s), threshold {args.threshold:.0%} "
-          f"({len(only_old)} gone, {len(only_new)} new)")
-    return 1 if regressions else 0
+          f"({len(only_old)} gone, {len(only_new)} new"
+          f"{', allowed' if args.allow_new and only_new else ''})")
+    if only_old:
+        print("bench_diff: FAIL — metrics vanished from NEW (see [gone] above)")
+    if gated_new:
+        print("bench_diff: FAIL — NEW introduces metrics absent from OLD; "
+              "pass --allow-new if this is intentional")
+    return 1 if regressions or only_old or gated_new else 0
 
 
 if __name__ == "__main__":

@@ -3,13 +3,18 @@
 
 Usage:
     tools/check_repro_determinism.py PATH/TO/reproduce_all [--scale=0.02]
-                                     [--jobs A B ...]
+                                     [--jobs A B ...] [--profile]
 
 Runs the binary once per jobs value (default: 1 and 4) and asserts the
 smtu-repro-v1 JSON artifacts are identical after stripping the host-timing
 keys (any key containing "wall_ms", plus the "harness" section). Everything
 else — cycle counts, speedups, utilization grids, full RunStats — must match
 exactly; a single differing leaf fails the check.
+
+--profile additionally passes --profile to every run, so each per-matrix
+record carries a full smtu-profile-v1 section (cycle attribution, stall
+taxonomy, per-line counters — docs/PROFILING.md) that is held to the same
+bit-identical standard.
 
 Exit status: 0 identical, 1 mismatch, 2 usage/run failure.
 """
@@ -35,11 +40,13 @@ def strip_timing(value):
     return value
 
 
-def run_once(binary, scale, jobs, tmp):
+def run_once(binary, scale, jobs, tmp, profile=False):
     report = os.path.join(tmp, f"report_j{jobs}.md")
     artifact = os.path.join(tmp, f"repro_j{jobs}.json")
     command = [binary, f"--scale={scale}", f"--jobs={jobs}",
                f"--out={report}", f"--json={artifact}"]
+    if profile:
+        command.append("--profile")
     result = subprocess.run(command, capture_output=True, text=True, check=False)
     if result.returncode != 0:
         print(f"check_repro_determinism: {' '.join(command)} failed "
@@ -75,6 +82,9 @@ def main():
     parser.add_argument("binary", help="path to the reproduce_all binary")
     parser.add_argument("--scale", type=float, default=0.02)
     parser.add_argument("--jobs", type=int, nargs="+", default=[1, 4])
+    parser.add_argument("--profile", action="store_true",
+                        help="run with --profile and hold the per-matrix "
+                             "profile sections to the same determinism bar")
     args = parser.parse_args()
 
     if len(args.jobs) < 2:
@@ -83,7 +93,7 @@ def main():
         return 2
 
     with tempfile.TemporaryDirectory() as tmp:
-        docs = {jobs: run_once(args.binary, args.scale, jobs, tmp)
+        docs = {jobs: run_once(args.binary, args.scale, jobs, tmp, args.profile)
                 for jobs in args.jobs}
 
     reference_jobs = args.jobs[0]

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Render and diff smtu-profile-v1 cycle-attribution profiles as text tables.
+
+Usage:
+    tools/prof_report.py show PROFILE.json [--top=10] [--matrix=NAME]
+                         [--kernel=hism|crs]
+    tools/prof_report.py diff OLD.json NEW.json [--top=10] [--matrix=NAME]
+                         [--kernel=hism|crs]
+
+Accepts either a bare smtu-profile-v1 document (what ``vsim_run
+--profile-json`` writes) or an smtu-bench-v1 / smtu-repro-v1 report produced
+with ``--profile``, in which case --matrix selects the record (default: the
+first profiled one) and --kernel the side (default: both).
+
+``show`` prints, per profile: the cycle-attribution breakdown (every busy and
+stall bucket with its share of total cycles — the buckets sum to the total
+exactly, see docs/PROFILING.md), functional-unit occupancy, per-region
+roll-ups, and the top-N hottest source lines.
+
+``diff`` compares two profiles of the same program bucket by bucket, region
+by region, and line by line, printing the largest movers first — the tool for
+answering "where did the cycles go" between two kernel revisions.
+
+Exit status: 0 on success, 2 on usage errors or unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "smtu-profile-v1"
+
+
+def fail(message):
+    print(f"prof_report: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot read {path}: {error}")
+
+
+def iter_matrix_records(document):
+    """Yield every per-matrix record of a bench/repro report, in order."""
+    for record in document.get("matrices", []):
+        yield record
+    for figure in document.get("figures", []):
+        for record in figure.get("matrices", []):
+            yield record
+
+
+def extract_profiles(document, matrix, kernel):
+    """Return [(label, profile), ...] from any supported document shape."""
+    if document.get("schema") == SCHEMA:
+        return [("", document)]
+    found = []
+    for record in iter_matrix_records(document):
+        profile = record.get("profile")
+        if not profile:
+            continue
+        name = record.get("name", "?")
+        if matrix is not None and name != matrix:
+            continue
+        for side in ("hism", "crs"):
+            if kernel is not None and side != kernel:
+                continue
+            if side in profile:
+                found.append((f"{name}/{side}", profile[side]))
+        if matrix is None:
+            break  # default: first profiled record only
+    if not found:
+        fail("no matching profile section (was the report made with --profile, "
+             "and do --matrix/--kernel match?)")
+    return found
+
+
+def print_table(header, rows):
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        print("  " + "  ".join(cell.ljust(width)
+                               for cell, width in zip(cells, widths)).rstrip())
+    line(header)
+    line(["-" * width for width in widths])
+    for row in rows:
+        line(row)
+    print()
+
+
+def percent(part, total):
+    return f"{100.0 * part / total:.1f}%" if total else "0.0%"
+
+
+def show_profile(label, profile, top):
+    title = f"profile {label}".strip()
+    cycles = profile["cycles"]
+    print(f"== {title}: {cycles} cycles over {profile['runs']} run(s) ==\n")
+
+    buckets = profile["buckets"]
+    attributed = sum(buckets.values())
+    rows = [[name, str(value), percent(value, cycles)]
+            for name, value in buckets.items() if value]
+    print_table(["bucket", "cycles", "share"], rows)
+    if attributed != cycles:
+        print(f"  WARNING: buckets sum to {attributed}, not {cycles}\n")
+
+    rows = [[name, str(fu["instructions"]), str(fu["occupancy_cycles"]),
+             str(fu["idle_cycles"]), f"{fu['occupancy']:.3f}"]
+            for name, fu in profile["fu"].items()]
+    print_table(["unit", "instructions", "occupied", "idle", "occupancy"], rows)
+
+    regions = profile.get("regions", [])
+    if regions:
+        rows = [[region["name"], str(region["issued"]),
+                 str(region["busy_cycles"]), str(region["stall_cycles"]),
+                 percent(region["busy_cycles"] + region["stall_cycles"], cycles)]
+                for region in regions]
+        print_table(["region", "issued", "busy", "stall", "share"], rows)
+
+    lines = sorted(profile.get("lines", []),
+                   key=lambda entry: -(entry["busy_cycles"] + entry["stall_cycles"]))
+    rows = []
+    for entry in lines[:top]:
+        total = entry["busy_cycles"] + entry["stall_cycles"]
+        rows.append([f"L{entry['line']}", str(total), percent(total, cycles),
+                     str(entry["busy_cycles"]), str(entry["stall_cycles"]),
+                     entry.get("region", ""), entry["text"]])
+    if rows:
+        print(f"  top {min(top, len(lines))} source lines by attributed cycles:")
+        print_table(["line", "cycles", "share", "busy", "stall", "region", "text"],
+                    rows)
+
+
+def diff_numeric(name, old, new, rows):
+    if old == new:
+        return
+    delta = new - old
+    relative = f"{delta / old:+.1%}" if old else "n/a"
+    rows.append((abs(delta), [name, str(old), str(new), f"{delta:+d}", relative]))
+
+
+def diff_profiles(label, old, new, top):
+    title = f"profile diff {label}".strip()
+    print(f"== {title}: {old['cycles']} -> {new['cycles']} cycles "
+          f"({new['cycles'] - old['cycles']:+d}) ==\n")
+
+    rows = []
+    for name in set(old["buckets"]) | set(new["buckets"]):
+        diff_numeric(name, old["buckets"].get(name, 0),
+                     new["buckets"].get(name, 0), rows)
+    for side_old, side_new, prefix in ((old, new, "region "),):
+        old_regions = {r["name"]: r for r in side_old.get("regions", [])}
+        new_regions = {r["name"]: r for r in side_new.get("regions", [])}
+        for name in set(old_regions) | set(new_regions):
+            def total(regions):
+                region = regions.get(name)
+                return region["busy_cycles"] + region["stall_cycles"] if region else 0
+            diff_numeric(prefix + name, total(old_regions), total(new_regions), rows)
+    if rows:
+        rows.sort(key=lambda entry: -entry[0])
+        print_table(["bucket", "old", "new", "delta", "rel"],
+                    [row for _, row in rows])
+    else:
+        print("  buckets and regions identical\n")
+
+    def line_totals(profile):
+        return {(entry["line"], entry["text"]):
+                entry["busy_cycles"] + entry["stall_cycles"]
+                for entry in profile.get("lines", [])}
+    old_lines, new_lines = line_totals(old), line_totals(new)
+    rows = []
+    for key in set(old_lines) | set(new_lines):
+        before, after = old_lines.get(key, 0), new_lines.get(key, 0)
+        if before != after:
+            rows.append((abs(after - before),
+                         [f"L{key[0]}", str(before), str(after),
+                          f"{after - before:+d}", key[1]]))
+    if rows:
+        rows.sort(key=lambda entry: -entry[0])
+        print(f"  top {min(top, len(rows))} line movers:")
+        print_table(["line", "old", "new", "delta", "text"],
+                    [row for _, row in rows[:top]])
+    else:
+        print("  per-line attribution identical\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    show = sub.add_parser("show", help="print one profile as text tables")
+    show.add_argument("profile", help="profile or bench/repro JSON file")
+    diff = sub.add_parser("diff", help="compare two profiles of one program")
+    diff.add_argument("old", help="baseline JSON file")
+    diff.add_argument("new", help="candidate JSON file")
+    for command in (show, diff):
+        command.add_argument("--top", type=int, default=10,
+                             help="how many hottest lines to print (default 10)")
+        command.add_argument("--matrix", default=None,
+                             help="matrix name inside a bench/repro report")
+        command.add_argument("--kernel", choices=("hism", "crs"), default=None,
+                             help="kernel side inside a bench/repro report")
+    args = parser.parse_args()
+
+    if args.command == "show":
+        for label, profile in extract_profiles(load(args.profile),
+                                               args.matrix, args.kernel):
+            show_profile(label, profile, args.top)
+        return 0
+
+    old = extract_profiles(load(args.old), args.matrix, args.kernel)
+    new = extract_profiles(load(args.new), args.matrix, args.kernel)
+    new_by_label = dict(new)
+    for label, old_profile in old:
+        if label not in new_by_label:
+            fail(f"profile '{label}' missing from {args.new}")
+        diff_profiles(label, old_profile, new_by_label[label], args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

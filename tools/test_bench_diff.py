@@ -104,6 +104,41 @@ class BenchDiffGating(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("[better]", out)
 
+    def test_gone_metric_fails(self):
+        # A counter that vanishes from NEW could hide a regression: gate it.
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 10.0)
+        del new["matrices"][0]["crs_cycles"]
+        code, out = run_diff(old, new)
+        self.assertEqual(code, 1, out)
+        self.assertIn("[gone]", out)
+        self.assertIn("vanished", out)
+
+    def test_new_metric_fails_without_allow_new(self):
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 10.0)
+        new["matrices"][0]["profile_cycles"] = 1000
+        code, out = run_diff(old, new)
+        self.assertEqual(code, 1, out)
+        self.assertIn("[new]", out)
+        self.assertIn("--allow-new", out)
+
+    def test_new_metric_passes_with_allow_new(self):
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 10.0)
+        new["matrices"][0]["profile_cycles"] = 1000
+        code, out = run_diff(old, new, "--allow-new")
+        self.assertEqual(code, 0, out)
+        self.assertIn("[new]", out)  # still reported, just not gating
+
+    def test_allow_new_does_not_cover_gone(self):
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 10.0)
+        del new["matrices"][0]["crs_cycles"]
+        code, out = run_diff(old, new, "--allow-new")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[gone]", out)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/prof_report.py.
+
+Feeds synthetic smtu-profile-v1 documents (bare and embedded in a bench
+report) through the show/diff subcommands and checks table contents and
+exit codes. Run directly or via ctest (test name: prof_report_unit).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+PROF_REPORT = os.path.join(TOOLS_DIR, "prof_report.py")
+
+
+def profile(cycles=100, histogram_cycles=60):
+    remainder = cycles - histogram_cycles - 10
+    return {
+        "schema": "smtu-profile-v1",
+        "cycles": cycles,
+        "runs": 1,
+        "buckets": {
+            "busy_scalar": remainder,
+            "busy_vmem_indexed": histogram_cycles,
+            "stall_raw_hazard": 10,
+        },
+        "fu": {
+            "scalar": {"instructions": 5, "occupancy_cycles": remainder,
+                       "idle_cycles": cycles - remainder,
+                       "occupancy": remainder / cycles},
+            "vmem_indexed": {"instructions": 2,
+                             "occupancy_cycles": histogram_cycles,
+                             "idle_cycles": cycles - histogram_cycles,
+                             "occupancy": histogram_cycles / cycles},
+        },
+        "opcodes": {"v_ldx": {"issued": 2, "retired": 2, "elements": 128,
+                              "busy_cycles": histogram_cycles,
+                              "stall_cycles": 0}},
+        "regions": [{"name": "histogram", "issued": 2,
+                     "busy_cycles": histogram_cycles, "stall_cycles": 0}],
+        "lines": [
+            {"line": 7, "text": "v_ldx vr1, r2, vr0", "region": "histogram",
+             "issued": 2, "busy_cycles": histogram_cycles, "stall_cycles": 0,
+             "stalls": {}},
+            {"line": 3, "text": "addi r1, r1, 1", "region": "",
+             "issued": 5, "busy_cycles": remainder, "stall_cycles": 10,
+             "stalls": {"raw_hazard": 10}},
+        ],
+    }
+
+
+def bench_report(prof):
+    return {
+        "schema": "smtu-bench-v1",
+        "bench": "unit",
+        "matrices": [
+            {"name": "m0", "nnz": 10, "hism_cycles": 1, "crs_cycles": 2,
+             "profile": {"hism": prof, "crs": prof}},
+        ],
+    }
+
+
+def run_tool_with_flags(command, docs, flags):
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for index, doc in enumerate(docs):
+            path = os.path.join(tmp, f"doc{index}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            paths.append(path)
+        result = subprocess.run(
+            [sys.executable, PROF_REPORT, command, *paths, *flags],
+            capture_output=True, text=True, check=False)
+    return result.returncode, result.stdout + result.stderr
+
+
+class ProfReportShow(unittest.TestCase):
+    def test_bare_profile_tables(self):
+        code, out = run_tool_with_flags("show", [profile()], [])
+        self.assertEqual(code, 0, out)
+        self.assertIn("100 cycles", out)
+        self.assertIn("busy_vmem_indexed", out)
+        self.assertIn("histogram", out)
+        # hottest line first: the indexed load dominates
+        self.assertLess(out.index("v_ldx"), out.index("addi"), out)
+
+    def test_zero_buckets_hidden(self):
+        code, out = run_tool_with_flags("show", [profile()], [])
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("stall_stm_busy", out)
+
+    def test_conservation_warning(self):
+        broken = profile()
+        broken["buckets"]["busy_scalar"] += 1
+        code, out = run_tool_with_flags("show", [broken], [])
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARNING", out)
+
+    def test_bench_report_selects_kernel(self):
+        doc = bench_report(profile())
+        code, out = run_tool_with_flags("show", [doc], ["--kernel=crs"])
+        self.assertEqual(code, 0, out)
+        self.assertIn("m0/crs", out)
+        self.assertNotIn("m0/hism", out)
+
+    def test_bench_report_without_profile_fails(self):
+        doc = bench_report(profile())
+        del doc["matrices"][0]["profile"]
+        code, out = run_tool_with_flags("show", [doc], [])
+        self.assertEqual(code, 2, out)
+        self.assertIn("--profile", out)
+
+    def test_top_limits_lines(self):
+        code, out = run_tool_with_flags("show", [profile()], ["--top=1"])
+        self.assertEqual(code, 0, out)
+        self.assertIn("v_ldx", out)
+        self.assertNotIn("addi", out)
+
+
+class ProfReportDiff(unittest.TestCase):
+    def test_identical_profiles(self):
+        code, out = run_tool_with_flags("diff", [profile(), profile()], [])
+        self.assertEqual(code, 0, out)
+        self.assertIn("identical", out)
+
+    def test_moved_cycles_reported(self):
+        code, out = run_tool_with_flags(
+            "diff", [profile(histogram_cycles=60), profile(histogram_cycles=40)],
+            [])
+        self.assertEqual(code, 0, out)
+        self.assertIn("busy_vmem_indexed", out)
+        self.assertIn("-20", out)
+        self.assertIn("region histogram", out)
+        self.assertIn("line movers", out)
+
+    def test_missing_profile_in_new_fails(self):
+        doc = bench_report(profile())
+        solo = {"schema": "smtu-bench-v1", "matrices": [
+            {"name": "m0", "profile": {"hism": profile()}}]}
+        code, out = run_tool_with_flags("diff", [doc, solo], [])
+        self.assertEqual(code, 2, out)
+        self.assertIn("missing", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

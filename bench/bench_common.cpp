@@ -6,6 +6,10 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
 
 #include "formats/matrix_market.hpp"
 #include "hism/transpose.hpp"
@@ -29,6 +33,24 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+vsim::SimCache* sim_cache_for(const std::optional<std::string>& dir) {
+  if (!dir) return nullptr;
+  static std::mutex mutex;
+  static std::unordered_map<std::string, std::unique_ptr<vsim::SimCache>>* caches =
+      new std::unordered_map<std::string, std::unique_ptr<vsim::SimCache>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = (*caches)[*dir];
+  if (!slot) slot = std::make_unique<vsim::SimCache>(*dir);
+  return slot.get();
+}
+
+std::string render_profile_json(const vsim::PerfCounters& profile) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  vsim::write_profile_json(json, profile);
+  return out.str();
+}
+
 BenchOptions parse_options(CommandLine& cli) {
   BenchOptions options;
   options.suite.scale = cli.get_double("scale", 1.0);
@@ -44,36 +66,85 @@ BenchOptions parse_options(CommandLine& cli) {
   if (!trace_json.empty()) options.trace_json_path = trace_json;
   options.verify = cli.get_flag("verify");
   options.profile = cli.get_flag("profile");
+  const std::string sim_cache = cli.get_string("sim-cache", "");
+  if (!sim_cache.empty()) options.sim_cache_dir = sim_cache;
   cli.finish();
   return options;
 }
 
 TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
                                        const vsim::MachineConfig& config, bool verify,
-                                       bool profile) {
+                                       bool profile, vsim::SimCache* sim_cache) {
   const auto started = std::chrono::steady_clock::now();
-  const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
-  const Csr csr = Csr::from_coo(entry.matrix);
+  const auto hism_stage = kernels::MatrixStageCache::instance().hism(entry.matrix, config.section);
+  const auto crs_stage = kernels::MatrixStageCache::instance().crs(entry.matrix);
 
   TransposeComparison comparison;
   comparison.profiled = profile;
-  vsim::PerfCounters* hism_profiler = profile ? &comparison.hism_profile : nullptr;
-  vsim::PerfCounters* crs_profiler = profile ? &comparison.crs_profile : nullptr;
-  if (verify) {
-    const Coo expected = entry.matrix.transposed();
-    const auto hism_result = kernels::run_hism_transpose(
-        hism, config, /*split_drain_registers=*/false, nullptr, hism_profiler);
-    SMTU_CHECK_MSG(structurally_equal(hism_result.transposed.to_coo(), expected),
-                   "HiSM kernel produced a wrong transpose for " + entry.name);
-    comparison.hism_stats = hism_result.stats;
-    const auto crs_result = kernels::run_crs_transpose(csr, config, {}, crs_profiler);
-    SMTU_CHECK_MSG(structurally_equal(crs_result.transposed, expected),
-                   "CRS kernel produced a wrong transpose for " + entry.name);
-    comparison.crs_stats = crs_result.stats;
+
+  // The entry registers are a pure function of the staged image, so the
+  // (source, config, snapshot) triple fully keys each simulation.
+  std::string hism_key;
+  std::string crs_key;
+  std::optional<vsim::SimCache::Entry> hism_hit;
+  std::optional<vsim::SimCache::Entry> crs_hit;
+  if (sim_cache) {
+    hism_key = vsim::sim_cache_key(kernels::hism_transpose_source(false), config,
+                                   *hism_stage->snapshot, {});
+    crs_key = vsim::sim_cache_key(kernels::crs_transpose_source(config.section, {}), config,
+                                  *crs_stage->snapshot, {});
+    hism_hit = sim_cache->lookup(hism_key, verify, profile);
+    crs_hit = sim_cache->lookup(crs_key, verify, profile);
+  }
+
+  // Built only if a verifying run actually simulates (both kernels check
+  // against the same reference transpose).
+  std::optional<Coo> expected;
+  const auto expected_coo = [&]() -> const Coo& {
+    if (!expected) expected = entry.matrix.transposed();
+    return *expected;
+  };
+
+  if (hism_hit) {
+    comparison.hism_stats = hism_hit->stats;
+    comparison.hism_profile_json = hism_hit->profile_json;
   } else {
-    comparison.hism_stats = kernels::time_hism_transpose(
-        hism, config, /*split_drain_registers=*/false, nullptr, hism_profiler);
-    comparison.crs_stats = kernels::time_crs_transpose(csr, config, {}, crs_profiler);
+    vsim::PerfCounters counters;
+    vsim::PerfCounters* profiler = profile ? &counters : nullptr;
+    if (verify) {
+      const auto result = kernels::run_hism_transpose(
+          *hism_stage, config, /*split_drain_registers=*/false, nullptr, profiler);
+      SMTU_CHECK_MSG(structurally_equal(result.transposed.to_coo(), expected_coo()),
+                     "HiSM kernel produced a wrong transpose for " + entry.name);
+      comparison.hism_stats = result.stats;
+    } else {
+      comparison.hism_stats = kernels::time_hism_transpose(
+          *hism_stage, config, /*split_drain_registers=*/false, nullptr, profiler);
+    }
+    if (profile) comparison.hism_profile_json = render_profile_json(counters);
+    if (sim_cache) {
+      sim_cache->store(hism_key, {comparison.hism_stats, verify, comparison.hism_profile_json});
+    }
+  }
+
+  if (crs_hit) {
+    comparison.crs_stats = crs_hit->stats;
+    comparison.crs_profile_json = crs_hit->profile_json;
+  } else {
+    vsim::PerfCounters counters;
+    vsim::PerfCounters* profiler = profile ? &counters : nullptr;
+    if (verify) {
+      const auto result = kernels::run_crs_transpose(*crs_stage, config, {}, profiler);
+      SMTU_CHECK_MSG(structurally_equal(result.transposed, expected_coo()),
+                     "CRS kernel produced a wrong transpose for " + entry.name);
+      comparison.crs_stats = result.stats;
+    } else {
+      comparison.crs_stats = kernels::time_crs_transpose(*crs_stage, config, {}, profiler);
+    }
+    if (profile) comparison.crs_profile_json = render_profile_json(counters);
+    if (sim_cache) {
+      sim_cache->store(crs_key, {comparison.crs_stats, verify, comparison.crs_profile_json});
+    }
   }
   comparison.hism_cycles = comparison.hism_stats.cycles;
   comparison.crs_cycles = comparison.crs_stats.cycles;
@@ -94,14 +165,16 @@ std::vector<MatrixRecord> run_comparisons(const std::vector<suite::SuiteMatrix>&
                                           const BenchOptions& options,
                                           const std::string& metric_name,
                                           double (*metric)(const suite::MatrixMetrics&)) {
+  vsim::SimCache* sim_cache = sim_cache_for(options.sim_cache_dir);
   ThreadPool pool(options.jobs);
   return parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
-    return MatrixRecord{entry.name,
-                        entry.set,
-                        metric_name,
-                        metric ? metric(entry.metrics) : 0.0,
-                        entry.matrix.nnz(),
-                        compare_transposes(entry, config, options.verify, options.profile)};
+    return MatrixRecord{
+        entry.name,
+        entry.set,
+        metric_name,
+        metric ? metric(entry.metrics) : 0.0,
+        entry.matrix.nnz(),
+        compare_transposes(entry, config, options.verify, options.profile, sim_cache)};
   });
 }
 
@@ -185,7 +258,8 @@ int run_figure_bench(int argc, const char* const* argv, const FigureSeries& seri
   if (options.json_path) {
     std::ofstream out(*options.json_path);
     SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open JSON output " + *options.json_path);
-    write_bench_report_json(out, series.set, config, options.suite, records, harness);
+    write_bench_report_json(out, series.set, config, options.suite, records, harness,
+                            collect_host_counters(options.sim_cache_dir));
     std::fprintf(stderr, "wrote JSON report to %s\n", options.json_path->c_str());
   }
   if (options.trace_json_path) {
@@ -247,12 +321,14 @@ void write_matrix_records_json(JsonWriter& json, const std::vector<MatrixRecord>
     json.key("crs");
     vsim::write_run_stats_json(json, record.comparison.crs_stats);
     if (record.comparison.profiled) {
+      // Pre-rendered by render_profile_json (or replayed verbatim from the
+      // sim cache), so cached and live reports are byte-identical.
       json.key("profile");
       json.begin_object();
       json.key("hism");
-      vsim::write_profile_json(json, record.comparison.hism_profile);
+      json.raw(record.comparison.hism_profile_json);
       json.key("crs");
-      vsim::write_profile_json(json, record.comparison.crs_profile);
+      json.raw(record.comparison.crs_profile_json);
       json.end_object();
     }
     json.end_object();
@@ -282,11 +358,51 @@ void write_harness_json(JsonWriter& json, const HarnessInfo& harness) {
   json.end_object();
 }
 
+HostCounters collect_host_counters(const std::optional<std::string>& sim_cache_dir) {
+  HostCounters host;
+  host.program_cache = vsim::ProgramCache::instance().stats();
+  host.stage_cache = kernels::MatrixStageCache::instance().stats();
+  if (vsim::SimCache* cache = sim_cache_for(sim_cache_dir)) host.sim_cache = cache->stats();
+  return host;
+}
+
+void write_host_json(JsonWriter& json, const HostCounters& host) {
+  json.begin_object();
+  json.key("program_cache");
+  json.begin_object();
+  json.key("hits");
+  json.value(host.program_cache.hits);
+  json.key("misses");
+  json.value(host.program_cache.misses);
+  json.end_object();
+  json.key("stage_cache");
+  json.begin_object();
+  json.key("hits");
+  json.value(host.stage_cache.hits);
+  json.key("misses");
+  json.value(host.stage_cache.misses);
+  json.end_object();
+  json.key("sim_cache");
+  if (host.sim_cache) {
+    json.begin_object();
+    json.key("hits");
+    json.value(host.sim_cache->hits);
+    json.key("misses");
+    json.value(host.sim_cache->misses);
+    json.key("stores");
+    json.value(host.sim_cache->stores);
+    json.end_object();
+  } else {
+    json.null();
+  }
+  json.end_object();
+}
+
 void write_bench_report_json(std::ostream& out, const std::string& bench_name,
                              const vsim::MachineConfig& config,
                              const suite::SuiteOptions& suite_options,
                              const std::vector<MatrixRecord>& records,
-                             const HarnessInfo& harness) {
+                             const HarnessInfo& harness, const HostCounters& host) {
   JsonWriter json(out);
   json.begin_object();
   json.key("schema");
@@ -304,6 +420,8 @@ void write_bench_report_json(std::ostream& out, const std::string& bench_name,
   json.end_object();
   json.key("harness");
   write_harness_json(json, harness);
+  json.key("host");
+  write_host_json(json, host);
   json.key("matrices");
   write_matrix_records_json(json, records);
   json.key("summary");
@@ -314,9 +432,9 @@ void write_bench_report_json(std::ostream& out, const std::string& bench_name,
 
 void write_transpose_trace_json(const std::string& path, const suite::SuiteMatrix& entry,
                                 const vsim::MachineConfig& config) {
-  const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
+  const auto stage = kernels::MatrixStageCache::instance().hism(entry.matrix, config.section);
   vsim::ExecutionTrace trace(1u << 20);
-  kernels::time_hism_transpose(hism, config, /*split_drain_registers=*/false, &trace);
+  kernels::time_hism_transpose(*stage, config, /*split_drain_registers=*/false, &trace);
   std::ofstream out(path);
   SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open trace output " + path);
   vsim::write_chrome_trace(out, trace, "hism_transpose:" + entry.name);

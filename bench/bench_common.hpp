@@ -17,6 +17,11 @@
 //   --verify           decode results from simulated memory and check them
 //   --profile          attach the cycle-attribution profiler; JSON reports
 //                      gain a per-matrix "profile" section (docs/PROFILING.md)
+//   --sim-cache=<dir>  content-addressed on-disk result cache: simulations
+//                      whose (program, config, image) triple was seen before
+//                      are skipped and their RunStats/profile replayed from
+//                      <dir> (see HACKING.md "Host performance"). Reports
+//                      stay bit-identical modulo wall_ms/host keys
 //
 // summary_speedup additionally accepts --mtxdir=<dir>: run on every .mtx
 // file found there (e.g. the original D-SAB matrices) instead of the
@@ -29,6 +34,7 @@
 
 #include "formats/csr.hpp"
 #include "hism/hism.hpp"
+#include "kernels/staging.hpp"
 #include "stm/unit.hpp"
 #include "suite/dsab.hpp"
 #include "support/cli.hpp"
@@ -38,6 +44,8 @@
 #include "vsim/config.hpp"
 #include "vsim/machine.hpp"
 #include "vsim/profiler.hpp"
+#include "vsim/program_cache.hpp"
+#include "vsim/sim_cache.hpp"
 
 namespace smtu::bench {
 
@@ -52,7 +60,15 @@ struct BenchOptions {
   // comparison; the JSON reports gain a per-matrix "profile" section
   // (docs/PROFILING.md). Deterministic across -j values like the cycles.
   bool profile = false;
+  // --sim-cache: directory of the content-addressed result cache; nullopt
+  // disables it (every simulation runs).
+  std::optional<std::string> sim_cache_dir;
 };
+
+// The process-wide SimCache for `dir` (one instance per directory, so its
+// hit/miss counters aggregate across benches in one process). nullptr when
+// `dir` is empty.
+vsim::SimCache* sim_cache_for(const std::optional<std::string>& dir);
 
 // Parses the standard flags; calls cli.finish() so unknown flags fail fast.
 BenchOptions parse_options(CommandLine& cli);
@@ -69,15 +85,24 @@ struct TransposeComparison {
   double wall_ms = 0.0;  // host wall time of this comparison (nondeterministic)
   vsim::RunStats hism_stats;
   vsim::RunStats crs_stats;
-  // Populated only when profiling was requested (see BenchOptions::profile).
+  // Populated only when profiling was requested (see BenchOptions::profile):
+  // the per-kernel profile sections pre-rendered as JSON text, so cached
+  // replays are byte-identical to live runs by construction.
   bool profiled = false;
-  vsim::PerfCounters hism_profile;
-  vsim::PerfCounters crs_profile;
+  std::string hism_profile_json;
+  std::string crs_profile_json;
 };
 
+// Renders vsim::write_profile_json to a string (the TransposeComparison /
+// SimCache profile payload format).
+std::string render_profile_json(const vsim::PerfCounters& profile);
+
+// A non-null `sim_cache` is consulted before each simulation and updated
+// after: hits replay the stored RunStats/profile without running the machine.
 TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
                                        const vsim::MachineConfig& config, bool verify,
-                                       bool profile = false);
+                                       bool profile = false,
+                                       vsim::SimCache* sim_cache = nullptr);
 
 // Buffer-bandwidth utilization of the STM over every block-array of a HiSM
 // matrix, mimicking the kernel's pass structure (one pass per level-0 block,
@@ -124,8 +149,10 @@ struct MatrixRecord {
 
 // Runs compare_transposes for every matrix of `set` across a thread pool
 // sized by options.jobs, preserving set order in the returned records. Each
-// task builds its own HiSM/CSR/Machine, so cycle counts are identical for
-// every jobs value; only wall_ms differs.
+// task runs its own Machine against immutable shared stages, so cycle counts
+// are identical for every jobs value; only wall_ms differs. When
+// options.sim_cache_dir is set, results are replayed from / stored to the
+// on-disk cache.
 std::vector<MatrixRecord> run_comparisons(const std::vector<suite::SuiteMatrix>& set,
                                           const vsim::MachineConfig& config,
                                           const BenchOptions& options,
@@ -157,11 +184,22 @@ void write_speedup_summary_json(JsonWriter& json, const SpeedupSummary& summary)
 // Complete "smtu-bench-v1" document: schema/bench tags, machine config,
 // suite options, harness info, matrices, summary. This is what `--json=PATH`
 // writes for the comparison benches and what tools/bench_diff.py consumes.
+// Host-side cache counters for the "host" sub-object: how much work the
+// program / matrix-stage / simulation caches absorbed. Like wall_ms, the
+// values depend on process history, so bench_diff.py skips the whole key.
+struct HostCounters {
+  vsim::ProgramCache::Stats program_cache;
+  kernels::MatrixStageCache::Stats stage_cache;
+  std::optional<vsim::SimCache::Stats> sim_cache;  // set only under --sim-cache
+};
+HostCounters collect_host_counters(const std::optional<std::string>& sim_cache_dir);
+void write_host_json(JsonWriter& json, const HostCounters& host);
+
 void write_bench_report_json(std::ostream& out, const std::string& bench_name,
                              const vsim::MachineConfig& config,
                              const suite::SuiteOptions& suite_options,
                              const std::vector<MatrixRecord>& records,
-                             const HarnessInfo& harness = {});
+                             const HarnessInfo& harness = {}, const HostCounters& host = {});
 
 // The "harness" sub-object shared by smtu-bench-v1 and smtu-repro-v1.
 void write_harness_json(JsonWriter& json, const HarnessInfo& harness);

@@ -8,9 +8,13 @@
 #include "formats/csr.hpp"
 #include "hism/image.hpp"
 #include "hism/transpose.hpp"
+#include "kernels/hism_transpose.hpp"
+#include "kernels/staging.hpp"
 #include "stm/locator.hpp"
 #include "stm/unit.hpp"
 #include "support/rng.hpp"
+#include "vsim/assembler.hpp"
+#include "vsim/program_cache.hpp"
 
 namespace smtu {
 namespace {
@@ -109,6 +113,52 @@ void BM_CooCanonicalize(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100000);
 }
 BENCHMARK(BM_CooCanonicalize);
+
+// ---- interpreter throughput -------------------------------------------------
+// How fast the simulator itself runs, as opposed to the cycle counts it
+// produces. items/s below is simulated instructions per host second.
+
+// Cold path: full parse + predecode of the HiSM transpose kernel, what every
+// Machine::run used to pay before the ProgramCache.
+void BM_AssembleTransposeKernel(benchmark::State& state) {
+  const std::string source = kernels::hism_transpose_source();
+  usize instructions = 0;
+  for (auto _ : state) {
+    const vsim::Program program = vsim::assemble(source);
+    instructions = program.instructions.size();
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(instructions));
+}
+BENCHMARK(BM_AssembleTransposeKernel);
+
+// Warm path: the ProgramCache hit that replaces the cold assemble on every
+// run after the first.
+void BM_ProgramCacheWarmHit(benchmark::State& state) {
+  const std::string source = kernels::hism_transpose_source();
+  vsim::ProgramCache::instance().get(source);  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vsim::ProgramCache::instance().get(source));
+  }
+}
+BENCHMARK(BM_ProgramCacheWarmHit);
+
+// Full kernel simulation against a shared pre-staged image (predecoded
+// program, copy-on-write memory): the steady-state per-run cost of the
+// comparison benches.
+void BM_InterpretHismTranspose(benchmark::State& state) {
+  const Coo coo = make_matrix(512, static_cast<usize>(state.range(0)), 9);
+  const kernels::HismStage stage = kernels::build_hism_stage(HismMatrix::from_coo(coo, 64));
+  const vsim::MachineConfig config;
+  u64 instructions = 0;
+  for (auto _ : state) {
+    const vsim::RunStats stats = kernels::time_hism_transpose(stage, config);
+    instructions += stats.instructions;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(static_cast<i64>(instructions));
+}
+BENCHMARK(BM_InterpretHismTranspose)->Arg(10000)->Arg(50000);
 
 }  // namespace
 }  // namespace smtu

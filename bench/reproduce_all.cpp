@@ -6,7 +6,12 @@
 // focused runs and sweeps; this produces the shareable artifacts.
 //
 //   ./reproduce_all [--out=REPORT.md] [--json=BENCH_repro.json]
-//                   [--scale=1.0] [--seed=...] [--profile]
+//                   [--scale=1.0] [--seed=...] [--profile] [--jobs=N]
+//                   [--sim-cache=DIR]
+//
+// --sim-cache replays previously seen simulations from the on-disk result
+// cache (bit-identical reports modulo the wall_ms/host keys; see HACKING.md
+// "Host performance").
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -38,12 +43,12 @@ struct FigureResult {
   std::vector<bench::MatrixRecord> records;
 };
 
-std::vector<bench::MatrixRecord> run_set(std::ostream& out, const std::string& set_name,
+std::vector<bench::MatrixRecord> run_set(std::ostream& out,
+                                         const std::vector<suite::SuiteMatrix>& set,
                                          const std::string& metric_header,
                                          double (*metric)(const suite::MatrixMetrics&),
                                          const bench::BenchOptions& options,
                                          const vsim::MachineConfig& config) {
-  const auto set = suite::build_dsab_set(set_name, options.suite);
   // Fanned across the pool; record order (and thus every table/JSON row)
   // matches the serial -j1 run.
   const std::vector<bench::MatrixRecord> records =
@@ -55,7 +60,8 @@ std::vector<bench::MatrixRecord> run_set(std::ostream& out, const std::string& s
                    format("%.2f", record.comparison.crs_cycles_per_nnz),
                    format("%.1f", record.comparison.speedup)});
   }
-  std::fprintf(stderr, "  %s done (%zu matrices)\n", set_name.c_str(), records.size());
+  std::fprintf(stderr, "  %s done (%zu matrices)\n",
+               set.empty() ? "?" : set.front().set.c_str(), records.size());
   markdown_table(out, table);
   return records;
 }
@@ -97,16 +103,34 @@ int main(int argc, char** argv) {
       config.mem_indexed_elems_per_cycle, config.chaining ? "on" : "off",
       config.stm.bandwidth, config.stm.lines, options.suite.scale);
 
+  // The full suite is generated once; every section below (the Fig. 10
+  // grid, the per-figure sets, the storage claim) slices or reuses it —
+  // build_dsab_suite is just the three sets concatenated, so the slices are
+  // bit-identical to building each set on its own.
+  std::fprintf(stderr, "suite ...\n");
+  const auto suite_matrices = suite::build_dsab_suite(options.suite);
+  const auto set_slice = [&](const char* set_name) {
+    std::vector<suite::SuiteMatrix> slice;
+    for (const auto& entry : suite_matrices) {
+      if (entry.set == set_name) slice.push_back(entry);
+    }
+    return slice;
+  };
+
   // ---- Fig. 10 -----------------------------------------------------------
   std::fprintf(stderr, "Fig. 10 ...\n");
   out << "## Fig. 10 — buffer bandwidth utilization\n\n";
   Fig10Grid fig10;
   {
-    const auto suite_matrices = suite::build_dsab_suite(options.suite);
     ThreadPool pool(options.jobs);
-    const std::vector<HismMatrix> hisms =
+    // Conversions land in the process-wide stage cache, so the Fig. 11-13
+    // comparisons below reuse them instead of re-running from_coo. The STM
+    // line traces are config-independent: extracted once per matrix here,
+    // they serve all 16 (B, L) grid points below.
+    const auto traces =
         parallel_map(pool, suite_matrices, [&](const suite::SuiteMatrix& entry) {
-          return HismMatrix::from_coo(entry.matrix, config.section);
+          return kernels::stm_block_traces(
+              kernels::MatrixStageCache::instance().hism(entry.matrix, config.section)->hism);
         });
     TextTable table({"B", "L=1", "L=2", "L=4", "L=8"});
     for (const u32 bandwidth : fig10.bandwidths) {
@@ -117,10 +141,10 @@ int main(int argc, char** argv) {
         stm.bandwidth = bandwidth;
         stm.lines = lines;
         double sum = 0.0;
-        for (const HismMatrix& hism : hisms) {
-          sum += kernels::stm_utilization(hism, stm).utilization;
+        for (const auto& trace : traces) {
+          sum += kernels::stm_utilization(trace, stm).utilization;
         }
-        util_row.push_back(sum / static_cast<double>(hisms.size()));
+        util_row.push_back(sum / static_cast<double>(traces.size()));
         row.push_back(format("%.3f", util_row.back()));
       }
       fig10.utilization.push_back(std::move(util_row));
@@ -156,7 +180,7 @@ int main(int argc, char** argv) {
     out << "## " << figure.title << "\n\n";
     FigureResult result{figure.figure, figure.set, figure.paper_min, figure.paper_max,
                         figure.paper_avg, {}};
-    result.records = run_set(out, figure.set, figure.metric_header, figure.metric,
+    result.records = run_set(out, set_slice(figure.set), figure.metric_header, figure.metric,
                              options, config);
     const bench::SpeedupSummary summary = bench::summarize_speedups(result.records);
     out << format("measured speedup: min %.1f, max %.1f, avg %.1f — paper: %.1f / %.1f / %.1f\n\n",
@@ -181,15 +205,15 @@ int main(int argc, char** argv) {
       double ratio;
       double overhead;
     };
-    const auto suite_matrices = suite::build_dsab_suite(options.suite);
     ThreadPool pool(options.jobs);
     const std::vector<StorageRow> rows =
         parallel_map(pool, suite_matrices, [&](const suite::SuiteMatrix& entry) {
-          const Csr csr = Csr::from_coo(entry.matrix);
-          const HismStats stats =
-              compute_stats(HismMatrix::from_coo(entry.matrix, config.section));
+          const auto crs = kernels::MatrixStageCache::instance().crs(entry.matrix);
+          const auto hism =
+              kernels::MatrixStageCache::instance().hism(entry.matrix, config.section);
+          const HismStats stats = compute_stats(hism->hism);
           return StorageRow{static_cast<double>(stats.storage_bytes) /
-                                static_cast<double>(csr.storage_bytes()),
+                                static_cast<double>(crs->csr.storage_bytes()),
                             stats.overhead_fraction};
         });
     // Summed in suite order, off the pool: identical for every -j value.
@@ -241,6 +265,8 @@ int main(int argc, char** argv) {
     json.end_object();
     json.key("harness");
     bench::write_harness_json(json, harness);
+    json.key("host");
+    bench::write_host_json(json, bench::collect_host_counters(options.sim_cache_dir));
     json.key("fig10");
     json.begin_object();
     json.key("bandwidths");

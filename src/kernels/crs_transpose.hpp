@@ -18,6 +18,7 @@
 #include <string>
 
 #include "formats/csr.hpp"
+#include "kernels/staging.hpp"
 #include "vsim/machine.hpp"
 
 namespace smtu::kernels {
@@ -65,6 +66,21 @@ vsim::RunStats time_crs_transpose(const Csr& csr, const vsim::MachineConfig& con
 CrsTransposeResult run_scalar_crs_transpose(const Csr& csr, const vsim::MachineConfig& config,
                                             vsim::PerfCounters* profiler = nullptr);
 vsim::RunStats time_scalar_crs_transpose(const Csr& csr, const vsim::MachineConfig& config,
+                                         vsim::PerfCounters* profiler = nullptr);
+
+// Stage-based variants: the machine attaches the stage's shared snapshot
+// copy-on-write instead of re-staging the image (kernels/staging.hpp).
+CrsTransposeResult run_crs_transpose(const CrsStage& stage, const vsim::MachineConfig& config,
+                                     const CrsKernelOptions& options = {},
+                                     vsim::PerfCounters* profiler = nullptr);
+vsim::RunStats time_crs_transpose(const CrsStage& stage, const vsim::MachineConfig& config,
+                                  const CrsKernelOptions& options = {},
+                                  vsim::PerfCounters* profiler = nullptr);
+CrsTransposeResult run_scalar_crs_transpose(const CrsStage& stage,
+                                            const vsim::MachineConfig& config,
+                                            vsim::PerfCounters* profiler = nullptr);
+vsim::RunStats time_scalar_crs_transpose(const CrsStage& stage,
+                                         const vsim::MachineConfig& config,
                                          vsim::PerfCounters* profiler = nullptr);
 
 }  // namespace smtu::kernels

@@ -3,7 +3,7 @@
 #include "kernels/layout.hpp"
 #include "support/assert.hpp"
 #include "support/bits.hpp"
-#include "vsim/assembler.hpp"
+#include "vsim/program_cache.hpp"
 
 namespace smtu::kernels {
 
@@ -65,13 +65,13 @@ vsim::Machine stage(const Dense& matrix, const vsim::MachineConfig& config, Addr
 
 DenseTransposeResult run_dense_transpose(const Dense& matrix,
                                          const vsim::MachineConfig& config) {
-  const vsim::Program program = vsim::assemble(dense_transpose_source());
+  const auto program = vsim::ProgramCache::instance().get(dense_transpose_source());
   Addr a_addr = 0;
   Addr at_addr = 0;
   vsim::Machine machine = stage(matrix, config, a_addr, at_addr);
 
   DenseTransposeResult result;
-  result.stats = machine.run(program);
+  result.stats = machine.run(*program);
   result.transposed = Dense(matrix.cols(), matrix.rows());
   for (Index r = 0; r < matrix.cols(); ++r) {
     for (Index c = 0; c < matrix.rows(); ++c) {
@@ -83,11 +83,11 @@ DenseTransposeResult run_dense_transpose(const Dense& matrix,
 }
 
 vsim::RunStats time_dense_transpose(const Dense& matrix, const vsim::MachineConfig& config) {
-  const vsim::Program program = vsim::assemble(dense_transpose_source());
+  const auto program = vsim::ProgramCache::instance().get(dense_transpose_source());
   Addr a_addr = 0;
   Addr at_addr = 0;
   vsim::Machine machine = stage(matrix, config, a_addr, at_addr);
-  return machine.run(program);
+  return machine.run(*program);
 }
 
 }  // namespace smtu::kernels

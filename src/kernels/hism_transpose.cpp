@@ -2,7 +2,7 @@
 
 #include "kernels/layout.hpp"
 #include "support/assert.hpp"
-#include "vsim/assembler.hpp"
+#include "vsim/program_cache.hpp"
 
 namespace smtu::kernels {
 
@@ -125,17 +125,35 @@ tb_done:
 
 namespace {
 
+void set_entry_sregs(vsim::Machine& machine, const HismImage& image) {
+  machine.set_sreg(1, image.root_addr);
+  machine.set_sreg(2, image.root_len);
+  machine.set_sreg(3, image.levels - 1);
+  machine.set_sreg(vsim::kRegSp, kStackTop);
+}
+
 vsim::Machine make_machine_with_image(const HismMatrix& hism,
                                       const vsim::MachineConfig& config, HismImage& image) {
   SMTU_CHECK_MSG(hism.section() == config.section,
                  "HiSM section size must match the machine section size");
   vsim::Machine machine(config);
   image = stage_hism(machine, hism);
-  machine.set_sreg(1, image.root_addr);
-  machine.set_sreg(2, image.root_len);
-  machine.set_sreg(3, image.levels - 1);
-  machine.set_sreg(vsim::kRegSp, kStackTop);
+  set_entry_sregs(machine, image);
   return machine;
+}
+
+vsim::Machine make_machine_with_stage(const HismStage& stage,
+                                      const vsim::MachineConfig& config) {
+  SMTU_CHECK_MSG(stage.hism.section() == config.section,
+                 "HiSM section size must match the machine section size");
+  vsim::Machine machine(config);
+  machine.memory().attach_base(stage.snapshot);
+  set_entry_sregs(machine, stage.image);
+  return machine;
+}
+
+std::shared_ptr<const vsim::Program> transpose_program(bool split_drain_registers) {
+  return vsim::ProgramCache::instance().get(hism_transpose_source(split_drain_registers));
 }
 
 }  // namespace
@@ -145,14 +163,13 @@ HismTransposeResult run_hism_transpose(const HismMatrix& hism,
                                        bool split_drain_registers,
                                        vsim::ExecutionTrace* trace,
                                        vsim::PerfCounters* profiler) {
-  const vsim::Program program =
-      vsim::assemble(hism_transpose_source(split_drain_registers));
+  const auto program = transpose_program(split_drain_registers);
   HismImage image;
   vsim::Machine machine = make_machine_with_image(hism, config, image);
   machine.attach_trace(trace);
   machine.attach_profiler(profiler);
   HismTransposeResult result;
-  result.stats = machine.run(program);
+  result.stats = machine.run(*program);
   result.transposed = read_back_hism(machine, image, /*swap_dims=*/true);
   return result;
 }
@@ -161,13 +178,38 @@ vsim::RunStats time_hism_transpose(const HismMatrix& hism, const vsim::MachineCo
                                    bool split_drain_registers,
                                    vsim::ExecutionTrace* trace,
                                    vsim::PerfCounters* profiler) {
-  const vsim::Program program =
-      vsim::assemble(hism_transpose_source(split_drain_registers));
+  const auto program = transpose_program(split_drain_registers);
   HismImage image;
   vsim::Machine machine = make_machine_with_image(hism, config, image);
   machine.attach_trace(trace);
   machine.attach_profiler(profiler);
-  return machine.run(program);
+  return machine.run(*program);
+}
+
+HismTransposeResult run_hism_transpose(const HismStage& stage,
+                                       const vsim::MachineConfig& config,
+                                       bool split_drain_registers,
+                                       vsim::ExecutionTrace* trace,
+                                       vsim::PerfCounters* profiler) {
+  const auto program = transpose_program(split_drain_registers);
+  vsim::Machine machine = make_machine_with_stage(stage, config);
+  machine.attach_trace(trace);
+  machine.attach_profiler(profiler);
+  HismTransposeResult result;
+  result.stats = machine.run(*program);
+  result.transposed = read_back_hism(machine, stage.image, /*swap_dims=*/true);
+  return result;
+}
+
+vsim::RunStats time_hism_transpose(const HismStage& stage, const vsim::MachineConfig& config,
+                                   bool split_drain_registers,
+                                   vsim::ExecutionTrace* trace,
+                                   vsim::PerfCounters* profiler) {
+  const auto program = transpose_program(split_drain_registers);
+  vsim::Machine machine = make_machine_with_stage(stage, config);
+  machine.attach_trace(trace);
+  machine.attach_profiler(profiler);
+  return machine.run(*program);
 }
 
 }  // namespace smtu::kernels

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "hism/hism.hpp"
+#include "kernels/staging.hpp"
 #include "vsim/machine.hpp"
 
 namespace smtu::kernels {
@@ -48,6 +49,19 @@ HismTransposeResult run_hism_transpose(const HismMatrix& hism,
 
 // Cycle count only (skips the decode for benchmark sweeps).
 vsim::RunStats time_hism_transpose(const HismMatrix& hism, const vsim::MachineConfig& config,
+                                   bool split_drain_registers = false,
+                                   vsim::ExecutionTrace* trace = nullptr,
+                                   vsim::PerfCounters* profiler = nullptr);
+
+// Stage-based variants: the machine attaches the stage's shared snapshot
+// copy-on-write instead of re-staging the image (kernels/staging.hpp), so
+// config sweeps over one matrix pay the image build once.
+HismTransposeResult run_hism_transpose(const HismStage& stage,
+                                       const vsim::MachineConfig& config,
+                                       bool split_drain_registers = false,
+                                       vsim::ExecutionTrace* trace = nullptr,
+                                       vsim::PerfCounters* profiler = nullptr);
+vsim::RunStats time_hism_transpose(const HismStage& stage, const vsim::MachineConfig& config,
                                    bool split_drain_registers = false,
                                    vsim::ExecutionTrace* trace = nullptr,
                                    vsim::PerfCounters* profiler = nullptr);

@@ -10,7 +10,7 @@
 #include "kernels/hism_transpose.hpp"
 #include "kernels/layout.hpp"
 #include "support/assert.hpp"
-#include "vsim/assembler.hpp"
+#include "vsim/program_cache.hpp"
 
 namespace smtu::kernels {
 
@@ -212,21 +212,21 @@ vsim::Machine make_pipelined_machine(const HismMatrix& hism,
 
 HismTransposeResult run_hism_transpose_pipelined(const HismMatrix& hism,
                                                  const vsim::MachineConfig& config) {
-  const vsim::Program program = vsim::assemble(hism_transpose_pipelined_source());
+  const auto program = vsim::ProgramCache::instance().get(hism_transpose_pipelined_source());
   HismImage image;
   vsim::Machine machine = make_pipelined_machine(hism, config, image);
   HismTransposeResult result;
-  result.stats = machine.run(program);
+  result.stats = machine.run(*program);
   result.transposed = read_back_hism(machine, image, /*swap_dims=*/true);
   return result;
 }
 
 vsim::RunStats time_hism_transpose_pipelined(const HismMatrix& hism,
                                              const vsim::MachineConfig& config) {
-  const vsim::Program program = vsim::assemble(hism_transpose_pipelined_source());
+  const auto program = vsim::ProgramCache::instance().get(hism_transpose_pipelined_source());
   HismImage image;
   vsim::Machine machine = make_pipelined_machine(hism, config, image);
-  return machine.run(program);
+  return machine.run(*program);
 }
 
 }  // namespace smtu::kernels

@@ -1,5 +1,7 @@
 #include "kernels/layout.hpp"
 
+#include <cstring>
+
 #include "support/assert.hpp"
 #include "support/bits.hpp"
 
@@ -10,9 +12,8 @@ Addr align16(Addr addr) { return round_up(addr, 16); }
 
 }  // namespace
 
-CrsImage stage_crs(vsim::Machine& machine, const Csr& csr, Addr base) {
+CrsImage build_crs_image(const Csr& csr, Addr base, std::vector<u8>& bytes) {
   SMTU_CHECK_MSG(csr.validate(), "refusing to stage an invalid CSR matrix");
-  vsim::Memory& mem = machine.memory();
 
   CrsImage image;
   image.rows = csr.rows();
@@ -20,9 +21,9 @@ CrsImage stage_crs(vsim::Machine& machine, const Csr& csr, Addr base) {
   image.nnz = csr.nnz();
 
   Addr cursor = align16(base);
-  auto reserve = [&](u64 bytes) {
+  auto reserve = [&](u64 size) {
     const Addr at = cursor;
-    cursor = align16(cursor + bytes);
+    cursor = align16(cursor + size);
     return at;
   };
   image.an = reserve(4 * image.nnz);
@@ -32,15 +33,21 @@ CrsImage stage_crs(vsim::Machine& machine, const Csr& csr, Addr base) {
   image.jat = reserve(4 * image.nnz);
   image.iat = reserve(4 * (image.cols + 1));
   image.end = cursor;
-  mem.ensure(base, cursor - base);
 
-  for (usize k = 0; k < image.nnz; ++k) {
-    mem.write_f32(image.an + 4 * k, csr.values()[k]);
-    mem.write_u32(image.ja + 4 * k, csr.col_idx()[k]);
-  }
-  for (Index r = 0; r <= image.rows; ++r) {
-    mem.write_u32(image.ia + 4 * r, csr.row_ptr()[r]);
-  }
+  // One zeroed buffer with the three input arrays copied in whole (their
+  // element encodings match the machine's little-endian u32/f32 stores).
+  bytes.assign(image.end - base, 0);
+  std::memcpy(bytes.data() + (image.an - base), csr.values().data(), 4 * image.nnz);
+  std::memcpy(bytes.data() + (image.ja - base), csr.col_idx().data(), 4 * image.nnz);
+  std::memcpy(bytes.data() + (image.ia - base), csr.row_ptr().data(),
+              4 * (image.rows + 1));
+  return image;
+}
+
+CrsImage stage_crs(vsim::Machine& machine, const Csr& csr, Addr base) {
+  std::vector<u8> bytes;
+  const CrsImage image = build_crs_image(csr, base, bytes);
+  machine.memory().write_block(base, bytes);
   return image;
 }
 

@@ -26,6 +26,12 @@ struct CrsImage {
   Addr end = 0;  // first free address past the image
 };
 
+// Serializes AN/JA/IA at their image addresses into `bytes`, which on
+// return covers [base, image.end); the output arrays stay zeroed. stage_crs
+// writes it into machine memory as one block, and the stage cache
+// (kernels/staging.hpp) wraps it in a shared snapshot.
+CrsImage build_crs_image(const Csr& csr, Addr base, std::vector<u8>& bytes);
+
 // Writes AN/JA/IA into machine memory and reserves zeroed output arrays.
 CrsImage stage_crs(vsim::Machine& machine, const Csr& csr, Addr base = kImageBase);
 

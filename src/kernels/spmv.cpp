@@ -6,7 +6,7 @@
 #include "kernels/layout.hpp"
 #include "support/assert.hpp"
 #include "support/bits.hpp"
-#include "vsim/assembler.hpp"
+#include "vsim/program_cache.hpp"
 
 namespace smtu::kernels {
 
@@ -271,7 +271,7 @@ SpmvResult run_hism_spmv(const HismMatrix& hism, const std::vector<float>& x,
   SMTU_CHECK_MSG(hism.section() == config.section,
                  "HiSM section size must match the machine section size");
   SMTU_CHECK_MSG(x.size() == hism.cols(), "x dimension mismatch");
-  const vsim::Program program = vsim::assemble(hism_spmv_source(config.section));
+  const auto program = vsim::ProgramCache::instance().get(hism_spmv_source(config.section));
 
   vsim::Machine machine(config);
   const HismImage image = stage_hism(machine, hism);
@@ -288,7 +288,7 @@ SpmvResult run_hism_spmv(const HismMatrix& hism, const std::vector<float>& x,
   machine.set_sreg(vsim::kRegSp, kStackTop);
 
   SpmvResult result;
-  result.stats = machine.run(program);
+  result.stats = machine.run(*program);
   result.y = read_floats(machine, y_addr, hism.rows());
   return result;
 }
@@ -298,7 +298,7 @@ SpmvResult run_hism_spmv_transposed(const HismMatrix& hism, const std::vector<fl
   SMTU_CHECK_MSG(hism.section() == config.section,
                  "HiSM section size must match the machine section size");
   SMTU_CHECK_MSG(x.size() == hism.rows(), "x dimension mismatch (y = A^T x)");
-  const vsim::Program program = vsim::assemble(hism_spmv_transposed_source(config.section));
+  const auto program = vsim::ProgramCache::instance().get(hism_spmv_transposed_source(config.section));
 
   vsim::Machine machine(config);
   const HismImage image = stage_hism(machine, hism);
@@ -315,7 +315,7 @@ SpmvResult run_hism_spmv_transposed(const HismMatrix& hism, const std::vector<fl
   machine.set_sreg(vsim::kRegSp, kStackTop);
 
   SpmvResult result;
-  result.stats = machine.run(program);
+  result.stats = machine.run(*program);
   result.y = read_floats(machine, y_addr, hism.cols());
   return result;
 }
@@ -323,7 +323,7 @@ SpmvResult run_hism_spmv_transposed(const HismMatrix& hism, const std::vector<fl
 SpmvResult run_crs_spmv(const Csr& csr, const std::vector<float>& x,
                         const vsim::MachineConfig& config) {
   SMTU_CHECK_MSG(x.size() == csr.cols(), "x dimension mismatch");
-  const vsim::Program program = vsim::assemble(crs_spmv_source());
+  const auto program = vsim::ProgramCache::instance().get(crs_spmv_source());
 
   vsim::Machine machine(config);
   CrsImage image = stage_crs(machine, csr);
@@ -339,7 +339,7 @@ SpmvResult run_crs_spmv(const Csr& csr, const std::vector<float>& x,
   machine.set_sreg(7, csr.rows());
 
   SpmvResult result;
-  result.stats = machine.run(program);
+  result.stats = machine.run(*program);
   result.y = read_floats(machine, y_addr, csr.rows());
   return result;
 }
@@ -347,7 +347,7 @@ SpmvResult run_crs_spmv(const Csr& csr, const std::vector<float>& x,
 SpmvResult run_jd_spmv(const Jagged& jd, const std::vector<float>& x,
                        const vsim::MachineConfig& config) {
   SMTU_CHECK_MSG(x.size() == jd.cols(), "x dimension mismatch");
-  const vsim::Program program = vsim::assemble(jd_spmv_source());
+  const auto program = vsim::ProgramCache::instance().get(jd_spmv_source());
 
   vsim::Machine machine(config);
   Addr cursor = kImageBase;
@@ -381,7 +381,7 @@ SpmvResult run_jd_spmv(const Jagged& jd, const std::vector<float>& x,
   machine.set_sreg(9, y_addr);
 
   SpmvResult result;
-  result.stats = machine.run(program);
+  result.stats = machine.run(*program);
   result.y = read_floats(machine, y_addr, jd.rows());
   return result;
 }

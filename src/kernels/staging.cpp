@@ -1,0 +1,117 @@
+#include "kernels/staging.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "vsim/sim_cache.hpp"
+
+namespace smtu::kernels {
+namespace {
+
+// The size vsim::Memory's geometric growth (4096, doubling) would give a
+// fresh memory after staging [0, end) — matching it keeps reads past the
+// image (which return zero) behaving exactly like the per-machine path.
+u64 grown_size(u64 end) {
+  u64 size = 4096;
+  while (size < end) size *= 2;
+  return size;
+}
+
+std::shared_ptr<const std::vector<u8>> make_snapshot(Addr base,
+                                                     std::span<const u8> image_bytes) {
+  auto snapshot =
+      std::make_shared<std::vector<u8>>(grown_size(base + image_bytes.size()), u8{0});
+  std::memcpy(snapshot->data() + base, image_bytes.data(), image_bytes.size());
+  return snapshot;
+}
+
+// Content key for a COO matrix: dimensions plus a 128-bit hash over the
+// canonical entry stream.
+std::string coo_key(const Coo& coo, std::string_view layout, u64 salt) {
+  vsim::SimHash hash;
+  hash.update(layout);
+  hash.update_u64(salt);
+  hash.update_u64(coo.rows());
+  hash.update_u64(coo.cols());
+  hash.update_u64(coo.nnz());
+  for (const CooEntry& entry : coo.entries()) {
+    hash.update_u64(entry.row);
+    hash.update_u64(entry.col);
+    hash.update_u64(std::bit_cast<u32>(entry.value));
+  }
+  return hash.hex();
+}
+
+}  // namespace
+
+HismStage build_hism_stage(HismMatrix hism) {
+  HismStage stage;
+  stage.hism = std::move(hism);
+  stage.image = build_hism_image(stage.hism, kImageBase);
+  stage.snapshot = make_snapshot(stage.image.base, stage.image.bytes);
+  return stage;
+}
+
+CrsStage build_crs_stage(Csr csr) {
+  CrsStage stage;
+  stage.csr = std::move(csr);
+  std::vector<u8> bytes;
+  stage.image = build_crs_image(stage.csr, kImageBase, bytes);
+  stage.snapshot = make_snapshot(kImageBase, bytes);
+  return stage;
+}
+
+MatrixStageCache& MatrixStageCache::instance() {
+  static MatrixStageCache cache;
+  return cache;
+}
+
+std::shared_ptr<const HismStage> MatrixStageCache::hism(const Coo& coo, u32 section) {
+  const std::string key = coo_key(coo, "hism", section);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = hism_entries_.find(key);
+    if (it != hism_entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Build outside the lock (conversions are the expensive part); a racing
+  // duplicate builds twice and the first insert wins.
+  auto stage =
+      std::make_shared<const HismStage>(build_hism_stage(HismMatrix::from_coo(coo, section)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  return hism_entries_.emplace(key, std::move(stage)).first->second;
+}
+
+std::shared_ptr<const CrsStage> MatrixStageCache::crs(const Coo& coo) {
+  const std::string key = coo_key(coo, "crs", 0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = crs_entries_.find(key);
+    if (it != crs_entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  auto stage = std::make_shared<const CrsStage>(build_crs_stage(Csr::from_coo(coo)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  return crs_entries_.emplace(key, std::move(stage)).first->second;
+}
+
+MatrixStageCache::Stats MatrixStageCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void MatrixStageCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hism_entries_.clear();
+  crs_entries_.clear();
+  stats_ = {};
+}
+
+}  // namespace smtu::kernels

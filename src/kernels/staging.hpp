@@ -1,0 +1,72 @@
+// Shared, immutable staged matrix images.
+//
+// Every (matrix, layout) pair stages to the same bytes no matter which
+// machine runs the kernel, so the conversion (from_coo) and the serialized
+// image are built once and wrapped in a snapshot that machines attach
+// copy-on-write (vsim::Memory::attach_base). Ablation ladders sweeping N
+// configs over one matrix then share one image instead of rebuilding N.
+//
+// The snapshot covers [0, size) from address zero with the image at its
+// usual kImageBase, sized exactly as vsim::Memory's geometric growth would
+// have sized a freshly staged memory — reads behave bit-identically to the
+// per-machine staging path.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "formats/csr.hpp"
+#include "hism/hism.hpp"
+#include "kernels/layout.hpp"
+
+namespace smtu::kernels {
+
+// A HiSM matrix staged once: the hierarchy, its memory image descriptor,
+// and the shared byte snapshot machines attach.
+struct HismStage {
+  HismMatrix hism;
+  HismImage image;
+  std::shared_ptr<const std::vector<u8>> snapshot;
+};
+
+// A CRS matrix staged once (input arrays serialized, outputs zeroed).
+struct CrsStage {
+  Csr csr;
+  CrsImage image;
+  std::shared_ptr<const std::vector<u8>> snapshot;
+};
+
+// Stage builders (also usable without the cache).
+HismStage build_hism_stage(HismMatrix hism);
+CrsStage build_crs_stage(Csr csr);
+
+// Process-wide cache from matrix content to its staged image. Thread-safe;
+// keyed by dimensions plus a content hash of the COO entries (and the
+// section size for HiSM, whose layout depends on it).
+class MatrixStageCache {
+ public:
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+  };
+
+  static MatrixStageCache& instance();
+
+  std::shared_ptr<const HismStage> hism(const Coo& coo, u32 section);
+  std::shared_ptr<const CrsStage> crs(const Coo& coo);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const HismStage>> hism_entries_;
+  std::unordered_map<std::string, std::shared_ptr<const CrsStage>> crs_entries_;
+  Stats stats_;
+};
+
+}  // namespace smtu::kernels

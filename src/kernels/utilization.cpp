@@ -1,32 +1,77 @@
 #include "kernels/utilization.hpp"
 
+#include <algorithm>
+
+#include "support/bits.hpp"
+
 namespace smtu::kernels {
+namespace {
 
-UtilizationBreakdown stm_utilization(const HismMatrix& hism, const StmConfig& config) {
-  StmConfig stm_config = config;
-  stm_config.section = hism.section();
-  StmUnit unit(stm_config);
-
-  UtilizationBreakdown breakdown;
-  auto push_block = [&](const BlockArray& block, bool lengths_pass) {
-    std::vector<StmEntry> entries;
-    entries.reserve(block.size());
-    for (usize i = 0; i < block.size(); ++i) {
-      const u32 payload = lengths_pass ? block.child_len[i] : block.slot[i];
-      entries.push_back({block.pos[i].row, block.pos[i].col, payload});
+// Drain cost without per-line occupancy bits: aligned groups of L lines are
+// scanned in order, one cycle minimum even when empty, exactly as
+// StmUnit::freeze_drain_schedule charges it. Returns the cumulative cycle
+// at which the last entry moves (= BlockResult::read_cycles).
+u32 grouped_drain_cycles(std::span<const u8> lines, const StmConfig& config) {
+  u32 cumulative = 0;
+  usize idx = 0;
+  for (u32 group = 0; group < config.section; group += config.lines) {
+    usize count = 0;
+    while (idx + count < lines.size() && lines[idx + count] < group + config.lines) {
+      ++count;
     }
-    const StmUnit::BlockResult result = unit.transpose_block(entries);
-    breakdown.transfers += 2 * block.size();
-    breakdown.cycles += result.cycles;
-    breakdown.block_passes += 1;
-  };
+    cumulative += std::max<u32>(1, static_cast<u32>(ceil_div(count, config.bandwidth)));
+    idx += count;
+    if (idx == lines.size()) break;
+  }
+  return cumulative;
+}
 
+}  // namespace
+
+StmTraceSet stm_block_traces(const HismMatrix& hism) {
+  StmTraceSet traces;
+  traces.section = hism.section();
   for (u32 level = 0; level < hism.num_levels(); ++level) {
     for (const BlockArray& block : hism.level(level)) {
       if (block.size() == 0) continue;
-      if (level > 0) push_block(block, /*lengths_pass=*/true);
-      push_block(block, /*lengths_pass=*/false);
+      StmBlockTrace trace;
+      trace.passes = level > 0 ? 2 : 1;
+      trace.fill_lines.reserve(block.size());
+      // Drain order = the transpose read out row-major, i.e. the stored
+      // positions sorted by (col, row); positions are unique within a
+      // block, so the packed u16 key gives exactly that order.
+      std::vector<u16> drain_order;
+      drain_order.reserve(block.size());
+      for (usize i = 0; i < block.size(); ++i) {
+        trace.fill_lines.push_back(block.pos[i].row);
+        drain_order.push_back(
+            static_cast<u16>((static_cast<u16>(block.pos[i].col) << 8) | block.pos[i].row));
+      }
+      std::sort(drain_order.begin(), drain_order.end());
+      trace.drain_lines.reserve(drain_order.size());
+      for (const u16 key : drain_order) trace.drain_lines.push_back(static_cast<u8>(key >> 8));
+      traces.blocks.push_back(std::move(trace));
     }
+  }
+  return traces;
+}
+
+UtilizationBreakdown stm_utilization(const StmTraceSet& traces, const StmConfig& config) {
+  StmConfig stm_config = config;
+  stm_config.section = traces.section;
+
+  UtilizationBreakdown breakdown;
+  for (const StmBlockTrace& block : traces.blocks) {
+    const u32 fill = stream_cycles(block.fill_lines, stm_config);
+    const u32 drain = stm_config.skip_empty_lines
+                          ? stream_cycles(block.drain_lines, stm_config)
+                          : grouped_drain_cycles(block.drain_lines, stm_config);
+    const u64 pass_cycles = static_cast<u64>(fill) + drain +
+                            stm_config.fill_pipeline_cycles +
+                            stm_config.drain_pipeline_cycles;
+    breakdown.transfers += static_cast<u64>(block.passes) * 2 * block.fill_lines.size();
+    breakdown.cycles += block.passes * pass_cycles;
+    breakdown.block_passes += block.passes;
   }
   if (breakdown.cycles > 0) {
     breakdown.utilization =
@@ -34,6 +79,10 @@ UtilizationBreakdown stm_utilization(const HismMatrix& hism, const StmConfig& co
         (static_cast<double>(breakdown.cycles) * static_cast<double>(config.bandwidth));
   }
   return breakdown;
+}
+
+UtilizationBreakdown stm_utilization(const HismMatrix& hism, const StmConfig& config) {
+  return stm_utilization(stm_block_traces(hism), config);
 }
 
 }  // namespace smtu::kernels

@@ -20,6 +20,28 @@ struct UtilizationBreakdown {
   double utilization = 0.0;  // transfers / (cycles * B)
 };
 
+// The line sequences one block streams through the unit, which are all the
+// timing model needs: payloads never affect cycles, and the lengths pass of
+// a higher-level block touches the same positions as its elements pass.
+// Extracting them once lets a (B, L) sweep reuse one trace per block
+// instead of re-running the functional unit per configuration.
+struct StmBlockTrace {
+  std::vector<u8> fill_lines;   // storage-order rows (the fill stream)
+  std::vector<u8> drain_lines;  // rows of the transposed drain order
+  u32 passes = 1;               // 1 for level-0 blocks, 2 above (lengths + elements)
+};
+
+struct StmTraceSet {
+  u32 section = 64;  // the matrix's s, overriding StmConfig::section
+  std::vector<StmBlockTrace> blocks;
+};
+
+StmTraceSet stm_block_traces(const HismMatrix& hism);
+
+// Identical numbers to the HismMatrix overload (which delegates here), at
+// the cost of one stream pass per block pass instead of a full StmUnit run.
+UtilizationBreakdown stm_utilization(const StmTraceSet& traces, const StmConfig& config);
+
 UtilizationBreakdown stm_utilization(const HismMatrix& hism, const StmConfig& config);
 
 }  // namespace smtu::kernels

@@ -123,6 +123,11 @@ void JsonWriter::null() {
   out_ << "null";
 }
 
+void JsonWriter::raw(std::string_view text) {
+  before_value();
+  out_ << text;
+}
+
 void write_table_as_json(std::ostream& out, const TextTable& table) {
   JsonWriter json(out);
   json.begin_array();

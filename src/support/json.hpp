@@ -39,6 +39,11 @@ class JsonWriter {
   void value(bool flag);
   void null();
 
+  // Splices `text` — which must itself be valid JSON — as one value.
+  // Used to embed pre-rendered sections (e.g. cached profile JSON) without
+  // re-serializing them.
+  void raw(std::string_view text);
+
   // True when every container has been closed.
   bool complete() const { return stack_.empty() && emitted_root_; }
 

@@ -1,11 +1,24 @@
 #include "support/parallel.hpp"
 
+#include <cstdio>
+
 namespace smtu {
 
 u32 resolve_jobs(u32 requested) {
-  if (requested > 0) return requested;
   const unsigned hardware = std::thread::hardware_concurrency();
-  return hardware == 0 ? 1u : static_cast<u32>(hardware);
+  const u32 cap = hardware == 0 ? 1u : static_cast<u32>(hardware);
+  if (requested == 0) return cap;
+  if (requested > cap) {
+    // Oversubscribing a CPU-bound simulator only adds context switches;
+    // results are identical at any job count, so clamp and say so once.
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      std::fprintf(stderr, "note: --jobs %u exceeds the %u hardware thread(s); using %u\n",
+                   requested, cap, cap);
+    });
+    return cap;
+  }
+  return requested;
 }
 
 ThreadPool::ThreadPool(u32 jobs) : jobs_(resolve_jobs(jobs)) {

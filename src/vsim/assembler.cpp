@@ -226,7 +226,7 @@ std::vector<std::string_view> split_operands(std::string_view text) {
 AssemblyError::AssemblyError(usize line, const std::string& message)
     : std::runtime_error(format("line %zu: %s", line, message.c_str())), line_(line) {}
 
-Program assemble(const std::string& source) {
+Program assemble(std::string_view source) {
   Program program;
   std::vector<PendingLabelRef> pending;
   program.source_lines.emplace_back();  // [0] unused; source lines are 1-based
@@ -483,6 +483,7 @@ Program assemble(const std::string& source) {
     }
     program.instructions[ref.instruction_index].imm = static_cast<i64>(it->second);
   }
+  program.predecode();
   return program;
 }
 

@@ -28,6 +28,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "vsim/program.hpp"
 
@@ -43,6 +44,7 @@ class AssemblyError : public std::runtime_error {
   usize line_;
 };
 
-Program assemble(const std::string& source);
+// Assembles `source` (no copy is taken) into a predecoded Program.
+Program assemble(std::string_view source);
 
 }  // namespace smtu::vsim

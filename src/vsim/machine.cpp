@@ -19,58 +19,6 @@ StmConfig stm_config_for(const MachineConfig& config) {
   return stm;
 }
 
-bool is_vector_op(Op op) {
-  switch (op) {
-    case Op::kVLd:
-    case Op::kVSt:
-    case Op::kVLdx:
-    case Op::kVStx:
-    case Op::kVLds:
-    case Op::kVSts:
-    case Op::kVAdd:
-    case Op::kVSub:
-    case Op::kVMul:
-    case Op::kVAnd:
-    case Op::kVOr:
-    case Op::kVXor:
-    case Op::kVMin:
-    case Op::kVMax:
-    case Op::kVAddi:
-    case Op::kVAdds:
-    case Op::kVBcast:
-    case Op::kVBcasti:
-    case Op::kVIota:
-    case Op::kVSlideUp:
-    case Op::kVSlideDown:
-    case Op::kVRedSum:
-    case Op::kVExtract:
-    case Op::kVSeq:
-    case Op::kVSeqS:
-    case Op::kVFAdd:
-    case Op::kVFMul:
-    case Op::kVFRedSum:
-    case Op::kIcm:
-    case Op::kVLdb:
-    case Op::kVStcr:
-    case Op::kVLdcc:
-    case Op::kVStb:
-    case Op::kVStbv:
-    case Op::kVGthC:
-    case Op::kVScaR:
-    case Op::kVGthR:
-    case Op::kVScaC:
-      return true;
-    default:
-      return false;
-  }
-}
-
-// Vector memory accesses that move one element per cycle (address per
-// element) rather than streaming at the port's byte rate.
-bool is_indexed_vmem(Op op) {
-  return op == Op::kVLdx || op == Op::kVStx || op == Op::kVLds || op == Op::kVSts;
-}
-
 }  // namespace
 
 Machine::Machine(const MachineConfig& config)
@@ -394,6 +342,21 @@ u32 Machine::execute_vector(const Instruction& inst) {
 RunStats Machine::run(const Program& program, usize entry_pc) {
   SMTU_CHECK_MSG(entry_pc < program.size(), "entry pc out of range");
 
+  // Programs from assemble() arrive predecoded; hand-built ones (tests,
+  // generators) get a local decode so the hot loop has a single path.
+  std::vector<DecodedInst> local_decode;
+  const DecodedInst* decoded = program.decoded.data();
+  if (program.decoded.size() != program.instructions.size()) {
+    local_decode = decode_instructions(program.instructions);
+    decoded = local_decode.data();
+  }
+  // Startup latencies by StartupKind, resolved from the config once per run
+  // (indexed by the predecoded kind instead of re-deriving per dynamic
+  // instruction).
+  const u32 startup_by_kind[kStartupKindCount] = {
+      config_.mem_startup, config_.valu_startup, config_.stm.fill_pipeline_cycles,
+      config_.stm.drain_pipeline_cycles, 0};
+
   // Reset timing and statistics; architectural state persists.
   sreg_ready_.fill(0);
   vreg_time_.assign(kNumVectorRegs, {});
@@ -423,6 +386,7 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
     SMTU_CHECK_MSG(stats_.instructions < config_.max_instructions,
                    "instruction budget exceeded (runaway program?)");
     const Instruction& inst = program.instructions[pc];
+    const DecodedInst& dec = decoded[pc];
     ++stats_.instructions;
     // Watermark increments bracket each instruction; they telescope to the
     // final cycle count, which is what makes the profiler's attribution
@@ -434,56 +398,25 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
       std::fprintf(stderr, "[trace] pc=%zu %s\n", pc, to_string(inst).c_str());
     }
 
-    if (is_vector_op(inst.op)) {
+    if (dec.is_vector) {
       ++stats_.vector_instructions;
       stats_.vector_elements += vl_;
 
-      // Scalar sources a vector instruction needs at issue. Alongside the
-      // ready time, track which constraint set it (the profiler's stall
-      // reason); strictly-later constraints win, so ties keep the
-      // first-listed reason.
+      // Scalar sources a vector instruction needs at issue (predecoded).
+      // Alongside the ready time, track which constraint set it (the
+      // profiler's stall reason); strictly-later constraints win, so ties
+      // keep the first-listed reason.
       Cycle ready = pc_redirect_;
       StallReason stall_why = StallReason::kScalarFetch;
       if (vl_ready_ > ready) {
         ready = vl_ready_;
         stall_why = StallReason::kRawHazard;
       }
-      auto need_sreg = [&](u32 r) {
-        if (sreg_ready_[r] > ready) {
-          ready = sreg_ready_[r];
+      for (u32 i = 0; i < dec.num_sregs; ++i) {
+        if (sreg_ready_[dec.sregs[i]] > ready) {
+          ready = sreg_ready_[dec.sregs[i]];
           stall_why = StallReason::kRawHazard;
         }
-      };
-      switch (inst.op) {
-        case Op::kVLd:
-        case Op::kVSt:
-        case Op::kVLdx:
-        case Op::kVStx:
-        case Op::kVBcast:
-        case Op::kVStbv:
-        case Op::kVGthC:
-        case Op::kVScaR:
-        case Op::kVGthR:
-        case Op::kVScaC:
-          need_sreg(inst.b);
-          break;
-        case Op::kVLds:
-        case Op::kVSts:
-          need_sreg(inst.b);
-          need_sreg(inst.c);
-          break;
-        case Op::kVAdds:
-        case Op::kVExtract:
-        case Op::kVSeqS:
-          need_sreg(inst.c);
-          break;
-        case Op::kVLdb:
-        case Op::kVStb:
-          need_sreg(inst.c);
-          need_sreg(inst.d);
-          break;
-        default:
-          break;
       }
       // Start absent hazard/resource constraints: the fetch point plus
       // sequential issue — the profiler's baseline for constraint delay.
@@ -492,129 +425,14 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
       last_issue_ = t_issue;
       if (t_issue > ready) stall_why = StallReason::kIssueLimit;
 
-      // Vector sources and destinations by opcode.
-      u8 srcs[3];
-      u32 num_srcs = 0;
-      u8 dsts[2];
-      u32 num_dsts = 0;
-      switch (inst.op) {
-        case Op::kVLd:
-        case Op::kVLds:
-          dsts[num_dsts++] = inst.a;
-          break;
-        case Op::kVSt:
-        case Op::kVSts:
-          srcs[num_srcs++] = inst.a;
-          break;
-        case Op::kVLdx:
-          dsts[num_dsts++] = inst.a;
-          srcs[num_srcs++] = inst.c;
-          break;
-        case Op::kVStx:
-          srcs[num_srcs++] = inst.a;
-          srcs[num_srcs++] = inst.c;
-          break;
-        case Op::kVAdd:
-        case Op::kVSub:
-        case Op::kVMul:
-        case Op::kVAnd:
-        case Op::kVOr:
-        case Op::kVXor:
-        case Op::kVMin:
-        case Op::kVMax:
-        case Op::kVFAdd:
-        case Op::kVFMul:
-          dsts[num_dsts++] = inst.a;
-          srcs[num_srcs++] = inst.b;
-          srcs[num_srcs++] = inst.c;
-          break;
-        case Op::kVAddi:
-        case Op::kVAdds:
-        case Op::kVSeqS:
-        case Op::kVSlideUp:
-        case Op::kVSlideDown:
-          dsts[num_dsts++] = inst.a;
-          srcs[num_srcs++] = inst.b;
-          break;
-        case Op::kVSeq:
-          dsts[num_dsts++] = inst.a;
-          srcs[num_srcs++] = inst.b;
-          srcs[num_srcs++] = inst.c;
-          break;
-        case Op::kVGthC:
-        case Op::kVGthR:
-          dsts[num_dsts++] = inst.a;
-          srcs[num_srcs++] = inst.c;
-          break;
-        case Op::kVScaR:
-        case Op::kVScaC:
-          srcs[num_srcs++] = inst.a;
-          srcs[num_srcs++] = inst.c;
-          break;
-        case Op::kVBcast:
-        case Op::kVBcasti:
-        case Op::kVIota:
-          dsts[num_dsts++] = inst.a;
-          break;
-        case Op::kVRedSum:
-        case Op::kVFRedSum:
-        case Op::kVExtract:
-          srcs[num_srcs++] = inst.b;
-          break;
-        case Op::kIcm:
-          break;
-        case Op::kVLdb:
-        case Op::kVLdcc:
-          dsts[num_dsts++] = inst.a;
-          dsts[num_dsts++] = inst.b;
-          break;
-        case Op::kVStcr:
-        case Op::kVStb:
-          srcs[num_srcs++] = inst.a;
-          srcs[num_srcs++] = inst.b;
-          break;
-        case Op::kVStbv:
-          srcs[num_srcs++] = inst.a;
-          break;
-        default:
-          break;
-      }
+      // Vector sources and destinations (predecoded by opcode).
+      const u8* srcs = dec.srcs;
+      const u32 num_srcs = dec.num_srcs;
+      const u8* dsts = dec.dsts;
+      const u32 num_dsts = dec.num_dsts;
 
-      const Unit unit = [&] {
-        switch (inst.op) {
-          case Op::kVLd:
-          case Op::kVSt:
-          case Op::kVLdx:
-          case Op::kVStx:
-          case Op::kVLds:
-          case Op::kVSts:
-          case Op::kVLdb:
-          case Op::kVStb:
-          case Op::kVStbv:
-          case Op::kVGthC:
-          case Op::kVScaR:
-          case Op::kVGthR:
-          case Op::kVScaC:
-            return kUnitVMem;
-          case Op::kIcm:
-          case Op::kVStcr:
-          case Op::kVLdcc:
-            return kUnitStm;
-          default:
-            return kUnitVAlu;
-        }
-      }();
-
-      const u32 startup = [&]() -> u32 {
-        switch (unit) {
-          case kUnitVMem: return config_.mem_startup;
-          case kUnitStm:
-            if (inst.op == Op::kIcm) return 0;
-            return inst.op == Op::kVStcr ? config_.stm.fill_pipeline_cycles
-                                         : config_.stm.drain_pipeline_cycles;
-          default: return config_.valu_startup;
-        }
-      }();
+      const Unit unit = static_cast<Unit>(dec.unit);
+      const u32 startup = startup_by_kind[static_cast<usize>(dec.startup)];
 
       // Start time: issue, unit availability, producers' first element (or
       // completion without chaining), and hazards on the destinations.
@@ -689,7 +507,7 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
         }
       } else {
         unit_free_[unit] = std::max(unit_free_[unit], busy_until);
-        if (unit == kUnitVMem) vmem_last_indexed_ = is_indexed_vmem(inst.op);
+        if (unit == kUnitVMem) vmem_last_indexed_ = dec.indexed_vmem;
       }
       const u64 busy = busy_until - t_start;
       if (unit == kUnitVMem) stats_.vmem_busy_cycles += busy;
@@ -733,7 +551,7 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
       if (profiler_ != nullptr) {
         const BusyKind kind =
             unit == kUnitVMem
-                ? (is_indexed_vmem(inst.op) ? BusyKind::kVMemIndexed : BusyKind::kVMemStream)
+                ? (dec.indexed_vmem ? BusyKind::kVMemIndexed : BusyKind::kVMemStream)
                 : (unit == kUnitStm ? BusyKind::kStm : BusyKind::kVAlu);
         profiler_->record({pc, inst.op, vl_, kind, stall_why, t_start, profile_unblocked,
                            profile_w_before, watermark_, busy});
@@ -746,74 +564,17 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
     ++stats_.scalar_instructions;
     Cycle ready = pc_redirect_;
     StallReason stall_why = StallReason::kScalarFetch;
-    auto need = [&](u32 r) {
-      if (sreg_ready_[r] > ready) {
-        ready = sreg_ready_[r];
+    for (u32 i = 0; i < dec.num_sregs; ++i) {
+      if (sreg_ready_[dec.sregs[i]] > ready) {
+        ready = sreg_ready_[dec.sregs[i]];
         stall_why = StallReason::kRawHazard;
       }
-    };
-
-    switch (inst.op) {
-      case Op::kLi: break;
-      case Op::kMv:
-      case Op::kAddi:
-      case Op::kMuli:
-      case Op::kAndi:
-      case Op::kSlli:
-      case Op::kSrli:
-      case Op::kJr:
-      case Op::kSsvl:
-      case Op::kSetvl:
-        need(inst.b);
-        if (inst.op == Op::kJr || inst.op == Op::kSsvl) need(inst.a);
-        break;
-      case Op::kAdd:
-      case Op::kSub:
-      case Op::kMul:
-      case Op::kAnd:
-      case Op::kOr:
-      case Op::kXor:
-      case Op::kSll:
-      case Op::kSrl:
-      case Op::kMin:
-      case Op::kMax:
-      case Op::kFAdd:
-      case Op::kFMul:
-        need(inst.b);
-        need(inst.c);
-        break;
-      case Op::kLw:
-      case Op::kLhu:
-      case Op::kLbu:
-        need(inst.b);
-        break;
-      case Op::kSw:
-      case Op::kSh:
-      case Op::kSb:
-        need(inst.a);
-        need(inst.b);
-        break;
-      case Op::kBeq:
-      case Op::kBne:
-      case Op::kBlt:
-      case Op::kBge:
-        need(inst.a);
-        need(inst.b);
-        break;
-      case Op::kJal:
-      case Op::kHalt:
-      case Op::kNop:
-        break;
-      default:
-        SMTU_CHECK_MSG(false, "unhandled scalar op");
     }
 
     const Cycle profile_unblocked = std::max(pc_redirect_, last_issue_ + 1);
     Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
     if (t_issue > ready) stall_why = StallReason::kIssueLimit;
-    const bool is_mem = inst.op == Op::kLw || inst.op == Op::kSw || inst.op == Op::kLhu ||
-                        inst.op == Op::kSh || inst.op == Op::kLbu || inst.op == Op::kSb;
-    if (is_mem) {
+    if (dec.scalar_mem) {
       const Cycle slot = take_scalar_mem_slot(t_issue);
       if (slot > t_issue) {
         t_issue = slot;

@@ -8,40 +8,57 @@
 
 namespace smtu::vsim {
 
+void Memory::attach_base(std::shared_ptr<const std::vector<u8>> base) {
+  SMTU_CHECK_MSG(base != nullptr, "attach_base: null snapshot");
+  SMTU_CHECK_MSG(base->size() <= limit_, "attach_base: snapshot exceeds the memory limit");
+  bytes_.clear();
+  base_ = std::move(base);
+  refresh_view();
+}
+
+void Memory::privatize() {
+  if (base_ == nullptr) return;
+  bytes_.assign(base_->begin(), base_->end());
+  base_.reset();
+  refresh_view();
+}
+
 void Memory::ensure(Addr addr, u64 len) {
   const u64 end = addr + len;
   SMTU_CHECK_MSG(end >= addr, "address overflow");
   SMTU_CHECK_MSG(end <= limit_, format("memory access at 0x%llx exceeds the %llu-byte limit",
                                        static_cast<unsigned long long>(addr),
                                        static_cast<unsigned long long>(limit_)));
+  privatize();
   if (end > bytes_.size()) {
     // Grow geometrically to keep amortized cost low.
     u64 new_size = bytes_.size() == 0 ? 4096 : bytes_.size();
     while (new_size < end) new_size *= 2;
     bytes_.resize(std::min(new_size, limit_), 0);
   }
+  refresh_view();
 }
 
 void Memory::check_readable(Addr addr, u64 len) const {
-  SMTU_CHECK_MSG(addr + len <= bytes_.size() && addr + len >= addr,
+  SMTU_CHECK_MSG(addr + len <= view_size_ && addr + len >= addr,
                  format("read at 0x%llx beyond allocated memory",
                         static_cast<unsigned long long>(addr)));
 }
 
 u8 Memory::read_u8(Addr addr) const {
   check_readable(addr, 1);
-  return bytes_[addr];
+  return view_[addr];
 }
 
 u16 Memory::read_u16(Addr addr) const {
   check_readable(addr, 2);
-  return static_cast<u16>(bytes_[addr] | bytes_[addr + 1] << 8);
+  return static_cast<u16>(view_[addr] | view_[addr + 1] << 8);
 }
 
 u32 Memory::read_u32(Addr addr) const {
   check_readable(addr, 4);
   u32 value = 0;
-  std::memcpy(&value, bytes_.data() + addr, 4);  // little-endian host
+  std::memcpy(&value, view_ + addr, 4);  // little-endian host
   return value;
 }
 

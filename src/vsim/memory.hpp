@@ -3,8 +3,14 @@
 // Storage grows on demand up to a configurable limit; reads of never-written
 // memory return zero (the region is allocated zero-filled). Functional only —
 // access *timing* lives in the Machine's vector/scalar memory models.
+//
+// A memory may also attach an immutable shared snapshot (a staged workload
+// image) that it reads through copy-on-write: many machines share one base
+// image, and the first write privatizes a full copy. This is what lets
+// ablation ladders stop re-staging identical matrix images per config.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,8 +22,13 @@ class Memory {
  public:
   explicit Memory(u64 limit_bytes = u64{1} << 30) : limit_(limit_bytes) {}
 
-  u64 size() const { return bytes_.size(); }
+  u64 size() const { return view_size_; }
   u64 limit() const { return limit_; }
+
+  // Attaches `base` as a shared immutable snapshot covering [0, base->size()).
+  // Reads are served from it until the first write copies it into private
+  // storage. Replaces any previously attached snapshot or private content.
+  void attach_base(std::shared_ptr<const std::vector<u8>> base);
 
   // Grows the backing store to cover [0, addr + len); aborts past the limit.
   void ensure(Addr addr, u64 len);
@@ -32,15 +43,32 @@ class Memory {
   void write_u32(Addr addr, u32 value);
   void write_f32(Addr addr, float value);
 
-  // Bulk host-side access for laying out workload images.
+  // Bulk host-side access for laying out workload images. raw() never
+  // privatizes an attached snapshot.
   void write_block(Addr addr, std::span<const u8> data);
-  std::span<const u8> raw() const { return bytes_; }
+  std::span<const u8> raw() const { return {view_, view_size_}; }
 
  private:
   void check_readable(Addr addr, u64 len) const;
+  // Copies an attached snapshot into private storage (first write).
+  void privatize();
+  void refresh_view() {
+    if (base_ != nullptr) {
+      view_ = base_->data();
+      view_size_ = base_->size();
+    } else {
+      view_ = bytes_.data();
+      view_size_ = bytes_.size();
+    }
+  }
 
   u64 limit_;
   std::vector<u8> bytes_;
+  std::shared_ptr<const std::vector<u8>> base_;
+  // Cached read window (the snapshot until privatized, bytes_ after) so hot
+  // reads skip the base_/bytes_ branch.
+  const u8* view_ = nullptr;
+  u64 view_size_ = 0;
 };
 
 }  // namespace smtu::vsim

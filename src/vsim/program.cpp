@@ -6,6 +6,296 @@
 #include "support/assert.hpp"
 
 namespace smtu::vsim {
+namespace {
+
+bool is_vector_op(Op op) {
+  switch (op) {
+    case Op::kVLd:
+    case Op::kVSt:
+    case Op::kVLdx:
+    case Op::kVStx:
+    case Op::kVLds:
+    case Op::kVSts:
+    case Op::kVAdd:
+    case Op::kVSub:
+    case Op::kVMul:
+    case Op::kVAnd:
+    case Op::kVOr:
+    case Op::kVXor:
+    case Op::kVMin:
+    case Op::kVMax:
+    case Op::kVAddi:
+    case Op::kVAdds:
+    case Op::kVBcast:
+    case Op::kVBcasti:
+    case Op::kVIota:
+    case Op::kVSlideUp:
+    case Op::kVSlideDown:
+    case Op::kVRedSum:
+    case Op::kVExtract:
+    case Op::kVSeq:
+    case Op::kVSeqS:
+    case Op::kVFAdd:
+    case Op::kVFMul:
+    case Op::kVFRedSum:
+    case Op::kIcm:
+    case Op::kVLdb:
+    case Op::kVStcr:
+    case Op::kVLdcc:
+    case Op::kVStb:
+    case Op::kVStbv:
+    case Op::kVGthC:
+    case Op::kVScaR:
+    case Op::kVGthR:
+    case Op::kVScaC:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void decode_vector(const Instruction& inst, DecodedInst& d) {
+  d.is_vector = true;
+  // Vector memory accesses that move one element per cycle (address per
+  // element) rather than streaming at the port's byte rate.
+  d.indexed_vmem = inst.op == Op::kVLdx || inst.op == Op::kVStx ||
+                   inst.op == Op::kVLds || inst.op == Op::kVSts;
+
+  // Scalar sources the instruction needs at issue.
+  switch (inst.op) {
+    case Op::kVLd:
+    case Op::kVSt:
+    case Op::kVLdx:
+    case Op::kVStx:
+    case Op::kVBcast:
+    case Op::kVStbv:
+    case Op::kVGthC:
+    case Op::kVScaR:
+    case Op::kVGthR:
+    case Op::kVScaC:
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
+      break;
+    case Op::kVLds:
+    case Op::kVSts:
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.c);
+      break;
+    case Op::kVAdds:
+    case Op::kVExtract:
+    case Op::kVSeqS:
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.c);
+      break;
+    case Op::kVLdb:
+    case Op::kVStb:
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.c);
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.d);
+      break;
+    default:
+      break;
+  }
+
+  // Vector sources and destinations by opcode.
+  switch (inst.op) {
+    case Op::kVLd:
+    case Op::kVLds:
+      d.dsts[d.num_dsts++] = static_cast<u8>(inst.a);
+      break;
+    case Op::kVSt:
+    case Op::kVSts:
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.a);
+      break;
+    case Op::kVLdx:
+      d.dsts[d.num_dsts++] = static_cast<u8>(inst.a);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.c);
+      break;
+    case Op::kVStx:
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.a);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.c);
+      break;
+    case Op::kVAdd:
+    case Op::kVSub:
+    case Op::kVMul:
+    case Op::kVAnd:
+    case Op::kVOr:
+    case Op::kVXor:
+    case Op::kVMin:
+    case Op::kVMax:
+    case Op::kVFAdd:
+    case Op::kVFMul:
+      d.dsts[d.num_dsts++] = static_cast<u8>(inst.a);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.b);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.c);
+      break;
+    case Op::kVAddi:
+    case Op::kVAdds:
+    case Op::kVSeqS:
+    case Op::kVSlideUp:
+    case Op::kVSlideDown:
+      d.dsts[d.num_dsts++] = static_cast<u8>(inst.a);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.b);
+      break;
+    case Op::kVSeq:
+      d.dsts[d.num_dsts++] = static_cast<u8>(inst.a);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.b);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.c);
+      break;
+    case Op::kVGthC:
+    case Op::kVGthR:
+      d.dsts[d.num_dsts++] = static_cast<u8>(inst.a);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.c);
+      break;
+    case Op::kVScaR:
+    case Op::kVScaC:
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.a);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.c);
+      break;
+    case Op::kVBcast:
+    case Op::kVBcasti:
+    case Op::kVIota:
+      d.dsts[d.num_dsts++] = static_cast<u8>(inst.a);
+      break;
+    case Op::kVRedSum:
+    case Op::kVFRedSum:
+    case Op::kVExtract:
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.b);
+      break;
+    case Op::kIcm:
+      break;
+    case Op::kVLdb:
+    case Op::kVLdcc:
+      d.dsts[d.num_dsts++] = static_cast<u8>(inst.a);
+      d.dsts[d.num_dsts++] = static_cast<u8>(inst.b);
+      break;
+    case Op::kVStcr:
+    case Op::kVStb:
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.a);
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.b);
+      break;
+    case Op::kVStbv:
+      d.srcs[d.num_srcs++] = static_cast<u8>(inst.a);
+      break;
+    default:
+      break;
+  }
+
+  // Functional unit and which config field supplies the startup latency.
+  switch (inst.op) {
+    case Op::kVLd:
+    case Op::kVSt:
+    case Op::kVLdx:
+    case Op::kVStx:
+    case Op::kVLds:
+    case Op::kVSts:
+    case Op::kVLdb:
+    case Op::kVStb:
+    case Op::kVStbv:
+    case Op::kVGthC:
+    case Op::kVScaR:
+    case Op::kVGthR:
+    case Op::kVScaC:
+      d.unit = ExecUnit::kVMem;
+      d.startup = StartupKind::kMem;
+      break;
+    case Op::kIcm:
+      d.unit = ExecUnit::kStm;
+      d.startup = StartupKind::kNone;
+      break;
+    case Op::kVStcr:
+      d.unit = ExecUnit::kStm;
+      d.startup = StartupKind::kStmFill;
+      break;
+    case Op::kVLdcc:
+      d.unit = ExecUnit::kStm;
+      d.startup = StartupKind::kStmDrain;
+      break;
+    default:
+      d.unit = ExecUnit::kVAlu;
+      d.startup = StartupKind::kValu;
+      break;
+  }
+}
+
+void decode_scalar(const Instruction& inst, DecodedInst& d) {
+  d.is_vector = false;
+  switch (inst.op) {
+    case Op::kLi:
+      break;
+    case Op::kMv:
+    case Op::kAddi:
+    case Op::kMuli:
+    case Op::kAndi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kJr:
+    case Op::kSsvl:
+    case Op::kSetvl:
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
+      if (inst.op == Op::kJr || inst.op == Op::kSsvl) {
+        d.sregs[d.num_sregs++] = static_cast<u8>(inst.a);
+      }
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kMin:
+    case Op::kMax:
+    case Op::kFAdd:
+    case Op::kFMul:
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.c);
+      break;
+    case Op::kLw:
+    case Op::kLhu:
+    case Op::kLbu:
+      d.scalar_mem = true;
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
+      break;
+    case Op::kSw:
+    case Op::kSh:
+    case Op::kSb:
+      d.scalar_mem = true;
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.a);
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
+      break;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.a);
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
+      break;
+    case Op::kJal:
+    case Op::kHalt:
+    case Op::kNop:
+      break;
+    default:
+      SMTU_CHECK_MSG(false, "unhandled scalar op in decode");
+  }
+}
+
+}  // namespace
+
+DecodedInst decode_instruction(const Instruction& inst) {
+  DecodedInst d;
+  if (is_vector_op(inst.op)) {
+    decode_vector(inst, d);
+  } else {
+    decode_scalar(inst, d);
+  }
+  return d;
+}
+
+std::vector<DecodedInst> decode_instructions(const std::vector<Instruction>& instructions) {
+  std::vector<DecodedInst> decoded;
+  decoded.reserve(instructions.size());
+  for (const Instruction& inst : instructions) decoded.push_back(decode_instruction(inst));
+  return decoded;
+}
 
 usize Program::label(const std::string& name) const {
   const auto it = labels.find(name);

@@ -19,6 +19,42 @@ struct ProfileRegion {
   usize end = 0;
 };
 
+// Functional unit a vector instruction occupies. Values match the
+// Machine's internal unit indices.
+enum class ExecUnit : u8 { kVMem = 0, kVAlu = 1, kStm = 2 };
+
+// Which MachineConfig field supplies an instruction's startup latency.
+// Resolved to a cycle count once per run (the config is per-Machine, the
+// kind is per-static-instruction).
+enum class StartupKind : u8 { kMem = 0, kValu = 1, kStmFill = 2, kStmDrain = 3, kNone = 4 };
+inline constexpr usize kStartupKindCount = static_cast<usize>(StartupKind::kNone) + 1;
+
+// Dispatch-friendly predecode of one static instruction: everything the
+// interpreter's issue logic derives from the opcode alone (unit, startup
+// kind, operand register lists) is computed once at assembly time instead
+// of per dynamic execution. Register numbers are resolved from the
+// Instruction fields, in the same order the Machine's hazard checks
+// evaluated them.
+struct DecodedInst {
+  bool is_vector = false;
+  bool indexed_vmem = false;  // 1-element/cycle vmem access (v_ldx/v_stx/v_lds/v_sts)
+  bool scalar_mem = false;    // scalar load/store (uses the scalar memory port)
+  ExecUnit unit = ExecUnit::kVAlu;
+  StartupKind startup = StartupKind::kNone;
+  u8 num_sregs = 0;  // scalar source registers read at issue
+  u8 num_srcs = 0;   // vector source registers
+  u8 num_dsts = 0;   // vector destination registers
+  u8 sregs[2] = {0, 0};
+  u8 srcs[3] = {0, 0, 0};
+  u8 dsts[2] = {0, 0};
+};
+
+// Predecode of a single instruction / an instruction sequence. Machine::run
+// uses Program::decoded when present and falls back to decoding on the fly
+// for hand-built Programs.
+DecodedInst decode_instruction(const Instruction& inst);
+std::vector<DecodedInst> decode_instructions(const std::vector<Instruction>& instructions);
+
 struct Program {
   std::vector<Instruction> instructions;
   std::map<std::string, usize> labels;
@@ -27,8 +63,14 @@ struct Program {
   // Instruction::source_line points into; feeds the profiler's per-line
   // hot-spot tables.
   std::vector<std::string> source_lines;
+  // One entry per instruction when predecoded (assemble() always fills
+  // this); empty on hand-built programs until predecode() is called.
+  std::vector<DecodedInst> decoded;
 
   usize size() const { return instructions.size(); }
+
+  // (Re)builds `decoded` from `instructions`.
+  void predecode() { decoded = decode_instructions(instructions); }
   bool has_label(const std::string& name) const { return labels.count(name) > 0; }
   usize label(const std::string& name) const;
 

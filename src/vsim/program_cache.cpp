@@ -1,0 +1,43 @@
+#include "vsim/program_cache.hpp"
+
+#include "vsim/assembler.hpp"
+
+namespace smtu::vsim {
+
+ProgramCache& ProgramCache::instance() {
+  static ProgramCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Program> ProgramCache::get(std::string_view source) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Heterogeneous lookup through a temporary key: sources are a few KB at
+    // most and only materialise on the first probe per call site.
+    const auto it = entries_.find(std::string(source));
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Assemble outside the lock so a slow parse does not serialize unrelated
+  // workers; a racing duplicate assembles twice and the first insert wins.
+  auto program = std::make_shared<const Program>(assemble(source));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  const auto [it, inserted] = entries_.emplace(std::string(source), std::move(program));
+  return it->second;
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = {};
+}
+
+}  // namespace smtu::vsim

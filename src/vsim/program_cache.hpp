@@ -1,0 +1,41 @@
+// Process-wide memoization of assemble(): kernels regenerate the same
+// assembly source for every (matrix, config) pair, so the cache returns a
+// shared immutable predecoded Program per distinct source instead of
+// re-parsing it. Thread-safe; bench workers on different ThreadPool threads
+// share one instance.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "vsim/program.hpp"
+
+namespace smtu::vsim {
+
+class ProgramCache {
+ public:
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+  };
+
+  // The process-wide cache.
+  static ProgramCache& instance();
+
+  // The predecoded Program for `source`, assembling it on first sight.
+  // Assembly errors propagate (AssemblyError) and leave no cache entry.
+  std::shared_ptr<const Program> get(std::string_view source);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Program>> entries_;
+  Stats stats_;
+};
+
+}  // namespace smtu::vsim

@@ -125,12 +125,21 @@ TEST(BenchJson, ReproduceAllEmitsSchemaValidArtifact) {
   EXPECT_GT(storage.at("hism_crs_byte_ratio_avg").as_double(), 0.0);
   EXPECT_GT(storage.at("overhead_fraction_avg").as_double(), 0.0);
 
+  // The host cache-counter section (bench_diff skips it, like harness).
+  // This run had no --sim-cache, so that counter block is null; every
+  // simulated program and staged matrix was a cold miss at least once.
+  const JsonValue& host = doc.at("host");
+  EXPECT_GT(host.at("program_cache").at("misses").as_u64(), 0u);
+  EXPECT_GT(host.at("stage_cache").at("misses").as_u64(), 0u);
+  EXPECT_TRUE(host.at("sim_cache").is_null());
+
   // Stable top-level key order — downstream tooling (bench_diff, plotting)
   // may rely on it for readable diffs.
   std::vector<std::string> keys;
   for (const auto& [key, value] : doc.members()) keys.push_back(key);
   EXPECT_EQ(keys, (std::vector<std::string>{"schema", "bench", "config", "suite", "harness",
-                                            "fig10", "figures", "headline", "storage"}));
+                                            "host", "fig10", "figures", "headline",
+                                            "storage"}));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // (jobs == 1) degenerate mode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -14,9 +15,14 @@ namespace smtu {
 namespace {
 
 TEST(ThreadPool, ResolveJobsDefaultsToHardware) {
-  EXPECT_GE(resolve_jobs(0), 1u);
+  const u32 hardware = resolve_jobs(0);
+  EXPECT_GE(hardware, 1u);
   EXPECT_EQ(resolve_jobs(1), 1u);
-  EXPECT_EQ(resolve_jobs(7), 7u);
+  // Explicit requests are honoured up to the hardware thread count and
+  // clamped (with a one-time stderr note) beyond it.
+  EXPECT_EQ(resolve_jobs(7), std::min(7u, hardware));
+  EXPECT_EQ(resolve_jobs(hardware), hardware);
+  EXPECT_EQ(resolve_jobs(hardware + 1), hardware);
 }
 
 TEST(ThreadPool, SerialPoolRunsInline) {

@@ -1,0 +1,238 @@
+// Host-throughput caching layers: the content-addressed on-disk simulation
+// cache (hash keying, need_verified/need_profile miss semantics, merge-on-
+// store), the process-wide program cache, the matrix stage cache, and the
+// copy-on-write memory snapshots underneath them. The load-bearing property
+// throughout is bit-identical replay: a cached result must serialize to
+// exactly the bytes the live simulation would have produced.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "kernels/crs_transpose.hpp"
+#include "kernels/hism_transpose.hpp"
+#include "kernels/staging.hpp"
+#include "support/json.hpp"
+#include "vsim/json_export.hpp"
+#include "vsim/memory.hpp"
+#include "vsim/program_cache.hpp"
+#include "vsim/sim_cache.hpp"
+
+namespace smtu {
+namespace {
+
+Coo small_matrix() {
+  Coo coo(96, 96);
+  for (Index i = 0; i < 96; ++i) {
+    coo.add(i, (i * 37 + 5) % 96, static_cast<float>(i) + 0.5f);
+    coo.add((i * 13) % 96, i, 1.0f);
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+std::string stats_json(const vsim::RunStats& stats) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  vsim::write_run_stats_json(json, stats);
+  return out.str();
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag)
+      : path_(std::filesystem::temp_directory_path() /
+              (std::string("smtu_test_") + tag + "_" +
+               std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(SimHash, StableAndSensitive) {
+  vsim::SimHash a;
+  a.update(std::string_view("hello"));
+  a.update_u64(42);
+  vsim::SimHash b;
+  b.update(std::string_view("hello"));
+  b.update_u64(42);
+  EXPECT_EQ(a.hex(), b.hex());
+  EXPECT_EQ(a.hex().size(), 32u);
+
+  vsim::SimHash c;
+  c.update(std::string_view("hello"));
+  c.update_u64(43);
+  EXPECT_NE(a.hex(), c.hex());
+}
+
+TEST(SimCacheKey, DependsOnEveryInput) {
+  const vsim::MachineConfig config;
+  const std::vector<u8> image = {1, 2, 3, 4};
+  const std::string base = vsim::sim_cache_key("prog", config, image, {});
+
+  EXPECT_EQ(base, vsim::sim_cache_key("prog", config, image, {}));
+  EXPECT_NE(base, vsim::sim_cache_key("prog2", config, image, {}));
+
+  const std::vector<u8> other_image = {1, 2, 3, 5};
+  EXPECT_NE(base, vsim::sim_cache_key("prog", config, other_image, {}));
+
+  vsim::MachineConfig other_config;
+  other_config.mem_startup += 1;
+  EXPECT_NE(base, vsim::sim_cache_key("prog", other_config, image, {}));
+
+  const std::pair<u32, u64> sreg{1, 0x10000};
+  EXPECT_NE(base, vsim::sim_cache_key("prog", config, image, {&sreg, 1}));
+}
+
+TEST(SimCache, RoundTripIsByteIdentical) {
+  TempDir dir("simcache_roundtrip");
+  vsim::SimCache cache(dir.str());
+
+  const auto stage = kernels::build_hism_stage(HismMatrix::from_coo(small_matrix(), 64));
+  const vsim::MachineConfig config;
+  const vsim::RunStats live = kernels::time_hism_transpose(stage, config);
+
+  const std::string key = vsim::sim_cache_key(kernels::hism_transpose_source(), config,
+                                              *stage.snapshot, {});
+  EXPECT_FALSE(cache.lookup(key, false, false).has_value());
+  cache.store(key, {live, /*verified=*/false, /*profile_json=*/""});
+
+  const auto hit = cache.lookup(key, false, false);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(stats_json(hit->stats), stats_json(live));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().stores, 1u);
+
+  // A second cache object on the same directory sees the entry (the cache
+  // is the directory, not the process).
+  vsim::SimCache reopened(dir.str());
+  const auto persisted = reopened.lookup(key, false, false);
+  ASSERT_TRUE(persisted.has_value());
+  EXPECT_EQ(stats_json(persisted->stats), stats_json(live));
+}
+
+TEST(SimCache, ProfiledReplayMatchesLiveRender) {
+  TempDir dir("simcache_profile");
+  vsim::SimCache cache(dir.str());
+
+  const auto stage = kernels::build_crs_stage(Csr::from_coo(small_matrix()));
+  const vsim::MachineConfig config;
+  vsim::PerfCounters counters;
+  const vsim::RunStats live = kernels::time_crs_transpose(stage, config, {}, &counters);
+
+  std::ostringstream rendered;
+  JsonWriter json(rendered);
+  vsim::write_profile_json(json, counters);
+
+  const std::string key = vsim::sim_cache_key(
+      kernels::crs_transpose_source(config.section, {}), config, *stage.snapshot, {});
+  cache.store(key, {live, false, rendered.str()});
+
+  const auto hit = cache.lookup(key, false, /*need_profile=*/true);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->profile_json, rendered.str());
+  EXPECT_EQ(stats_json(hit->stats), stats_json(live));
+}
+
+TEST(SimCache, NeedFlagsTurnInsufficientEntriesIntoMisses) {
+  TempDir dir("simcache_needs");
+  vsim::SimCache cache(dir.str());
+
+  vsim::RunStats stats;
+  stats.cycles = 123;
+  cache.store("deadbeefdeadbeefdeadbeefdeadbeef", {stats, /*verified=*/false, ""});
+
+  EXPECT_TRUE(cache.lookup("deadbeefdeadbeefdeadbeefdeadbeef", false, false).has_value());
+  EXPECT_FALSE(cache.lookup("deadbeefdeadbeefdeadbeefdeadbeef", true, false).has_value());
+  EXPECT_FALSE(cache.lookup("deadbeefdeadbeefdeadbeefdeadbeef", false, true).has_value());
+}
+
+TEST(SimCache, StoreUpgradesButNeverDowngrades) {
+  TempDir dir("simcache_merge");
+  vsim::SimCache cache(dir.str());
+  const std::string key = "0123456789abcdef0123456789abcdef";
+
+  vsim::RunStats stats;
+  stats.cycles = 7;
+  cache.store(key, {stats, /*verified=*/true, "{\"p\":1}"});
+  // An unverified, unprofiled store of the same result must not erase the
+  // richer facts already on disk.
+  cache.store(key, {stats, /*verified=*/false, ""});
+
+  const auto entry = cache.lookup(key, /*need_verified=*/true, /*need_profile=*/true);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->verified);
+  EXPECT_EQ(entry->profile_json, "{\"p\":1}");
+}
+
+TEST(ProgramCache, SharesOnePredecodedProgram) {
+  const std::string source = kernels::hism_transpose_source();
+  const auto first = vsim::ProgramCache::instance().get(source);
+  const auto second = vsim::ProgramCache::instance().get(source);
+  EXPECT_EQ(first.get(), second.get());
+  // Predecode happened at assembly, once.
+  EXPECT_EQ(first->decoded.size(), first->instructions.size());
+}
+
+TEST(MatrixStageCache, SharesOneStagePerMatrix) {
+  const Coo coo = small_matrix();
+  auto& cache = kernels::MatrixStageCache::instance();
+  const auto first = cache.hism(coo, 64);
+  const auto second = cache.hism(coo, 64);
+  EXPECT_EQ(first.get(), second.get());
+  // A different section stages a different image.
+  EXPECT_NE(first.get(), cache.hism(coo, 32).get());
+  EXPECT_EQ(cache.crs(coo).get(), cache.crs(coo).get());
+}
+
+TEST(StagedKernels, MatchUnstagedBitForBit) {
+  const Coo coo = small_matrix();
+  const vsim::MachineConfig config;
+
+  const HismMatrix hism = HismMatrix::from_coo(coo, config.section);
+  const auto hism_stage = kernels::build_hism_stage(hism);
+  EXPECT_EQ(stats_json(kernels::time_hism_transpose(hism, config)),
+            stats_json(kernels::time_hism_transpose(hism_stage, config)));
+
+  const Csr csr = Csr::from_coo(coo);
+  const auto crs_stage = kernels::build_crs_stage(csr);
+  EXPECT_EQ(stats_json(kernels::time_crs_transpose(csr, config)),
+            stats_json(kernels::time_crs_transpose(crs_stage, config)));
+
+  // Results (not just timing) decode identically through the snapshot.
+  const auto direct = kernels::run_crs_transpose(csr, config);
+  const auto staged = kernels::run_crs_transpose(crs_stage, config);
+  EXPECT_TRUE(structurally_equal(direct.transposed, staged.transposed));
+}
+
+TEST(MemoryCow, SnapshotReadsAndPrivatizeOnWrite) {
+  auto base = std::make_shared<std::vector<u8>>(4096, u8{0});
+  (*base)[100] = 0xAB;
+  (*base)[101] = 0xCD;
+
+  vsim::Memory memory;
+  memory.attach_base(base);
+  EXPECT_EQ(memory.size(), 4096u);
+  EXPECT_EQ(memory.read_u8(100), 0xAB);
+  EXPECT_EQ(memory.read_u16(100), 0xCDAB);  // little-endian
+  EXPECT_EQ(memory.raw().data(), base->data());
+
+  // First write copies; the shared snapshot stays untouched.
+  memory.write_u8(100, 0xFF);
+  EXPECT_EQ(memory.read_u8(100), 0xFF);
+  EXPECT_EQ((*base)[100], 0xAB);
+  EXPECT_NE(memory.raw().data(), base->data());
+  EXPECT_EQ(memory.read_u8(101), 0xCD);  // copied content preserved
+}
+
+}  // namespace
+}  // namespace smtu

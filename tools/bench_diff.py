@@ -22,8 +22,11 @@ A metric's direction decides what counts as a regression:
 
 Host-timing keys are ignored entirely: any key containing "wall_ms" (the
 per-matrix and harness wall-time measurements) is nondeterministic by
-nature, and "jobs"/"harness" only describe how the run was executed. None
-of them can gate, appear as [new]/[gone], or show under --all.
+nature, and "jobs"/"harness" only describe how the run was executed. The
+"host" section (program/stage/sim cache hit counters — HACKING.md "Host
+performance") likewise depends on process history, not on the simulated
+machine. None of them can gate, appear as [new]/[gone], or show under
+--all.
 
 Schema drift is gated, not just reported: a metric present in OLD but
 missing from NEW ([gone]) always fails — a silently vanished counter would
@@ -41,7 +44,7 @@ import argparse
 import json
 import sys
 
-SKIPPED_KEYS = {"schema", "bench", "seed", "scale", "jobs", "harness"}
+SKIPPED_KEYS = {"schema", "bench", "seed", "scale", "jobs", "harness", "host"}
 
 # Any key containing one of these fragments is host-timing noise, never a
 # simulated metric; skipped at flatten time so it cannot gate or diff.

@@ -4,17 +4,24 @@
 Usage:
     tools/check_repro_determinism.py PATH/TO/reproduce_all [--scale=0.02]
                                      [--jobs A B ...] [--profile]
+                                     [--sim-cache]
 
 Runs the binary once per jobs value (default: 1 and 4) and asserts the
 smtu-repro-v1 JSON artifacts are identical after stripping the host-timing
-keys (any key containing "wall_ms", plus the "harness" section). Everything
-else — cycle counts, speedups, utilization grids, full RunStats — must match
-exactly; a single differing leaf fails the check.
+keys (any key containing "wall_ms", plus the "harness" and "host"
+sections). Everything else — cycle counts, speedups, utilization grids,
+full RunStats — must match exactly; a single differing leaf fails the
+check.
 
 --profile additionally passes --profile to every run, so each per-matrix
 record carries a full smtu-profile-v1 section (cycle attribution, stall
 taxonomy, per-line counters — docs/PROFILING.md) that is held to the same
 bit-identical standard.
+
+--sim-cache additionally runs the binary twice more with a shared
+--sim-cache directory (a cold run populating it, then a warm run replaying
+from it) and holds both artifacts to the same standard: caching must not
+change a single simulated number (HACKING.md "Host performance").
 
 Exit status: 0 identical, 1 mismatch, 2 usage/run failure.
 """
@@ -33,20 +40,22 @@ def strip_timing(value):
         return {
             key: strip_timing(child)
             for key, child in value.items()
-            if key != "harness" and "wall_ms" not in key
+            if key not in ("harness", "host") and "wall_ms" not in key
         }
     if isinstance(value, list):
         return [strip_timing(child) for child in value]
     return value
 
 
-def run_once(binary, scale, jobs, tmp, profile=False):
-    report = os.path.join(tmp, f"report_j{jobs}.md")
-    artifact = os.path.join(tmp, f"repro_j{jobs}.json")
+def run_once(binary, scale, jobs, tmp, profile=False, sim_cache=None, tag=""):
+    report = os.path.join(tmp, f"report_j{jobs}{tag}.md")
+    artifact = os.path.join(tmp, f"repro_j{jobs}{tag}.json")
     command = [binary, f"--scale={scale}", f"--jobs={jobs}",
                f"--out={report}", f"--json={artifact}"]
     if profile:
         command.append("--profile")
+    if sim_cache:
+        command.append(f"--sim-cache={sim_cache}")
     result = subprocess.run(command, capture_output=True, text=True, check=False)
     if result.returncode != 0:
         print(f"check_repro_determinism: {' '.join(command)} failed "
@@ -85,6 +94,10 @@ def main():
     parser.add_argument("--profile", action="store_true",
                         help="run with --profile and hold the per-matrix "
                              "profile sections to the same determinism bar")
+    parser.add_argument("--sim-cache", action="store_true",
+                        help="also run cold+warm with a shared --sim-cache "
+                             "directory and assert both artifacts identical "
+                             "to the uncached reference")
     args = parser.parse_args()
 
     if len(args.jobs) < 2:
@@ -95,6 +108,13 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         docs = {jobs: run_once(args.binary, args.scale, jobs, tmp, args.profile)
                 for jobs in args.jobs}
+        cached_docs = {}
+        if args.sim_cache:
+            cache_dir = os.path.join(tmp, "simcache")
+            for tag in ("cold", "warm"):
+                cached_docs[tag] = run_once(args.binary, args.scale, args.jobs[0],
+                                            tmp, args.profile, cache_dir,
+                                            f"_{tag}")
 
     reference_jobs = args.jobs[0]
     reference = strip_timing(docs[reference_jobs])
@@ -107,6 +127,14 @@ def main():
             return 1
         print(f"check_repro_determinism: -j{jobs} identical to "
               f"-j{reference_jobs} (modulo wall_ms)")
+    for tag, doc in cached_docs.items():
+        difference = first_difference(reference, strip_timing(doc))
+        if difference:
+            print(f"check_repro_determinism: uncached vs --sim-cache {tag} run "
+                  f"differ at {difference}", file=sys.stderr)
+            return 1
+        print(f"check_repro_determinism: --sim-cache {tag} run identical to "
+              f"uncached -j{reference_jobs} (modulo wall_ms/host)")
     return 0
 
 

@@ -82,6 +82,22 @@ class BenchDiffGating(unittest.TestCase):
         self.assertNotIn("harness", out)
         self.assertNotIn("jobs", out)
 
+    def test_host_section_is_invisible(self):
+        # The host cache-counter section varies with process history (cold vs
+        # warm --sim-cache runs); like harness it must never gate or diff.
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 12.0)
+        new["host"] = {
+            "program_cache": {"hits": 59, "misses": 3},
+            "stage_cache": {"hits": 30, "misses": 30},
+            "sim_cache": {"hits": 60, "misses": 0, "stores": 0},
+        }
+        code, out = run_diff(old, new, "--all")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[new]", out)
+        self.assertNotIn("host", out)
+        self.assertNotIn("sim_cache", out)
+
     def test_cycle_regression_still_fails(self):
         old = report(1000, 5.0, 10.0)
         new = report(1500, 5.0, 10.0)  # 50% more simulated cycles

@@ -14,7 +14,13 @@ int main(int argc, char** argv) {
 
   constexpr u32 kSection = 64;
   constexpr u32 kBandwidth = 4;  // the paper's B = p = 4
-  constexpr u32 kLines[] = {1, 2, 4, 8, 16};
+  StmConfig base;
+  base.section = kSection;
+  base.bandwidth = kBandwidth;
+  base.strict_consecutive_lines = true;
+  const auto variants = bench::sweep_configs<StmConfig>(
+      "L=", {1, 2, 4, 8, 16}, [](StmConfig& config, u32 lines) { config.lines = lines; },
+      base);
 
   std::printf(
       "== Ablation A1: strict consecutive-lines rule vs relaxed (any %u-line) buffers ==\n"
@@ -31,16 +37,12 @@ int main(int argc, char** argv) {
     double strict_bu;
     double relaxed_bu;
   };
-  for (const u32 lines : kLines) {
+  for (const auto& variant : variants) {
     const auto pairs = parallel_map(pool, hisms, [&](const HismMatrix& hism) {
-      StmConfig config;
-      config.section = kSection;
-      config.bandwidth = kBandwidth;
-      config.lines = lines;
-      config.strict_consecutive_lines = true;
-      const double strict_bu = bench::buffer_utilization(hism, config);
-      config.strict_consecutive_lines = false;
-      return UtilizationPair{strict_bu, bench::buffer_utilization(hism, config)};
+      const double strict_bu = bench::buffer_utilization(hism, variant.config);
+      StmConfig relaxed = variant.config;
+      relaxed.strict_consecutive_lines = false;
+      return UtilizationPair{strict_bu, bench::buffer_utilization(hism, relaxed)};
     });
     double strict_sum = 0.0;
     double relaxed_sum = 0.0;
@@ -49,7 +51,7 @@ int main(int argc, char** argv) {
       relaxed_sum += pair.relaxed_bu;
     }
     const double n = static_cast<double>(hisms.size());
-    table.add_row({format("%u", lines), format("%.3f", strict_sum / n),
+    table.add_row({variant.label, format("%.3f", strict_sum / n),
                    format("%.3f", relaxed_sum / n),
                    format("%+.1f%%", (relaxed_sum / strict_sum - 1.0) * 100.0)});
   }

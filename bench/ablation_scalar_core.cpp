@@ -16,44 +16,31 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   const bench::BenchOptions options = bench::parse_options(cli);
 
-  constexpr u32 kLatencies[] = {2, 4, 8, 16, 32};
+  const auto variants = bench::sweep_configs<vsim::MachineConfig>(
+      "lat=", {2, 4, 8, 16, 32},
+      [](vsim::MachineConfig& config, u32 latency) { config.scalar_load_latency = latency; });
 
   std::printf("== Ablation A7: scalar load latency vs HiSM/CRS speedup (locality set) ==\n");
   suite::SuiteOptions suite_options = options.suite;
   suite_options.scale = std::min(suite_options.scale, 0.5);
   const auto set = suite::build_dsab_set(suite::kSetLocality, suite_options);
 
-  TextTable table({"matrix", "lat=2", "lat=4", "lat=8", "lat=16", "lat=32"});
   ThreadPool pool(options.jobs);
   const auto speedup_rows = parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
     std::vector<double> speedups;
-    speedups.reserve(std::size(kLatencies));
-    for (const u32 latency : kLatencies) {
-      vsim::MachineConfig config;
-      config.scalar_load_latency = latency;
-      const HismMatrix hism = HismMatrix::from_coo(entry.matrix, config.section);
-      const u64 hism_cycles = kernels::time_hism_transpose(hism, config).cycles;
+    speedups.reserve(variants.size());
+    for (const auto& variant : variants) {
+      const HismMatrix hism = HismMatrix::from_coo(entry.matrix, variant.config.section);
+      const u64 hism_cycles = kernels::time_hism_transpose(hism, variant.config).cycles;
       const u64 crs_cycles =
-          kernels::time_crs_transpose(Csr::from_coo(entry.matrix), config).cycles;
+          kernels::time_crs_transpose(Csr::from_coo(entry.matrix), variant.config).cycles;
       speedups.push_back(static_cast<double>(crs_cycles) / static_cast<double>(hism_cycles));
     }
     return speedups;
   });
-  std::vector<double> totals(std::size(kLatencies), 0.0);
-  for (usize i = 0; i < set.size(); ++i) {
-    std::vector<std::string> row = {set[i].name};
-    for (usize column = 0; column < speedup_rows[i].size(); ++column) {
-      totals[column] += speedup_rows[i][column];
-      row.push_back(format("%.1f", speedup_rows[i][column]));
-    }
-    table.add_row(std::move(row));
-  }
-  std::vector<std::string> avg_row = {"AVERAGE"};
-  for (const double total : totals) {
-    avg_row.push_back(format("%.1f", total / static_cast<double>(set.size())));
-  }
-  table.add_row(std::move(avg_row));
-  bench::emit(table, options.csv_path);
+  bench::emit(bench::sweep_average_table(set, bench::variant_labels(variants), speedup_rows,
+                                         "%.1f", "AVERAGE"),
+              options.csv_path);
   std::printf(
       "\nreading: the CRS baseline's scalar histogram phase scales with the load\n"
       "latency, so the speedup does too. The qualitative conclusions (HiSM wins,\n"

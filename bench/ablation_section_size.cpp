@@ -14,42 +14,29 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   const bench::BenchOptions options = bench::parse_options(cli);
 
-  constexpr u32 kSections[] = {16, 32, 64, 128, 256};
+  const auto variants = bench::sweep_configs<vsim::MachineConfig>(
+      "s=", {16, 32, 64, 128, 256},
+      [](vsim::MachineConfig& config, u32 section) { config.section = section; });
 
   std::printf("== Ablation A4: HiSM transpose vs section size (locality set) ==\n");
   suite::SuiteOptions suite_options = options.suite;
   suite_options.scale = std::min(suite_options.scale, 0.3);
   const auto set = suite::build_dsab_set(suite::kSetLocality, suite_options);
 
-  TextTable table({"matrix", "s=16", "s=32", "s=64", "s=128", "s=256"});
   ThreadPool pool(options.jobs);
   const auto per_nnz_rows = parallel_map(pool, set, [&](const suite::SuiteMatrix& entry) {
     std::vector<double> per_nnz_row;
-    per_nnz_row.reserve(std::size(kSections));
-    for (const u32 section : kSections) {
-      vsim::MachineConfig config;
-      config.section = section;
-      const HismMatrix hism = HismMatrix::from_coo(entry.matrix, section);
-      const u64 cycles = kernels::time_hism_transpose(hism, config).cycles;
+    per_nnz_row.reserve(variants.size());
+    for (const auto& variant : variants) {
+      const HismMatrix hism = HismMatrix::from_coo(entry.matrix, variant.config.section);
+      const u64 cycles = kernels::time_hism_transpose(hism, variant.config).cycles;
       per_nnz_row.push_back(static_cast<double>(cycles) /
                             static_cast<double>(std::max<usize>(1, entry.matrix.nnz())));
     }
     return per_nnz_row;
   });
-  std::vector<double> totals(std::size(kSections), 0.0);
-  for (usize i = 0; i < set.size(); ++i) {
-    std::vector<std::string> row = {set[i].name};
-    for (usize column = 0; column < per_nnz_rows[i].size(); ++column) {
-      totals[column] += per_nnz_rows[i][column];
-      row.push_back(format("%.2f", per_nnz_rows[i][column]));
-    }
-    table.add_row(std::move(row));
-  }
-  std::vector<std::string> avg_row = {"AVERAGE cyc/nnz"};
-  for (const double total : totals) {
-    avg_row.push_back(format("%.2f", total / static_cast<double>(set.size())));
-  }
-  table.add_row(std::move(avg_row));
-  bench::emit(table, options.csv_path);
+  bench::emit(bench::sweep_average_table(set, bench::variant_labels(variants), per_nnz_rows,
+                                         "%.2f", "AVERAGE cyc/nnz"),
+              options.csv_path);
   return 0;
 }

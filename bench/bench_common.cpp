@@ -33,6 +33,32 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+TextTable sweep_average_table(const std::vector<suite::SuiteMatrix>& set,
+                              const std::vector<std::string>& labels,
+                              const std::vector<std::vector<double>>& values,
+                              const char* value_format, const char* average_label) {
+  std::vector<std::string> header = {"matrix"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  TextTable table(std::move(header));
+
+  std::vector<double> totals(labels.size(), 0.0);
+  for (usize i = 0; i < set.size(); ++i) {
+    SMTU_CHECK(values[i].size() == labels.size());
+    std::vector<std::string> row = {set[i].name};
+    for (usize column = 0; column < values[i].size(); ++column) {
+      totals[column] += values[i][column];
+      row.push_back(format(value_format, values[i][column]));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> avg_row = {average_label};
+  for (const double total : totals) {
+    avg_row.push_back(format(value_format, total / static_cast<double>(std::max<usize>(1, set.size()))));
+  }
+  table.add_row(std::move(avg_row));
+  return table;
+}
+
 vsim::SimCache* sim_cache_for(const std::optional<std::string>& dir) {
   if (!dir) return nullptr;
   static std::mutex mutex;

@@ -135,6 +135,52 @@ void emit(const TextTable& table, const BenchOptions& options);
 // Back-compatible overload used by older call sites (CSV only).
 void emit(const TextTable& table, const std::optional<std::string>& csv_path);
 
+// ---- config sweeps (ablation benches) --------------------------------------
+//
+// Every ablation sweeps one knob over a value list, each value yielding a
+// labeled variant of a default config; the construction loop used to be
+// copy-pasted per bench. sweep_configs collapses it (prep for ROADMAP item
+// 5's sweepable config plumbing) and sweep_average_table the standard
+// per-matrix + AVERAGE table scaffolding around the measured values.
+
+template <typename Config>
+struct ConfigVariant {
+  std::string label;  // table column header, e.g. "s=64"
+  Config config;
+};
+
+// One variant per value: label = label_prefix + value; config = a copy of
+// `base` with `apply(config, value)` run on it.
+template <typename Config, typename Apply>
+std::vector<ConfigVariant<Config>> sweep_configs(const char* label_prefix,
+                                                 std::initializer_list<u32> values,
+                                                 Apply&& apply, const Config& base = {}) {
+  std::vector<ConfigVariant<Config>> variants;
+  variants.reserve(values.size());
+  for (const u32 value : values) {
+    Config config = base;
+    apply(config, value);
+    variants.push_back({format("%s%u", label_prefix, value), std::move(config)});
+  }
+  return variants;
+}
+
+template <typename Config>
+std::vector<std::string> variant_labels(const std::vector<ConfigVariant<Config>>& variants) {
+  std::vector<std::string> labels;
+  labels.reserve(variants.size());
+  for (const auto& variant : variants) labels.push_back(variant.label);
+  return labels;
+}
+
+// The standard ablation table: "matrix" + one column per variant label, one
+// row per suite matrix (values[i][v] rendered with value_format), closed by
+// an `average_label` row of per-column means.
+TextTable sweep_average_table(const std::vector<suite::SuiteMatrix>& set,
+                              const std::vector<std::string>& labels,
+                              const std::vector<std::vector<double>>& values,
+                              const char* value_format, const char* average_label);
+
 // ---- structured benchmark reports (the "smtu-bench-v1" schema) -------------
 
 // One suite matrix with its comparison result, ready for serialization.

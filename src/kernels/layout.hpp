@@ -36,6 +36,7 @@ CrsImage build_crs_image(const Csr& csr, Addr base, std::vector<u8>& bytes);
 CrsImage stage_crs(vsim::Machine& machine, const Csr& csr, Addr base = kImageBase);
 
 // Reads the transposed matrix (ANT/JAT/IAT) back as COO.
+Coo read_back_crs_transpose(const vsim::Memory& memory, const CrsImage& image);
 Coo read_back_crs_transpose(const vsim::Machine& machine, const CrsImage& image);
 
 // Writes a HiSM image into machine memory (image built at `base`).

@@ -16,6 +16,7 @@ enum class Form {
   kRRR,         // add rd, rs1, rs2
   kRRI,         // addi rd, rs, imm
   kRI,          // li rd, imm
+  kRRMem,       // amo_add rd, rs2, off(rs1)
   kRMem,        // lw rd, off(rs)
   kBranch,      // beq rs1, rs2, label
   kLabel,       // jal label
@@ -76,6 +77,8 @@ const std::map<std::string, Mnemonic>& mnemonics() {
       {"jr", {Op::kJr, Form::kR}},
       {"halt", {Op::kHalt, Form::kNone}},
       {"nop", {Op::kNop, Form::kNone}},
+      {"barrier", {Op::kBarrier, Form::kNone}},
+      {"amo_add", {Op::kAmoAdd, Form::kRRMem}},
       {"ssvl", {Op::kSsvl, Form::kR}},
       {"setvl", {Op::kSetvl, Form::kRR}},
       {"v_ld", {Op::kVLd, Form::kVMem}},
@@ -366,6 +369,15 @@ Program assemble(std::string_view source) {
         need(2);
         inst.a = parser.scalar_reg(operands[0]);
         const auto [offset, base] = parser.mem_operand(operands[1]);
+        inst.b = base;
+        inst.imm = offset;
+        break;
+      }
+      case Form::kRRMem: {
+        need(3);
+        inst.a = parser.scalar_reg(operands[0]);
+        inst.c = parser.scalar_reg(operands[1]);
+        const auto [offset, base] = parser.mem_operand(operands[2]);
         inst.b = base;
         inst.imm = offset;
         break;

@@ -116,11 +116,19 @@ enum class Op : u8 {
   // drives y[col] += value * x[row].
   kVGthR,  // v_gthr vd, off(rs), vpos : vd[i] = mem32[rs + off + 4*row(pos_i)]
   kVScaC,  // v_scac vs, off(rs), vpos : memf32[rs + off + 4*col(pos_i)] += vs[i]
+  // Multi-core synchronization (docs/MULTICORE.md). On a MultiCoreSystem a
+  // core reaching `barrier` waits until every other live core reaches one;
+  // on a standalone Machine it completes immediately.
+  kBarrier,  // barrier
+  // Atomic fetch-and-add on a 32-bit word, the histogram primitive of the
+  // parallel CRS transpose baseline. Atomicity is free in simulation: the
+  // system interleaves whole instructions deterministically.
+  kAmoAdd,   // amo_add rd, rs2, off(rs1) : rd = mem32[rs1+off]; mem32 += rs2
 };
 
 // Number of opcodes; keep in sync with the last enumerator above. Used by
 // tooling that iterates the ISA (docs coverage test, trace exporters).
-inline constexpr usize kOpCount = static_cast<usize>(Op::kVScaC) + 1;
+inline constexpr usize kOpCount = static_cast<usize>(Op::kAmoAdd) + 1;
 
 const char* op_name(Op op);
 

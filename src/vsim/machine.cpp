@@ -19,15 +19,37 @@ StmConfig stm_config_for(const MachineConfig& config) {
   return stm;
 }
 
+void check_config(const MachineConfig& config) {
+  SMTU_CHECK_MSG(config.section >= 2 && config.section <= 256,
+                 "section size must be in [2, 256]");
+  SMTU_CHECK(config.lanes >= 1);
+  SMTU_CHECK(config.scalar_issue_width >= 1);
+  SMTU_CHECK(config.mem_bytes_per_cycle >= 1);
+}
+
 }  // namespace
 
-Machine::Machine(const MachineConfig& config)
-    : config_(config), memory_(config.memory_limit), stm_(stm_config_for(config)) {
-  SMTU_CHECK_MSG(config_.section >= 2 && config_.section <= 256,
-                 "section size must be in [2, 256]");
-  SMTU_CHECK(config_.lanes >= 1);
-  SMTU_CHECK(config_.scalar_issue_width >= 1);
-  SMTU_CHECK(config_.mem_bytes_per_cycle >= 1);
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  check_config(config_);
+  owned_memory_ = std::make_unique<Memory>(config_.memory_limit);
+  owned_stm_ = std::make_unique<StmUnit>(stm_config_for(config_));
+  memory_ = owned_memory_.get();
+  stm_ = owned_stm_.get();
+  vregs_.assign(kNumVectorRegs, std::vector<u32>(config_.section, 0));
+  vreg_time_.assign(kNumVectorRegs, {});
+}
+
+Machine::Machine(const MachineConfig& config, const CoreContext& context)
+    : config_(config) {
+  check_config(config_);
+  SMTU_CHECK_MSG(context.memory != nullptr, "CoreContext requires a memory");
+  memory_ = context.memory;
+  memory_system_ = context.memory_system;
+  owned_stm_ = std::make_unique<StmUnit>(stm_config_for(config_));
+  stm_ = owned_stm_.get();
+  profiler_ = context.profiler;
+  trace_sink_ = context.trace;
+  core_id_ = context.core_id;
   vregs_.assign(kNumVectorRegs, std::vector<u32>(config_.section, 0));
   vreg_time_.assign(kNumVectorRegs, {});
 }
@@ -90,20 +112,20 @@ u32 Machine::execute_vector(const Instruction& inst) {
   switch (inst.op) {
     case Op::kVLd: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = memory_.read_u32(base + 4 * i);
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = memory_->read_u32(base + 4 * i);
       stats_.mem_contiguous_bytes += 4ull * vl;
       return ceil_rate(4ull * vl, config_.mem_bytes_per_cycle);
     }
     case Op::kVSt: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
-      for (u32 i = 0; i < vl; ++i) memory_.write_u32(base + 4 * i, V[inst.a][i]);
+      for (u32 i = 0; i < vl; ++i) memory_->write_u32(base + 4 * i, V[inst.a][i]);
       stats_.mem_contiguous_bytes += 4ull * vl;
       return ceil_rate(4ull * vl, config_.mem_bytes_per_cycle);
     }
     case Op::kVLdx: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
-        V[inst.a][i] = memory_.read_u32(base + 4ull * V[inst.c][i]);
+        V[inst.a][i] = memory_->read_u32(base + 4ull * V[inst.c][i]);
       }
       stats_.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
@@ -111,7 +133,7 @@ u32 Machine::execute_vector(const Instruction& inst) {
     case Op::kVStx: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
-        memory_.write_u32(base + 4ull * V[inst.c][i], V[inst.a][i]);
+        memory_->write_u32(base + 4ull * V[inst.c][i], V[inst.a][i]);
       }
       stats_.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
@@ -120,14 +142,14 @@ u32 Machine::execute_vector(const Instruction& inst) {
       // Strided accesses hit one bank per element, like indexed ones.
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       const u64 stride = sreg(inst.c);
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = memory_.read_u32(base + i * stride);
+      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = memory_->read_u32(base + i * stride);
       stats_.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
     }
     case Op::kVSts: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       const u64 stride = sreg(inst.c);
-      for (u32 i = 0; i < vl; ++i) memory_.write_u32(base + i * stride, V[inst.a][i]);
+      for (u32 i = 0; i < vl; ++i) memory_->write_u32(base + i * stride, V[inst.a][i]);
       stats_.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
     }
@@ -225,7 +247,7 @@ u32 Machine::execute_vector(const Instruction& inst) {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
         const u32 col = (V[inst.c][i] >> 8) & 0xff;
-        V[inst.a][i] = memory_.read_u32(base + 4ull * col);
+        V[inst.a][i] = memory_->read_u32(base + 4ull * col);
       }
       // Positional access touches an s-element window only, which the HiSM
       // hardware banks like the s x s memory: full lane-parallel rate.
@@ -237,8 +259,8 @@ u32 Machine::execute_vector(const Instruction& inst) {
       for (u32 i = 0; i < vl; ++i) {
         const u32 row = V[inst.c][i] & 0xff;
         const Addr addr = base + 4ull * row;
-        memory_.write_f32(addr, memory_.read_f32(addr) +
-                                    std::bit_cast<float>(V[inst.a][i]));
+        memory_->write_f32(addr, memory_->read_f32(addr) +
+                                     std::bit_cast<float>(V[inst.a][i]));
       }
       stats_.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.lanes);  // banked s-element window
@@ -247,7 +269,7 @@ u32 Machine::execute_vector(const Instruction& inst) {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
         const u32 row = V[inst.c][i] & 0xff;
-        V[inst.a][i] = memory_.read_u32(base + 4ull * row);
+        V[inst.a][i] = memory_->read_u32(base + 4ull * row);
       }
       stats_.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.lanes);
@@ -257,8 +279,8 @@ u32 Machine::execute_vector(const Instruction& inst) {
       for (u32 i = 0; i < vl; ++i) {
         const u32 col = (V[inst.c][i] >> 8) & 0xff;
         const Addr addr = base + 4ull * col;
-        memory_.write_f32(addr, memory_.read_f32(addr) +
-                                    std::bit_cast<float>(V[inst.a][i]));
+        memory_->write_f32(addr, memory_->read_f32(addr) +
+                                     std::bit_cast<float>(V[inst.a][i]));
       }
       stats_.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.lanes);
@@ -276,16 +298,16 @@ u32 Machine::execute_vector(const Instruction& inst) {
       }
       return ceil_rate(vl, config_.lanes);
     case Op::kIcm:
-      stm_.clear();
+      stm_->clear();
       return 1;
     case Op::kVLdb: {
       Addr pos_addr = sreg(inst.c);
       Addr val_addr = sreg(inst.d);
       for (u32 i = 0; i < vl; ++i) {
-        const u8 row = memory_.read_u8(pos_addr + 2ull * i);
-        const u8 col = memory_.read_u8(pos_addr + 2ull * i + 1);
+        const u8 row = memory_->read_u8(pos_addr + 2ull * i);
+        const u8 col = memory_->read_u8(pos_addr + 2ull * i + 1);
         V[inst.b][i] = static_cast<u32>(row) | static_cast<u32>(col) << 8;
-        V[inst.a][i] = memory_.read_u32(val_addr + 4ull * i);
+        V[inst.a][i] = memory_->read_u32(val_addr + 4ull * i);
       }
       set_sreg(inst.c, pos_addr + 2ull * vl);
       set_sreg(inst.d, val_addr + 4ull * vl);
@@ -300,10 +322,10 @@ u32 Machine::execute_vector(const Instruction& inst) {
                                  static_cast<u8>((pos >> 8) & 0xff), V[inst.a][i]};
       }
       stats_.stm_elements += vl;
-      return stm_.write_batch(stm_batch_scratch_);
+      return stm_->write_batch(stm_batch_scratch_);
     }
     case Op::kVLdcc: {
-      const StmUnit::ReadBatch batch = stm_.read_batch(vl);
+      const StmUnit::ReadBatch batch = stm_->read_batch(vl);
       for (u32 i = 0; i < vl; ++i) {
         V[inst.a][i] = batch.entries[i].value_bits;
         V[inst.b][i] = static_cast<u32>(batch.entries[i].row) |
@@ -317,9 +339,9 @@ u32 Machine::execute_vector(const Instruction& inst) {
       Addr val_addr = sreg(inst.d);
       for (u32 i = 0; i < vl; ++i) {
         const u32 pos = V[inst.b][i];
-        memory_.write_u8(pos_addr + 2ull * i, static_cast<u8>(pos & 0xff));
-        memory_.write_u8(pos_addr + 2ull * i + 1, static_cast<u8>((pos >> 8) & 0xff));
-        memory_.write_u32(val_addr + 4ull * i, V[inst.a][i]);
+        memory_->write_u8(pos_addr + 2ull * i, static_cast<u8>(pos & 0xff));
+        memory_->write_u8(pos_addr + 2ull * i + 1, static_cast<u8>((pos >> 8) & 0xff));
+        memory_->write_u32(val_addr + 4ull * i, V[inst.a][i]);
       }
       set_sreg(inst.c, pos_addr + 2ull * vl);
       set_sreg(inst.d, val_addr + 4ull * vl);
@@ -328,7 +350,7 @@ u32 Machine::execute_vector(const Instruction& inst) {
     }
     case Op::kVStbv: {
       Addr val_addr = sreg(inst.b);
-      for (u32 i = 0; i < vl; ++i) memory_.write_u32(val_addr + 4ull * i, V[inst.a][i]);
+      for (u32 i = 0; i < vl; ++i) memory_->write_u32(val_addr + 4ull * i, V[inst.a][i]);
       set_sreg(inst.b, val_addr + 4ull * vl);
       stats_.mem_contiguous_bytes += 4ull * vl;
       return ceil_rate(4ull * vl, config_.mem_bytes_per_cycle);
@@ -339,23 +361,52 @@ u32 Machine::execute_vector(const Instruction& inst) {
   return 0;
 }
 
-RunStats Machine::run(const Program& program, usize entry_pc) {
+void Machine::vmem_footprint(const Instruction& inst, Addr* addr, u64* bytes) const {
+  // The bank model arbitrates one request per vector memory instruction:
+  // the instruction's total traffic laid out from its primary base. Multi-
+  // stream instructions (v_ldb/v_stb move a position and a value stream)
+  // fold into one request so an instruction can never contend with itself.
+  const u64 vl = vl_;
+  switch (inst.op) {
+    case Op::kVLdb:
+    case Op::kVStb:
+      *addr = sreg(inst.c);
+      *bytes = 6ull * vl;
+      return;
+    case Op::kVStbv:
+      *addr = sreg(inst.b);
+      *bytes = 4ull * vl;
+      return;
+    case Op::kVScaR:
+    case Op::kVScaC:
+      // Read-modify-write: both directions count.
+      *addr = sreg(inst.b) + static_cast<u64>(inst.imm);
+      *bytes = 8ull * vl;
+      return;
+    default:
+      *addr = sreg(inst.b) + static_cast<u64>(inst.imm);
+      *bytes = 4ull * vl;
+      return;
+  }
+}
+
+void Machine::begin_run(const Program& program, usize entry_pc) {
   SMTU_CHECK_MSG(entry_pc < program.size(), "entry pc out of range");
 
   // Programs from assemble() arrive predecoded; hand-built ones (tests,
   // generators) get a local decode so the hot loop has a single path.
-  std::vector<DecodedInst> local_decode;
-  const DecodedInst* decoded = program.decoded.data();
+  program_ = &program;
+  decoded_ = program.decoded.data();
   if (program.decoded.size() != program.instructions.size()) {
-    local_decode = decode_instructions(program.instructions);
-    decoded = local_decode.data();
+    local_decode_ = decode_instructions(program.instructions);
+    decoded_ = local_decode_.data();
   }
   // Startup latencies by StartupKind, resolved from the config once per run
   // (indexed by the predecoded kind instead of re-deriving per dynamic
   // instruction).
-  const u32 startup_by_kind[kStartupKindCount] = {
-      config_.mem_startup, config_.valu_startup, config_.stm.fill_pipeline_cycles,
-      config_.stm.drain_pipeline_cycles, 0};
+  startup_by_kind_ = {config_.mem_startup, config_.valu_startup,
+                      config_.stm.fill_pipeline_cycles,
+                      config_.stm.drain_pipeline_cycles, 0};
 
   // Reset timing and statistics; architectural state persists.
   sreg_ready_.fill(0);
@@ -376,392 +427,478 @@ RunStats Machine::run(const Program& program, usize entry_pc) {
   stm_drain_free_ = 0;
   vmem_last_indexed_ = false;
   stats_ = {};
-  const StmUnit::Stats stm_before = stm_.stats();
+  stm_before_ = stm_->stats();
+  pc_ = entry_pc;
+  status_ = StepStatus::kRunning;
   if (profiler_ != nullptr) profiler_->begin_run(program);
+}
 
-  usize pc = entry_pc;
-  bool halted = false;
-  while (!halted) {
-    SMTU_CHECK_MSG(pc < program.size(), "pc ran off the end of the program (missing halt?)");
-    SMTU_CHECK_MSG(stats_.instructions < config_.max_instructions,
-                   "instruction budget exceeded (runaway program?)");
-    const Instruction& inst = program.instructions[pc];
-    const DecodedInst& dec = decoded[pc];
-    ++stats_.instructions;
-    // Watermark increments bracket each instruction; they telescope to the
-    // final cycle count, which is what makes the profiler's attribution
-    // conservation-exact (see profiler.hpp).
-    const Cycle profile_w_before = watermark_;
+StepStatus Machine::step() {
+  SMTU_CHECK_MSG(status_ == StepStatus::kRunning,
+                 "step() on a core that is halted or waiting at a barrier");
+  const Program& program = *program_;
+  SMTU_CHECK_MSG(pc_ < program.size(), "pc ran off the end of the program (missing halt?)");
+  SMTU_CHECK_MSG(stats_.instructions < config_.max_instructions,
+                 "instruction budget exceeded (runaway program?)");
+  const Instruction& inst = program.instructions[pc_];
+  const DecodedInst& dec = decoded_[pc_];
+  ++stats_.instructions;
+  // Watermark increments bracket each instruction; they telescope to the
+  // final cycle count, which is what makes the profiler's attribution
+  // conservation-exact (see profiler.hpp).
+  const Cycle profile_w_before = watermark_;
 
-    if (trace_remaining_ > 0) {
-      --trace_remaining_;
-      std::fprintf(stderr, "[trace] pc=%zu %s\n", pc, to_string(inst).c_str());
-    }
+  if (trace_remaining_ > 0) {
+    --trace_remaining_;
+    std::fprintf(stderr, "[trace] pc=%zu %s\n", pc_, to_string(inst).c_str());
+  }
 
-    if (dec.is_vector) {
-      ++stats_.vector_instructions;
-      stats_.vector_elements += vl_;
+  if (dec.is_vector) {
+    ++stats_.vector_instructions;
+    stats_.vector_elements += vl_;
 
-      // Scalar sources a vector instruction needs at issue (predecoded).
-      // Alongside the ready time, track which constraint set it (the
-      // profiler's stall reason); strictly-later constraints win, so ties
-      // keep the first-listed reason.
-      Cycle ready = pc_redirect_;
-      StallReason stall_why = StallReason::kScalarFetch;
-      if (vl_ready_ > ready) {
-        ready = vl_ready_;
-        stall_why = StallReason::kRawHazard;
-      }
-      for (u32 i = 0; i < dec.num_sregs; ++i) {
-        if (sreg_ready_[dec.sregs[i]] > ready) {
-          ready = sreg_ready_[dec.sregs[i]];
-          stall_why = StallReason::kRawHazard;
-        }
-      }
-      // Start absent hazard/resource constraints: the fetch point plus
-      // sequential issue — the profiler's baseline for constraint delay.
-      const Cycle profile_unblocked = std::max(pc_redirect_, last_issue_ + 1);
-      const Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
-      last_issue_ = t_issue;
-      if (t_issue > ready) stall_why = StallReason::kIssueLimit;
-
-      // Vector sources and destinations (predecoded by opcode).
-      const u8* srcs = dec.srcs;
-      const u32 num_srcs = dec.num_srcs;
-      const u8* dsts = dec.dsts;
-      const u32 num_dsts = dec.num_dsts;
-
-      const Unit unit = static_cast<Unit>(dec.unit);
-      const u32 startup = startup_by_kind[static_cast<usize>(dec.startup)];
-
-      // Start time: issue, unit availability, producers' first element (or
-      // completion without chaining), and hazards on the destinations.
-      const bool stm_double = config_.stm.double_buffer;
-      // Which bank an STM instruction touches (known before execution: the
-      // fill side for icm/v_stcr, the peeked drain bank for v_ldcc).
-      u32 stm_op_bank = 0;
-      Cycle resource_ready = unit_free_[unit];
-      if (unit == kUnitStm) {
-        if (inst.op == Op::kVLdcc) {
-          stm_op_bank = stm_.peek_drain_bank();
-          // A bank drains only after its fill completed; a separate drain
-          // datapath exists only with the second buffer.
-          resource_ready = stm_double ? std::max(stm_drain_free_, stm_fill_done_[stm_op_bank])
-                                      : std::max(unit_free_[kUnitStm],
-                                                 stm_fill_done_[stm_op_bank]);
-        } else if (inst.op == Op::kIcm && stm_double) {
-          // Switching banks: the incoming bank's drain must have finished.
-          stm_op_bank = stm_.fill_bank() ^ 1;
-          resource_ready = std::max(unit_free_[kUnitStm], stm_drain_done_[stm_op_bank]);
-        } else {
-          stm_op_bank = stm_double ? stm_.fill_bank() : 0u;
-        }
-      }
-      Cycle t_start = t_issue;
-      auto bind = [&](Cycle term, StallReason reason) {
-        if (term > t_start) {
-          t_start = term;
-          stall_why = reason;
-        }
-      };
-      bind(resource_ready,
-           unit == kUnitVMem
-               ? (vmem_last_indexed_ ? StallReason::kMemIndexedSerial : StallReason::kMemPort)
-               : (unit == kUnitStm ? StallReason::kStmBusy : StallReason::kValuBusy));
-      Cycle src_last = 0;
-      for (u32 i = 0; i < num_srcs; ++i) {
-        const VregTiming& src = vreg_time_[srcs[i]];
-        bind(config_.chaining ? src.first : src.last,
-             config_.chaining ? StallReason::kChainingWait : StallReason::kRawHazard);
-        src_last = std::max(src_last, src.last);
-      }
-      for (u32 i = 0; i < num_dsts; ++i) {
-        const VregTiming& dst = vreg_time_[dsts[i]];
-        bind(std::max(dst.readers_done, dst.last), StallReason::kVregBusy);
-      }
-
-      const u32 duration = execute_vector(inst);
-
-      const Cycle first_out = t_start + startup + 1;
-      const Cycle last_out =
-          std::max(t_start + startup + duration, src_last == 0 ? 0 : src_last + startup);
-      // Pipelined units are occupied for their transfer slots only; the
-      // startup is latency that later, independent instructions overlap.
-      // The STM is the exception: the s x s memory is a single buffer, so
-      // the unit stays busy until its results drain.
-      const bool pipelined =
-          (unit == kUnitVMem && config_.mem_pipelined_startup) || unit == kUnitVAlu;
-      const Cycle busy_until =
-          pipelined ? std::max(t_start + duration, src_last) : last_out;
-      if (unit == kUnitStm) {
-        if (stm_double && inst.op == Op::kVLdcc) {
-          stm_drain_free_ = std::max(stm_drain_free_, busy_until);
-          stm_drain_done_[stm_op_bank] = std::max(stm_drain_done_[stm_op_bank], last_out);
-        } else {
-          unit_free_[kUnitStm] = std::max(unit_free_[kUnitStm], busy_until);
-          if (inst.op == Op::kVLdcc) {
-            stm_drain_done_[stm_op_bank] = std::max(stm_drain_done_[stm_op_bank], last_out);
-          } else {
-            stm_fill_done_[stm_op_bank] = std::max(stm_fill_done_[stm_op_bank], last_out);
-          }
-        }
-      } else {
-        unit_free_[unit] = std::max(unit_free_[unit], busy_until);
-        if (unit == kUnitVMem) vmem_last_indexed_ = dec.indexed_vmem;
-      }
-      const u64 busy = busy_until - t_start;
-      if (unit == kUnitVMem) stats_.vmem_busy_cycles += busy;
-      else if (unit == kUnitVAlu) stats_.valu_busy_cycles += busy;
-      else stats_.stm_busy_cycles += busy;
-
-      if (trace_sink_ != nullptr) {
-        const TraceUnit trace_unit = unit == kUnitVMem   ? TraceUnit::kVMem
-                                     : unit == kUnitVAlu ? TraceUnit::kVAlu
-                                                         : TraceUnit::kStm;
-        trace_sink_->record(
-            {pc, inst.op, vl_, trace_unit, t_issue, t_start, first_out, last_out});
-      }
-      for (u32 i = 0; i < num_dsts; ++i) {
-        vreg_time_[dsts[i]] = {first_out, last_out, last_out};
-      }
-      for (u32 i = 0; i < num_srcs; ++i) {
-        vreg_time_[srcs[i]].readers_done =
-            std::max(vreg_time_[srcs[i]].readers_done, last_out);
-      }
-
-      // Scalar side effects of vector instructions.
-      switch (inst.op) {
-        case Op::kVLdb:
-        case Op::kVStb:
-          retire_scalar(inst.c, t_issue + config_.scalar_op_latency);
-          retire_scalar(inst.d, t_issue + config_.scalar_op_latency);
-          break;
-        case Op::kVStbv:
-          retire_scalar(inst.b, t_issue + config_.scalar_op_latency);
-          break;
-        case Op::kVRedSum:
-        case Op::kVFRedSum:
-        case Op::kVExtract:
-          retire_scalar(inst.a, last_out + 1);
-          break;
-        default:
-          break;
-      }
-      bump_watermark(last_out);
-      if (profiler_ != nullptr) {
-        const BusyKind kind =
-            unit == kUnitVMem
-                ? (dec.indexed_vmem ? BusyKind::kVMemIndexed : BusyKind::kVMemStream)
-                : (unit == kUnitStm ? BusyKind::kStm : BusyKind::kVAlu);
-        profiler_->record({pc, inst.op, vl_, kind, stall_why, t_start, profile_unblocked,
-                           profile_w_before, watermark_, busy});
-      }
-      ++pc;
-      continue;
-    }
-
-    // ---- Scalar instruction path. ----
-    ++stats_.scalar_instructions;
+    // Scalar sources a vector instruction needs at issue (predecoded).
+    // Alongside the ready time, track which constraint set it (the
+    // profiler's stall reason); strictly-later constraints win, so ties
+    // keep the first-listed reason.
     Cycle ready = pc_redirect_;
     StallReason stall_why = StallReason::kScalarFetch;
+    if (vl_ready_ > ready) {
+      ready = vl_ready_;
+      stall_why = StallReason::kRawHazard;
+    }
     for (u32 i = 0; i < dec.num_sregs; ++i) {
       if (sreg_ready_[dec.sregs[i]] > ready) {
         ready = sreg_ready_[dec.sregs[i]];
         stall_why = StallReason::kRawHazard;
       }
     }
-
+    // Start absent hazard/resource constraints: the fetch point plus
+    // sequential issue — the profiler's baseline for constraint delay.
     const Cycle profile_unblocked = std::max(pc_redirect_, last_issue_ + 1);
-    Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
+    const Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
+    last_issue_ = t_issue;
     if (t_issue > ready) stall_why = StallReason::kIssueLimit;
-    if (dec.scalar_mem) {
-      const Cycle slot = take_scalar_mem_slot(t_issue);
-      if (slot > t_issue) {
-        t_issue = slot;
-        stall_why = StallReason::kMemPort;
+
+    // Vector sources and destinations (predecoded by opcode).
+    const u8* srcs = dec.srcs;
+    const u32 num_srcs = dec.num_srcs;
+    const u8* dsts = dec.dsts;
+    const u32 num_dsts = dec.num_dsts;
+
+    const Unit unit = static_cast<Unit>(dec.unit);
+    const u32 startup = startup_by_kind_[static_cast<usize>(dec.startup)];
+
+    // Start time: issue, unit availability, producers' first element (or
+    // completion without chaining), and hazards on the destinations.
+    const bool stm_double = config_.stm.double_buffer;
+    // Which bank an STM instruction touches (known before execution: the
+    // fill side for icm/v_stcr, the peeked drain bank for v_ldcc).
+    u32 stm_op_bank = 0;
+    Cycle resource_ready = unit_free_[unit];
+    if (unit == kUnitStm) {
+      if (inst.op == Op::kVLdcc) {
+        stm_op_bank = stm_->peek_drain_bank();
+        // A bank drains only after its fill completed; a separate drain
+        // datapath exists only with the second buffer.
+        resource_ready = stm_double ? std::max(stm_drain_free_, stm_fill_done_[stm_op_bank])
+                                    : std::max(unit_free_[kUnitStm],
+                                               stm_fill_done_[stm_op_bank]);
+      } else if (inst.op == Op::kIcm && stm_double) {
+        // Switching banks: the incoming bank's drain must have finished.
+        stm_op_bank = stm_->fill_bank() ^ 1;
+        resource_ready = std::max(unit_free_[kUnitStm], stm_drain_done_[stm_op_bank]);
+      } else {
+        stm_op_bank = stm_double ? stm_->fill_bank() : 0u;
       }
     }
-    last_issue_ = t_issue;
-    bump_watermark(t_issue);
+    Cycle t_start = t_issue;
+    auto bind = [&](Cycle term, StallReason reason) {
+      if (term > t_start) {
+        t_start = term;
+        stall_why = reason;
+      }
+    };
+    bind(resource_ready,
+         unit == kUnitVMem
+             ? (vmem_last_indexed_ ? StallReason::kMemIndexedSerial : StallReason::kMemPort)
+             : (unit == kUnitStm ? StallReason::kStmBusy : StallReason::kValuBusy));
+    Cycle src_last = 0;
+    for (u32 i = 0; i < num_srcs; ++i) {
+      const VregTiming& src = vreg_time_[srcs[i]];
+      bind(config_.chaining ? src.first : src.last,
+           config_.chaining ? StallReason::kChainingWait : StallReason::kRawHazard);
+      src_last = std::max(src_last, src.last);
+    }
+    for (u32 i = 0; i < num_dsts; ++i) {
+      const VregTiming& dst = vreg_time_[dsts[i]];
+      bind(std::max(dst.readers_done, dst.last), StallReason::kVregBusy);
+    }
 
-    usize next_pc = pc + 1;
+    // Shared banked memory: the access may be pushed back behind another
+    // core's occupancy of the banks it touches. A lone core never pushes
+    // itself back (its per-bank occupancy is bounded by its own access
+    // duration), which keeps the N=1 system bit-identical.
+    if (memory_system_ != nullptr && unit == kUnitVMem) {
+      Addr mem_addr = 0;
+      u64 mem_bytes = 0;
+      vmem_footprint(inst, &mem_addr, &mem_bytes);
+      const Cycle granted = memory_system_->request(mem_addr, mem_bytes, t_start);
+      if (granted > t_start) {
+        t_start = granted;
+        stall_why = StallReason::kMemBankContention;
+      }
+    }
+
+    const u32 duration = execute_vector(inst);
+
+    const Cycle first_out = t_start + startup + 1;
+    const Cycle last_out =
+        std::max(t_start + startup + duration, src_last == 0 ? 0 : src_last + startup);
+    // Pipelined units are occupied for their transfer slots only; the
+    // startup is latency that later, independent instructions overlap.
+    // The STM is the exception: the s x s memory is a single buffer, so
+    // the unit stays busy until its results drain.
+    const bool pipelined =
+        (unit == kUnitVMem && config_.mem_pipelined_startup) || unit == kUnitVAlu;
+    const Cycle busy_until =
+        pipelined ? std::max(t_start + duration, src_last) : last_out;
+    if (unit == kUnitStm) {
+      if (stm_double && inst.op == Op::kVLdcc) {
+        stm_drain_free_ = std::max(stm_drain_free_, busy_until);
+        stm_drain_done_[stm_op_bank] = std::max(stm_drain_done_[stm_op_bank], last_out);
+      } else {
+        unit_free_[kUnitStm] = std::max(unit_free_[kUnitStm], busy_until);
+        if (inst.op == Op::kVLdcc) {
+          stm_drain_done_[stm_op_bank] = std::max(stm_drain_done_[stm_op_bank], last_out);
+        } else {
+          stm_fill_done_[stm_op_bank] = std::max(stm_fill_done_[stm_op_bank], last_out);
+        }
+      }
+    } else {
+      unit_free_[unit] = std::max(unit_free_[unit], busy_until);
+      if (unit == kUnitVMem) vmem_last_indexed_ = dec.indexed_vmem;
+    }
+    const u64 busy = busy_until - t_start;
+    if (unit == kUnitVMem) stats_.vmem_busy_cycles += busy;
+    else if (unit == kUnitVAlu) stats_.valu_busy_cycles += busy;
+    else stats_.stm_busy_cycles += busy;
+
+    if (trace_sink_ != nullptr) {
+      const TraceUnit trace_unit = unit == kUnitVMem   ? TraceUnit::kVMem
+                                   : unit == kUnitVAlu ? TraceUnit::kVAlu
+                                                       : TraceUnit::kStm;
+      trace_sink_->record(
+          {pc_, inst.op, vl_, trace_unit, t_issue, t_start, first_out, last_out, core_id_});
+    }
+    for (u32 i = 0; i < num_dsts; ++i) {
+      vreg_time_[dsts[i]] = {first_out, last_out, last_out};
+    }
+    for (u32 i = 0; i < num_srcs; ++i) {
+      vreg_time_[srcs[i]].readers_done =
+          std::max(vreg_time_[srcs[i]].readers_done, last_out);
+    }
+
+    // Scalar side effects of vector instructions.
     switch (inst.op) {
-      case Op::kLi:
-        set_sreg(inst.a, static_cast<u64>(inst.imm));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      case Op::kVLdb:
+      case Op::kVStb:
+        retire_scalar(inst.c, t_issue + config_.scalar_op_latency);
+        retire_scalar(inst.d, t_issue + config_.scalar_op_latency);
         break;
-      case Op::kMv:
-        set_sreg(inst.a, sreg(inst.b));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      case Op::kVStbv:
+        retire_scalar(inst.b, t_issue + config_.scalar_op_latency);
         break;
-      case Op::kAdd:
-        set_sreg(inst.a, sreg(inst.b) + sreg(inst.c));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kSub:
-        set_sreg(inst.a, sreg(inst.b) - sreg(inst.c));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kMul:
-        set_sreg(inst.a, sreg(inst.b) * sreg(inst.c));
-        retire_scalar(inst.a, t_issue + config_.mul_latency);
-        break;
-      case Op::kAnd:
-        set_sreg(inst.a, sreg(inst.b) & sreg(inst.c));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kOr:
-        set_sreg(inst.a, sreg(inst.b) | sreg(inst.c));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kXor:
-        set_sreg(inst.a, sreg(inst.b) ^ sreg(inst.c));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kSll:
-        set_sreg(inst.a, sreg(inst.b) << (sreg(inst.c) & 63));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kSrl:
-        set_sreg(inst.a, sreg(inst.b) >> (sreg(inst.c) & 63));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kMin:
-        set_sreg(inst.a, std::min(sreg(inst.b), sreg(inst.c)));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kMax:
-        set_sreg(inst.a, std::max(sreg(inst.b), sreg(inst.c)));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kFAdd:
-        set_sreg(inst.a, std::bit_cast<u32>(
-                             std::bit_cast<float>(static_cast<u32>(sreg(inst.b))) +
-                             std::bit_cast<float>(static_cast<u32>(sreg(inst.c)))));
-        retire_scalar(inst.a, t_issue + config_.mul_latency);
-        break;
-      case Op::kFMul:
-        set_sreg(inst.a, std::bit_cast<u32>(
-                             std::bit_cast<float>(static_cast<u32>(sreg(inst.b))) *
-                             std::bit_cast<float>(static_cast<u32>(sreg(inst.c)))));
-        retire_scalar(inst.a, t_issue + config_.mul_latency);
-        break;
-      case Op::kAddi:
-        set_sreg(inst.a, sreg(inst.b) + static_cast<u64>(inst.imm));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kMuli:
-        set_sreg(inst.a, sreg(inst.b) * static_cast<u64>(inst.imm));
-        retire_scalar(inst.a, t_issue + config_.mul_latency);
-        break;
-      case Op::kAndi:
-        set_sreg(inst.a, sreg(inst.b) & static_cast<u64>(inst.imm));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kSlli:
-        set_sreg(inst.a, sreg(inst.b) << (inst.imm & 63));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kSrli:
-        set_sreg(inst.a, sreg(inst.b) >> (inst.imm & 63));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        break;
-      case Op::kLw:
-        set_sreg(inst.a, memory_.read_u32(sreg(inst.b) + static_cast<u64>(inst.imm)));
-        retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
-        break;
-      case Op::kLhu:
-        set_sreg(inst.a, memory_.read_u16(sreg(inst.b) + static_cast<u64>(inst.imm)));
-        retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
-        break;
-      case Op::kLbu:
-        set_sreg(inst.a, memory_.read_u8(sreg(inst.b) + static_cast<u64>(inst.imm)));
-        retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
-        break;
-      case Op::kSw:
-        memory_.write_u32(sreg(inst.b) + static_cast<u64>(inst.imm),
-                          static_cast<u32>(sreg(inst.a)));
-        break;
-      case Op::kSh:
-        memory_.write_u16(sreg(inst.b) + static_cast<u64>(inst.imm),
-                          static_cast<u16>(sreg(inst.a)));
-        break;
-      case Op::kSb:
-        memory_.write_u8(sreg(inst.b) + static_cast<u64>(inst.imm),
-                         static_cast<u8>(sreg(inst.a)));
-        break;
-      case Op::kBeq:
-      case Op::kBne:
-      case Op::kBlt:
-      case Op::kBge: {
-        const i64 lhs = static_cast<i64>(sreg(inst.a));
-        const i64 rhs = static_cast<i64>(sreg(inst.b));
-        bool taken = false;
-        switch (inst.op) {
-          case Op::kBeq: taken = lhs == rhs; break;
-          case Op::kBne: taken = lhs != rhs; break;
-          case Op::kBlt: taken = lhs < rhs; break;
-          case Op::kBge: taken = lhs >= rhs; break;
-          default: break;
-        }
-        if (taken) {
-          next_pc = static_cast<usize>(inst.imm);
-          pc_redirect_ = t_issue + 1 + config_.branch_penalty;
-        }
-        break;
-      }
-      case Op::kJal:
-        set_sreg(inst.a, static_cast<u64>(pc + 1));
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        next_pc = static_cast<usize>(inst.imm);
-        pc_redirect_ = t_issue + 1 + config_.branch_penalty;
-        break;
-      case Op::kJr:
-        next_pc = static_cast<usize>(sreg(inst.a));
-        pc_redirect_ = t_issue + 1 + config_.branch_penalty;
-        break;
-      case Op::kSsvl: {
-        const u64 remaining = sreg(inst.a);
-        vl_ = static_cast<u32>(std::min<u64>(config_.section, remaining));
-        set_sreg(inst.a, remaining - vl_);
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        vl_ready_ = std::max(vl_ready_, t_issue + config_.scalar_op_latency);
-        break;
-      }
-      case Op::kSetvl: {
-        vl_ = static_cast<u32>(std::min<u64>(config_.section, sreg(inst.b)));
-        set_sreg(inst.a, vl_);
-        retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-        vl_ready_ = std::max(vl_ready_, t_issue + config_.scalar_op_latency);
-        break;
-      }
-      case Op::kHalt:
-        halted = true;
-        break;
-      case Op::kNop:
+      case Op::kVRedSum:
+      case Op::kVFRedSum:
+      case Op::kVExtract:
+        retire_scalar(inst.a, last_out + 1);
         break;
       default:
-        SMTU_CHECK_MSG(false, "unhandled scalar op in execute");
+        break;
     }
-    if (trace_sink_ != nullptr) {
-      const Cycle done = inst.a != kRegZero ? sreg_ready_[inst.a] : t_issue;
-      trace_sink_->record({pc, inst.op, 0, TraceUnit::kScalar, t_issue, t_issue,
-                           std::max(t_issue, done), std::max(t_issue, done)});
-    }
+    bump_watermark(last_out);
     if (profiler_ != nullptr) {
-      profiler_->record({pc, inst.op, 0, BusyKind::kScalar, stall_why, t_issue,
-                         profile_unblocked, profile_w_before, watermark_, 1});
+      const BusyKind kind =
+          unit == kUnitVMem
+              ? (dec.indexed_vmem ? BusyKind::kVMemIndexed : BusyKind::kVMemStream)
+              : (unit == kUnitStm ? BusyKind::kStm : BusyKind::kVAlu);
+      profiler_->record({pc_, inst.op, vl_, kind, stall_why, t_start, profile_unblocked,
+                         profile_w_before, watermark_, busy});
     }
-    pc = next_pc;
+    ++pc_;
+    return status_;
   }
 
+  // ---- Scalar instruction path. ----
+  ++stats_.scalar_instructions;
+  Cycle ready = pc_redirect_;
+  StallReason stall_why = StallReason::kScalarFetch;
+  for (u32 i = 0; i < dec.num_sregs; ++i) {
+    if (sreg_ready_[dec.sregs[i]] > ready) {
+      ready = sreg_ready_[dec.sregs[i]];
+      stall_why = StallReason::kRawHazard;
+    }
+  }
+
+  const Cycle profile_unblocked = std::max(pc_redirect_, last_issue_ + 1);
+  Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
+  if (t_issue > ready) stall_why = StallReason::kIssueLimit;
+  if (dec.scalar_mem) {
+    const Cycle slot = take_scalar_mem_slot(t_issue);
+    if (slot > t_issue) {
+      t_issue = slot;
+      stall_why = StallReason::kMemPort;
+    }
+  }
+  last_issue_ = t_issue;
+  bump_watermark(t_issue);
+
+  usize next_pc = pc_ + 1;
+  switch (inst.op) {
+    case Op::kLi:
+      set_sreg(inst.a, static_cast<u64>(inst.imm));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kMv:
+      set_sreg(inst.a, sreg(inst.b));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kAdd:
+      set_sreg(inst.a, sreg(inst.b) + sreg(inst.c));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kSub:
+      set_sreg(inst.a, sreg(inst.b) - sreg(inst.c));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kMul:
+      set_sreg(inst.a, sreg(inst.b) * sreg(inst.c));
+      retire_scalar(inst.a, t_issue + config_.mul_latency);
+      break;
+    case Op::kAnd:
+      set_sreg(inst.a, sreg(inst.b) & sreg(inst.c));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kOr:
+      set_sreg(inst.a, sreg(inst.b) | sreg(inst.c));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kXor:
+      set_sreg(inst.a, sreg(inst.b) ^ sreg(inst.c));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kSll:
+      set_sreg(inst.a, sreg(inst.b) << (sreg(inst.c) & 63));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kSrl:
+      set_sreg(inst.a, sreg(inst.b) >> (sreg(inst.c) & 63));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kMin:
+      set_sreg(inst.a, std::min(sreg(inst.b), sreg(inst.c)));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kMax:
+      set_sreg(inst.a, std::max(sreg(inst.b), sreg(inst.c)));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kFAdd:
+      set_sreg(inst.a, std::bit_cast<u32>(
+                           std::bit_cast<float>(static_cast<u32>(sreg(inst.b))) +
+                           std::bit_cast<float>(static_cast<u32>(sreg(inst.c)))));
+      retire_scalar(inst.a, t_issue + config_.mul_latency);
+      break;
+    case Op::kFMul:
+      set_sreg(inst.a, std::bit_cast<u32>(
+                           std::bit_cast<float>(static_cast<u32>(sreg(inst.b))) *
+                           std::bit_cast<float>(static_cast<u32>(sreg(inst.c)))));
+      retire_scalar(inst.a, t_issue + config_.mul_latency);
+      break;
+    case Op::kAddi:
+      set_sreg(inst.a, sreg(inst.b) + static_cast<u64>(inst.imm));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kMuli:
+      set_sreg(inst.a, sreg(inst.b) * static_cast<u64>(inst.imm));
+      retire_scalar(inst.a, t_issue + config_.mul_latency);
+      break;
+    case Op::kAndi:
+      set_sreg(inst.a, sreg(inst.b) & static_cast<u64>(inst.imm));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kSlli:
+      set_sreg(inst.a, sreg(inst.b) << (inst.imm & 63));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kSrli:
+      set_sreg(inst.a, sreg(inst.b) >> (inst.imm & 63));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      break;
+    case Op::kLw:
+      set_sreg(inst.a, memory_->read_u32(sreg(inst.b) + static_cast<u64>(inst.imm)));
+      retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+      break;
+    case Op::kLhu:
+      set_sreg(inst.a, memory_->read_u16(sreg(inst.b) + static_cast<u64>(inst.imm)));
+      retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+      break;
+    case Op::kLbu:
+      set_sreg(inst.a, memory_->read_u8(sreg(inst.b) + static_cast<u64>(inst.imm)));
+      retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+      break;
+    case Op::kSw:
+      memory_->write_u32(sreg(inst.b) + static_cast<u64>(inst.imm),
+                         static_cast<u32>(sreg(inst.a)));
+      break;
+    case Op::kSh:
+      memory_->write_u16(sreg(inst.b) + static_cast<u64>(inst.imm),
+                         static_cast<u16>(sreg(inst.a)));
+      break;
+    case Op::kSb:
+      memory_->write_u8(sreg(inst.b) + static_cast<u64>(inst.imm),
+                        static_cast<u8>(sreg(inst.a)));
+      break;
+    case Op::kAmoAdd: {
+      // Atomic fetch-and-add: atomicity comes for free because the system
+      // interleaves whole instructions; the memory round trip costs a
+      // scalar load latency.
+      const Addr addr = sreg(inst.b) + static_cast<u64>(inst.imm);
+      const u32 old = memory_->read_u32(addr);
+      memory_->write_u32(addr, old + static_cast<u32>(sreg(inst.c)));
+      set_sreg(inst.a, old);
+      retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+      break;
+    }
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge: {
+      const i64 lhs = static_cast<i64>(sreg(inst.a));
+      const i64 rhs = static_cast<i64>(sreg(inst.b));
+      bool taken = false;
+      switch (inst.op) {
+        case Op::kBeq: taken = lhs == rhs; break;
+        case Op::kBne: taken = lhs != rhs; break;
+        case Op::kBlt: taken = lhs < rhs; break;
+        case Op::kBge: taken = lhs >= rhs; break;
+        default: break;
+      }
+      if (taken) {
+        next_pc = static_cast<usize>(inst.imm);
+        pc_redirect_ = t_issue + 1 + config_.branch_penalty;
+      }
+      break;
+    }
+    case Op::kJal:
+      set_sreg(inst.a, static_cast<u64>(pc_ + 1));
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      next_pc = static_cast<usize>(inst.imm);
+      pc_redirect_ = t_issue + 1 + config_.branch_penalty;
+      break;
+    case Op::kJr:
+      next_pc = static_cast<usize>(sreg(inst.a));
+      pc_redirect_ = t_issue + 1 + config_.branch_penalty;
+      break;
+    case Op::kSsvl: {
+      const u64 remaining = sreg(inst.a);
+      vl_ = static_cast<u32>(std::min<u64>(config_.section, remaining));
+      set_sreg(inst.a, remaining - vl_);
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      vl_ready_ = std::max(vl_ready_, t_issue + config_.scalar_op_latency);
+      break;
+    }
+    case Op::kSetvl: {
+      vl_ = static_cast<u32>(std::min<u64>(config_.section, sreg(inst.b)));
+      set_sreg(inst.a, vl_);
+      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      vl_ready_ = std::max(vl_ready_, t_issue + config_.scalar_op_latency);
+      break;
+    }
+    case Op::kBarrier:
+      // Rendezvous: this core is done when everything it issued completes
+      // (the watermark). The trace/profiler sample is deferred to
+      // release_barrier(), where the wait's true extent is known.
+      status_ = StepStatus::kAtBarrier;
+      barrier_arrival_ = watermark_;
+      barrier_issue_ = t_issue;
+      barrier_unblocked_ = profile_unblocked;
+      barrier_w_before_ = profile_w_before;
+      barrier_pc_ = pc_;
+      barrier_why_ = stall_why;
+      break;
+    case Op::kHalt:
+      status_ = StepStatus::kHalted;
+      break;
+    case Op::kNop:
+      break;
+    default:
+      SMTU_CHECK_MSG(false, "unhandled scalar op in execute");
+  }
+  if (status_ == StepStatus::kAtBarrier) {
+    pc_ = next_pc;
+    return status_;
+  }
+  if (trace_sink_ != nullptr) {
+    const Cycle done = inst.a != kRegZero ? sreg_ready_[inst.a] : t_issue;
+    trace_sink_->record({pc_, inst.op, 0, TraceUnit::kScalar, t_issue, t_issue,
+                         std::max(t_issue, done), std::max(t_issue, done), core_id_});
+  }
+  if (profiler_ != nullptr) {
+    profiler_->record({pc_, inst.op, 0, BusyKind::kScalar, stall_why, t_issue,
+                       profile_unblocked, profile_w_before, watermark_, 1});
+  }
+  pc_ = next_pc;
+  return status_;
+}
+
+void Machine::release_barrier(Cycle release) {
+  SMTU_CHECK_MSG(status_ == StepStatus::kAtBarrier,
+                 "release_barrier() on a core not waiting at a barrier");
+  SMTU_CHECK(release >= barrier_arrival_);
+  // The front end resumes at the release; everything after the barrier is
+  // ordered behind it.
+  pc_redirect_ = std::max(pc_redirect_, release);
+  bump_watermark(release);
+  if (trace_sink_ != nullptr) {
+    trace_sink_->record({barrier_pc_, Op::kBarrier, 0, TraceUnit::kScalar, barrier_issue_,
+                         barrier_issue_, release, release, core_id_});
+  }
+  if (profiler_ != nullptr) {
+    // Cycles spent past the core's own arrival are the barrier's fault;
+    // anything before that keeps the reason the issue path found.
+    const StallReason why =
+        release > barrier_arrival_ ? StallReason::kBarrierWait : barrier_why_;
+    profiler_->record({barrier_pc_, Op::kBarrier, 0, BusyKind::kScalar, why, release,
+                       barrier_unblocked_, barrier_w_before_, watermark_, 1});
+  }
+  status_ = StepStatus::kRunning;
+}
+
+RunStats Machine::finish_run() {
+  SMTU_CHECK_MSG(status_ == StepStatus::kHalted, "finish_run() before halt");
   stats_.cycles = watermark_;
-  const StmUnit::Stats& stm_stats = stm_.stats();
-  stats_.stm_blocks = stm_stats.blocks - stm_before.blocks;
-  stats_.stm_write_cycles = stm_stats.write_cycles - stm_before.write_cycles;
-  stats_.stm_read_cycles = stm_stats.read_cycles - stm_before.read_cycles;
+  const StmUnit::Stats& stm_stats = stm_->stats();
+  stats_.stm_blocks = stm_stats.blocks - stm_before_.blocks;
+  stats_.stm_write_cycles = stm_stats.write_cycles - stm_before_.write_cycles;
+  stats_.stm_read_cycles = stm_stats.read_cycles - stm_before_.read_cycles;
   if (profiler_ != nullptr) profiler_->end_run(stats_.cycles);
   return stats_;
+}
+
+RunStats Machine::run(const Program& program, usize entry_pc) {
+  begin_run(program, entry_pc);
+  while (true) {
+    const StepStatus status = step();
+    if (status == StepStatus::kAtBarrier) {
+      // A lone core's barrier releases the moment it arrives.
+      release_barrier(barrier_arrival_);
+    } else if (status == StepStatus::kHalted) {
+      break;
+    }
+  }
+  return finish_run();
 }
 
 std::string run_stats_summary(const RunStats& stats) {

@@ -22,21 +22,29 @@
 // actual element stream through the cycle-accurate stm::StmUnit, so buffer
 // bandwidth B, accessible lines L, and the block's sparsity pattern all
 // shape the timing exactly as in §IV-C of the paper.
+//
+// A Machine is either *owning* (the classic single-core setup: it owns its
+// Memory and StmUnit) or a *core* inside a MultiCoreSystem, borrowing the
+// shared MemorySystem plus a per-core StmUnit through a CoreContext (see
+// system.hpp and docs/MULTICORE.md). Both run the identical timing model;
+// the only multi-core additions are bank-contention pushback on vector
+// memory accesses and the `barrier` rendezvous.
 #pragma once
 
 #include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "stm/unit.hpp"
 #include "vsim/config.hpp"
 #include "vsim/memory.hpp"
+#include "vsim/memory_system.hpp"
+#include "vsim/profiler.hpp"
 #include "vsim/program.hpp"
 #include "vsim/trace.hpp"
 
 namespace smtu::vsim {
-
-class PerfCounters;
 
 struct RunStats {
   Cycle cycles = 0;
@@ -61,14 +69,36 @@ struct RunStats {
 // utilization percentages).
 std::string run_stats_summary(const RunStats& stats);
 
+// How a core may borrow its environment instead of owning it. All pointers
+// must outlive the Machine; `memory` is required, the rest optional. Each
+// core always builds its own private STM (one s x s memory per core).
+struct CoreContext {
+  Memory* memory = nullptr;
+  MemorySystem* memory_system = nullptr;  // bank timing; null = untimed
+  PerfCounters* profiler = nullptr;
+  ExecutionTrace* trace = nullptr;
+  u32 core_id = 0;
+};
+
+// Result of executing one instruction in step mode.
+enum class StepStatus : u8 {
+  kRunning,    // instruction executed, more to come
+  kAtBarrier,  // stopped at a `barrier`; call release_barrier() to resume
+  kHalted,     // executed `halt`
+};
+
 class Machine {
  public:
+  // Owning single-core machine (the classic setup).
   explicit Machine(const MachineConfig& config);
+  // Core borrowing shared state; see CoreContext.
+  Machine(const MachineConfig& config, const CoreContext& context);
 
   const MachineConfig& config() const { return config_; }
-  Memory& memory() { return memory_; }
-  const Memory& memory() const { return memory_; }
-  StmUnit& stm_unit() { return stm_; }
+  Memory& memory() { return *memory_; }
+  const Memory& memory() const { return *memory_; }
+  StmUnit& stm_unit() { return *stm_; }
+  u32 core_id() const { return core_id_; }
 
   u64 sreg(u32 index) const;
   void set_sreg(u32 index, u64 value);
@@ -90,7 +120,29 @@ class Machine {
   // Executes from `entry_pc` until halt; aborts on runaway programs.
   // Timing state and statistics are reset per run; memory and registers
   // persist so the host can stage inputs and read back outputs.
+  // Equivalent to begin_run() + step() to completion + finish_run(), with
+  // any `barrier` released immediately (a lone core never waits).
   RunStats run(const Program& program, usize entry_pc = 0);
+
+  // ---- Step-mode interface (MultiCoreSystem scheduling) -------------------
+  // Resets timing state and statistics for a new run of `program`.
+  void begin_run(const Program& program, usize entry_pc = 0);
+  // Executes exactly one instruction of the current run.
+  StepStatus step();
+  StepStatus status() const { return status_; }
+  // Closes out the run (stats, STM deltas, profiler end_run). Only valid
+  // once step() returned kHalted.
+  RunStats finish_run();
+
+  // While kAtBarrier: the cycle this core arrived (all its issued work
+  // complete). release_barrier(t) resumes it at cycle t >= arrival.
+  Cycle barrier_arrival() const { return barrier_arrival_; }
+  void release_barrier(Cycle release);
+
+  // Earliest cycle the next instruction could issue — the system scheduler
+  // steps the core with the smallest horizon to keep simulated time
+  // coherent across cores sharing the banked memory.
+  Cycle issue_horizon() const { return std::max(pc_redirect_, last_issue_); }
 
  private:
   enum Unit : u32 { kUnitVMem = 0, kUnitVAlu = 1, kUnitStm = 2, kUnitCount = 3 };
@@ -111,9 +163,18 @@ class Machine {
   // cycles at full streaming rate (excluding startup).
   u32 execute_vector(const Instruction& inst);
 
+  // Main-memory footprint of a vector memory instruction (primary base
+  // address + total bytes moved), for bank arbitration.
+  void vmem_footprint(const Instruction& inst, Addr* addr, u64* bytes) const;
+
   MachineConfig config_;
-  Memory memory_;
-  StmUnit stm_;
+  // Owning mode keeps its memory/STM here; core mode leaves these null.
+  std::unique_ptr<Memory> owned_memory_;
+  std::unique_ptr<StmUnit> owned_stm_;
+  Memory* memory_ = nullptr;
+  StmUnit* stm_ = nullptr;
+  MemorySystem* memory_system_ = nullptr;
+  u32 core_id_ = 0;
 
   // Architectural state.
   std::array<u64, kNumScalarRegs> sregs_{};
@@ -142,6 +203,24 @@ class Machine {
   // (1 element/cycle) access — distinguishes "waiting behind a slow
   // gather/scatter" from plain port contention in the stall taxonomy.
   bool vmem_last_indexed_ = false;
+
+  // Step-mode run state (valid between begin_run and finish_run).
+  const Program* program_ = nullptr;
+  std::vector<DecodedInst> local_decode_;
+  const DecodedInst* decoded_ = nullptr;
+  std::array<u32, kStartupKindCount> startup_by_kind_{};
+  usize pc_ = 0;
+  StepStatus status_ = StepStatus::kHalted;
+  StmUnit::Stats stm_before_;
+  // Pending-barrier bookkeeping (valid while status_ == kAtBarrier): the
+  // profiler/trace sample is deferred to release_barrier(), where the
+  // barrier's true cost is known.
+  Cycle barrier_arrival_ = 0;
+  Cycle barrier_issue_ = 0;
+  Cycle barrier_unblocked_ = 0;
+  Cycle barrier_w_before_ = 0;
+  usize barrier_pc_ = 0;
+  StallReason barrier_why_ = StallReason::kScalarFetch;
 
   RunStats stats_;
   u64 trace_remaining_ = 0;

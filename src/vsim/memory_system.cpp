@@ -1,0 +1,55 @@
+#include "vsim/memory_system.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace smtu::vsim {
+
+MemorySystem::MemorySystem(const MemorySystemConfig& config)
+    : config_(config), memory_(config.memory_limit) {
+  SMTU_CHECK_MSG(config_.banks >= 1 && is_pow2(config_.banks),
+                 "memory system banks must be a power of two");
+  SMTU_CHECK(config_.bank_bytes_per_cycle >= 1);
+  SMTU_CHECK(config_.interleave_bytes >= 1);
+  bank_free_.assign(config_.banks, 0);
+}
+
+Cycle MemorySystem::request(Addr addr, u64 bytes, Cycle earliest) {
+  ++stats_.requests;
+  if (bytes == 0) return earliest;
+
+  // The access is a run of interleave-sized chunks starting at the bank
+  // the address maps to; chunk k lands on bank (first + k) mod banks.
+  // A bank serving c chunks is busy for the cycles those chunks' beats
+  // take at the bank's own rate.
+  const u32 banks = config_.banks;
+  const u64 chunks = ceil_div(bytes, config_.interleave_bytes);
+  const u32 first = static_cast<u32>((addr / config_.interleave_bytes) & (banks - 1));
+  const u32 touched = static_cast<u32>(std::min<u64>(chunks, banks));
+
+  Cycle grant = earliest;
+  for (u32 i = 0; i < touched; ++i) {
+    grant = std::max(grant, bank_free_[(first + i) & (banks - 1)]);
+  }
+  for (u32 i = 0; i < touched; ++i) {
+    // Chunks i, i+banks, i+2*banks, ... land on this bank.
+    const u64 bank_chunks = (chunks - i + banks - 1) / banks;
+    const Cycle busy = static_cast<Cycle>(
+        ceil_div(bank_chunks * config_.interleave_bytes, config_.bank_bytes_per_cycle));
+    bank_free_[(first + i) & (banks - 1)] = grant + busy;
+  }
+  if (grant > earliest) {
+    ++stats_.contended_requests;
+    stats_.contention_cycles += grant - earliest;
+  }
+  return grant;
+}
+
+void MemorySystem::reset_timing() {
+  std::fill(bank_free_.begin(), bank_free_.end(), 0);
+  stats_ = {};
+}
+
+}  // namespace smtu::vsim

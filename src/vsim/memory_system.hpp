@@ -1,0 +1,73 @@
+// Shared banked memory system for multi-core simulation.
+//
+// The functional Memory stays byte-exact and timing-free; MemorySystem
+// layers the *shared* timing model on top: N address-interleaved banks,
+// each able to deliver one word-sized beat per cycle. A vector memory
+// access occupies the banks its address range touches; when two cores'
+// accesses overlap on a bank, the later request is pushed back until the
+// bank frees up and the pushback is charged to the requesting core as a
+// `mem_bank_contention` stall (see docs/PROFILING.md, docs/MULTICORE.md).
+//
+// A single core can never contend with itself: its vector memory pipe
+// serializes accesses, and an access's per-bank occupancy is bounded by
+// the access's own duration whenever the aggregate bank bandwidth
+// (banks * bank_bytes_per_cycle) is at least the core's streaming rate
+// (mem_bytes_per_cycle). That is what keeps the N=1 system bit-identical
+// with the standalone Machine timing.
+//
+// Scalar loads/stores model a short cache-hit path (see config.hpp) and
+// bypass the banks, exactly as in the single-core machine.
+#pragma once
+
+#include <vector>
+
+#include "vsim/memory.hpp"
+
+namespace smtu::vsim {
+
+struct MemorySystemConfig {
+  // Number of address-interleaved banks; must be a power of two. The
+  // default (32 banks x 4 B/cycle = 128 B/cycle aggregate) sustains eight
+  // default cores (16 B/cycle each) with only discretization conflicts.
+  u32 banks = 32;
+  // Bytes one bank delivers per cycle (one 32-bit word by default).
+  u32 bank_bytes_per_cycle = 4;
+  // Consecutive bytes mapped to one bank before moving to the next.
+  u32 interleave_bytes = 4;
+  u64 memory_limit = u64{1} << 30;
+};
+
+class MemorySystem {
+ public:
+  struct Stats {
+    u64 requests = 0;            // timed (vector) accesses arbitrated
+    u64 contended_requests = 0;  // requests pushed back by a busy bank
+    u64 contention_cycles = 0;   // total pushback, summed over requests
+  };
+
+  explicit MemorySystem(const MemorySystemConfig& config);
+
+  const MemorySystemConfig& config() const { return config_; }
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+
+  // Arbitrates an access of `bytes` starting at `addr` that wants to begin
+  // at `earliest`. Returns the granted start cycle (>= earliest); the
+  // difference is bank contention. Banks touched by the access are marked
+  // busy for their share of the transfer starting at the grant.
+  Cycle request(Addr addr, u64 bytes, Cycle earliest);
+
+  // Clears the bank scoreboards and statistics for a new timed run.
+  // Memory contents persist (workloads are staged before the run).
+  void reset_timing();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  MemorySystemConfig config_;
+  Memory memory_;
+  std::vector<Cycle> bank_free_;  // next cycle each bank accepts a beat
+  Stats stats_;
+};
+
+}  // namespace smtu::vsim

@@ -19,6 +19,8 @@ const char* stall_reason_name(StallReason reason) {
     case StallReason::kValuBusy: return "valu_busy";
     case StallReason::kScalarFetch: return "scalar_fetch";
     case StallReason::kIssueLimit: return "issue_limit";
+    case StallReason::kMemBankContention: return "mem_bank_contention";
+    case StallReason::kBarrierWait: return "barrier_wait";
     case StallReason::kCount: break;
   }
   SMTU_CHECK_MSG(false, "invalid StallReason");

@@ -42,6 +42,9 @@ enum class StallReason : u8 {
   kValuBusy,          // vector ALU busy with an earlier instruction
   kScalarFetch,       // scalar front end refilling after a taken branch
   kIssueLimit,        // in-order issue / scalar issue-width limit
+  kMemBankContention, // a shared memory bank was held by another core
+                      // (multi-core systems only; see docs/MULTICORE.md)
+  kBarrierWait,       // waiting at a `barrier` for the slowest core
   kCount
 };
 inline constexpr usize kStallReasonCount = static_cast<usize>(StallReason::kCount);

@@ -272,6 +272,12 @@ void decode_scalar(const Instruction& inst, DecodedInst& d) {
     case Op::kJal:
     case Op::kHalt:
     case Op::kNop:
+    case Op::kBarrier:
+      break;
+    case Op::kAmoAdd:
+      d.scalar_mem = true;
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
+      d.sregs[d.num_sregs++] = static_cast<u8>(inst.c);
       break;
     default:
       SMTU_CHECK_MSG(false, "unhandled scalar op in decode");

@@ -17,8 +17,13 @@ const char* trace_unit_name(TraceUnit unit) {
 }
 
 void ExecutionTrace::record(const TraceEvent& event) {
+  max_core_ = std::max(max_core_, event.core);
   if (events_.size() >= capacity_) {
     ++dropped_;
+    if (event.core >= dropped_per_core_.size()) {
+      dropped_per_core_.resize(event.core + 1, 0);
+    }
+    ++dropped_per_core_[event.core];
     return;
   }
   events_.push_back(event);
@@ -27,6 +32,8 @@ void ExecutionTrace::record(const TraceEvent& event) {
 void ExecutionTrace::clear() {
   events_.clear();
   dropped_ = 0;
+  dropped_per_core_.clear();
+  max_core_ = 0;
 }
 
 void ExecutionTrace::print_table(std::ostream& out) const {

@@ -24,6 +24,7 @@ struct TraceEvent {
   Cycle start = 0;     // unit start (== issue for scalar ops)
   Cycle first = 0;     // first result available
   Cycle last = 0;      // last result available / completion
+  u32 core = 0;        // originating core (0 for single-core machines)
 };
 
 class ExecutionTrace {
@@ -37,6 +38,13 @@ class ExecutionTrace {
   const std::vector<TraceEvent>& events() const { return events_; }
   usize capacity() const { return capacity_; }
   u64 dropped() const { return dropped_; }
+  // Drops attributed per originating core, so concurrent cores sharing one
+  // trace keep their accounting separate. Indexed by core id; cores past
+  // the end dropped nothing. Empty until the first drop.
+  const std::vector<u64>& dropped_per_core() const { return dropped_per_core_; }
+  // Highest core id seen across recorded *and* dropped events (0 when only
+  // a single core ever recorded).
+  u32 max_core() const { return max_core_; }
 
   // One line per event: pc, mnemonic, unit, issue/start/first/last columns.
   void print_table(std::ostream& out) const;
@@ -49,6 +57,8 @@ class ExecutionTrace {
   usize capacity_;
   std::vector<TraceEvent> events_;
   u64 dropped_ = 0;
+  std::vector<u64> dropped_per_core_;
+  u32 max_core_ = 0;
 };
 
 }  // namespace smtu::vsim

@@ -92,5 +92,45 @@ TEST(Docs, ProfilingReferenceCoversEveryBucketAndWorkflow) {
   }
 }
 
+TEST(Docs, MulticoreReferenceCoversSystemModelAndTooling) {
+  const std::string doc = read_doc("MULTICORE.md");
+  ASSERT_FALSE(doc.empty());
+  // The layered ownership model and its shared/borrowed pieces.
+  for (const char* needle : {"MultiCoreSystem", "MemorySystem", "CoreContext",
+                             "attach_profiler"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/MULTICORE.md does not mention " << needle;
+  }
+  // The bank model knobs and the contention/synchronization stall buckets
+  // (the exact snake_case keys the profiler emits).
+  for (const char* needle : {"`banks`", "`bank_bytes_per_cycle`", "`interleave_bytes`",
+                             "`mem_bank_contention`", "`barrier_wait`"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/MULTICORE.md does not define " << needle;
+  }
+  // Arbitration rules, the primitives, and the kernels.
+  for (const char* needle : {"round-robin", "`barrier`", "`amo_add`", "panel", "merge",
+                             "rank table", "histogram"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/MULTICORE.md does not describe " << needle;
+  }
+  // The scaling bench, its schema, its baseline gate, and the rollup tool.
+  for (const char* needle : {"ext_multicore_scaling", "smtu-scaling-v1", "bench_diff",
+                             "--per-core", "prof_report.py"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/MULTICORE.md does not mention " << needle;
+  }
+  // The N=1 bit-identity invariant is stated.
+  EXPECT_NE(doc.find("bit-identical"), std::string::npos);
+
+  // Cross-links: the top-level docs route readers here.
+  const std::string readme = read_doc("../README.md");
+  EXPECT_NE(readme.find("docs/MULTICORE.md"), std::string::npos)
+      << "README.md does not link docs/MULTICORE.md";
+  const std::string hacking = read_doc("../HACKING.md");
+  EXPECT_NE(hacking.find("docs/MULTICORE.md"), std::string::npos)
+      << "HACKING.md does not link docs/MULTICORE.md";
+}
+
 }  // namespace
 }  // namespace smtu::vsim

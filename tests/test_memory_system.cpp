@@ -1,0 +1,100 @@
+// The banked MemorySystem: address interleaving, per-bank occupancy,
+// contention pushback, and the single-requester no-contention invariant the
+// N=1 multi-core bit-identity rests on (docs/MULTICORE.md).
+#include <gtest/gtest.h>
+
+#include "vsim/memory_system.hpp"
+
+namespace smtu::vsim {
+namespace {
+
+MemorySystemConfig small_config() {
+  MemorySystemConfig config;
+  config.banks = 2;
+  config.bank_bytes_per_cycle = 4;
+  config.interleave_bytes = 4;
+  return config;
+}
+
+TEST(MemorySystem, UncontendedRequestGrantsAtEarliest) {
+  MemorySystem memsys{MemorySystemConfig{}};
+  EXPECT_EQ(memsys.request(0, 16, 10), 10u);
+  EXPECT_EQ(memsys.stats().requests, 1u);
+  EXPECT_EQ(memsys.stats().contended_requests, 0u);
+  EXPECT_EQ(memsys.stats().contention_cycles, 0u);
+}
+
+TEST(MemorySystem, OverlappingRequestsToSameBanksContend) {
+  // Two banks, 4 B/bank/cycle. A 8-byte request occupies both banks for one
+  // cycle; an immediately following overlapping request is pushed back.
+  MemorySystem memsys{small_config()};
+  EXPECT_EQ(memsys.request(0, 8, 0), 0u);
+  EXPECT_EQ(memsys.request(0, 8, 0), 1u);
+  EXPECT_EQ(memsys.stats().requests, 2u);
+  EXPECT_EQ(memsys.stats().contended_requests, 1u);
+  EXPECT_EQ(memsys.stats().contention_cycles, 1u);
+}
+
+TEST(MemorySystem, InterleavingSpreadsChunksAcrossBanks) {
+  // A 4-byte request starting at address 4 touches only bank 1; bank 0
+  // stays free for a concurrent request.
+  MemorySystem memsys{small_config()};
+  EXPECT_EQ(memsys.request(4, 4, 0), 0u);
+  EXPECT_EQ(memsys.request(0, 4, 0), 0u);  // bank 0: no contention
+  EXPECT_EQ(memsys.request(4, 4, 0), 1u);  // bank 1 again: pushed back
+  EXPECT_EQ(memsys.stats().contended_requests, 1u);
+}
+
+TEST(MemorySystem, LongRequestOccupiesBanksProportionally) {
+  // 32 bytes over 2 banks at 4 B/bank/cycle: 4 chunks per bank, 4 cycles
+  // of occupancy each. The next request sees both banks busy until t=4.
+  MemorySystem memsys{small_config()};
+  EXPECT_EQ(memsys.request(0, 32, 0), 0u);
+  EXPECT_EQ(memsys.request(0, 4, 0), 4u);
+  EXPECT_EQ(memsys.stats().contention_cycles, 4u);
+}
+
+TEST(MemorySystem, SerializedRequestsNeverContend) {
+  // The single-core invariant: when consecutive requests are spaced by at
+  // least their own duration (as one vector memory pipe guarantees), bank
+  // occupancy has always expired — zero contention, any access pattern.
+  MemorySystem memsys{MemorySystemConfig{}};
+  const MemorySystemConfig config{};
+  const u64 aggregate = static_cast<u64>(config.banks) * config.bank_bytes_per_cycle;
+  ASSERT_GE(aggregate, 16u);  // >= the default core's mem_bytes_per_cycle
+  Cycle clock = 0;
+  for (u32 i = 0; i < 64; ++i) {
+    const u64 bytes = 4ull * (1 + i % 64);
+    const Cycle duration = (bytes + 15) / 16;  // the core's streaming rate
+    EXPECT_EQ(memsys.request(4 * (i % 128), bytes, clock), clock);
+    clock += duration;
+  }
+  EXPECT_EQ(memsys.stats().contended_requests, 0u);
+  EXPECT_EQ(memsys.stats().contention_cycles, 0u);
+}
+
+TEST(MemorySystem, ResetTimingClearsOccupancyAndStats) {
+  MemorySystem memsys{small_config()};
+  memsys.request(0, 32, 0);
+  memsys.request(0, 4, 0);
+  ASSERT_GT(memsys.stats().contention_cycles, 0u);
+  memsys.reset_timing();
+  EXPECT_EQ(memsys.request(0, 4, 0), 0u);
+  EXPECT_EQ(memsys.stats().requests, 1u);
+  EXPECT_EQ(memsys.stats().contention_cycles, 0u);
+}
+
+TEST(MemorySystem, SharedMemoryIsFunctional) {
+  MemorySystem memsys{MemorySystemConfig{}};
+  memsys.memory().write_u32(0x100, 42);
+  EXPECT_EQ(memsys.memory().read_u32(0x100), 42u);
+}
+
+TEST(MemorySystemDeathTest, BankCountMustBePowerOfTwo) {
+  MemorySystemConfig config;
+  config.banks = 3;
+  EXPECT_DEATH(MemorySystem{config}, "power of two");
+}
+
+}  // namespace
+}  // namespace smtu::vsim

@@ -3,7 +3,7 @@
 
 Usage:
     tools/prof_report.py show PROFILE.json [--top=10] [--matrix=NAME]
-                         [--kernel=hism|crs]
+                         [--kernel=hism|crs] [--per-core]
     tools/prof_report.py diff OLD.json NEW.json [--top=10] [--matrix=NAME]
                          [--kernel=hism|crs]
 
@@ -11,6 +11,12 @@ Accepts either a bare smtu-profile-v1 document (what ``vsim_run
 --profile-json`` writes) or an smtu-bench-v1 / smtu-repro-v1 report produced
 with ``--profile``, in which case --matrix selects the record (default: the
 first profiled one) and --kernel the side (default: both).
+
+``show`` also reads smtu-scaling-v1 reports (bench/ext_multicore_scaling
+--json): per (matrix, kernel, core count) it rolls the per-core busy/stall
+buckets up across cores, and ``--per-core`` adds a one-row-per-core table
+(cycles, busy/stall split, dominant stall) — the multi-core stall taxonomy
+of docs/MULTICORE.md. There --kernel selects hism_sharded or crs_parallel.
 
 ``show`` prints, per profile: the cycle-attribution breakdown (every busy and
 stall bucket with its share of total cycles — the buckets sum to the total
@@ -137,6 +143,58 @@ def show_profile(label, profile, top):
                     rows)
 
 
+def show_scaling(document, matrix, kernel, per_core, top):
+    """Per-core rollups of an smtu-scaling-v1 report (one block per
+    (matrix, kernel, core count) scale point)."""
+    shown = False
+    for record in document.get("matrices", []):
+        name = record.get("name", "?")
+        if matrix is not None and name != matrix:
+            continue
+        for kernel_name, points in record.get("kernels", {}).items():
+            if kernel is not None and kernel_name != kernel:
+                continue
+            for point in points:
+                memory = point.get("memory", {})
+                print(f"== {name}/{kernel_name} N={point['cores']}: "
+                      f"{point['cycles']} cycles, {point['barriers']} barrier(s), "
+                      f"{memory.get('contention_cycles', 0)} bank-contention "
+                      f"cycle(s) ==\n")
+                cores = point.get("per_core", [])
+                if per_core:
+                    rows = []
+                    for core in cores:
+                        busy = sum(core["busy"].values())
+                        stall = sum(core["stalls"].values())
+                        worst = max(core["stalls"].items(),
+                                    key=lambda bucket: bucket[1],
+                                    default=("-", 0))
+                        rows.append([str(core["core"]), str(core["cycles"]),
+                                     str(busy), str(stall),
+                                     percent(stall, core["cycles"]),
+                                     worst[0] if worst[1] else "-"])
+                    print_table(["core", "cycles", "busy", "stall", "stall%",
+                                 "top stall"], rows)
+                totals = {}
+                for core in cores:
+                    for prefix, buckets in (("busy_", core["busy"]),
+                                            ("stall_", core["stalls"])):
+                        for bucket, value in buckets.items():
+                            key = prefix + bucket
+                            totals[key] = totals.get(key, 0) + value
+                attributed = sum(totals.values())
+                rows = [[bucket, str(value), percent(value, attributed)]
+                        for bucket, value in sorted(totals.items(),
+                                                    key=lambda item: -item[1])
+                        if value][:top]
+                print_table(["bucket (all cores)", "cycles", "share"], rows)
+                shown = True
+        if matrix is None and shown:
+            break  # default: first record only
+    if not shown:
+        fail("no matching scaling record (check --matrix/--kernel)")
+
+
 def diff_numeric(name, old, new, rows):
     if old == new:
         return
@@ -203,12 +261,22 @@ def main():
                              help="how many hottest lines to print (default 10)")
         command.add_argument("--matrix", default=None,
                              help="matrix name inside a bench/repro report")
-        command.add_argument("--kernel", choices=("hism", "crs"), default=None,
-                             help="kernel side inside a bench/repro report")
+        command.add_argument("--kernel", default=None,
+                             help="kernel side: hism|crs in a bench/repro "
+                                  "report, hism_sharded|crs_parallel in a "
+                                  "scaling report")
+    show.add_argument("--per-core", action="store_true",
+                      help="with an smtu-scaling-v1 report: add a per-core "
+                           "table to each rollup")
     args = parser.parse_args()
 
     if args.command == "show":
-        for label, profile in extract_profiles(load(args.profile),
+        document = load(args.profile)
+        if document.get("schema") == "smtu-scaling-v1":
+            show_scaling(document, args.matrix, args.kernel, args.per_core,
+                         args.top)
+            return 0
+        for label, profile in extract_profiles(document,
                                                args.matrix, args.kernel):
             show_profile(label, profile, args.top)
         return 0

@@ -64,6 +64,33 @@ def bench_report(prof):
     }
 
 
+def scaling_report():
+    def point(cores, cycles):
+        per_core = []
+        for core in range(cores):
+            per_core.append({
+                "core": core, "cycles": cycles,
+                "busy": {"scalar": cycles - 40, "vmem_stream": 10},
+                "stalls": {"raw_hazard": 5, "barrier_wait": 20,
+                           "mem_bank_contention": 5 if cores > 1 else 0,
+                           "stm_busy": 5 if cores > 1 else 10},
+            })
+        return {"cores": cores, "cycles": cycles, "speedup": 200 / cycles,
+                "barriers": 2,
+                "memory": {"requests": 8, "contended_requests": cores - 1,
+                           "contention_cycles": 5 * (cores - 1)},
+                "per_core": per_core}
+    kernels = {"hism_sharded": [point(1, 200), point(2, 110)],
+               "crs_parallel": [point(1, 300), point(2, 160)]}
+    return {
+        "schema": "smtu-scaling-v1",
+        "bench": "ext_multicore_scaling",
+        "matrices": [{"name": "m0", "set": "locality", "nnz": 10,
+                      "kernels": kernels}],
+        "summary": {},
+    }
+
+
 def run_tool_with_flags(command, docs, flags):
     with tempfile.TemporaryDirectory() as tmp:
         paths = []
@@ -119,6 +146,36 @@ class ProfReportShow(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("v_ldx", out)
         self.assertNotIn("addi", out)
+
+
+class ProfReportScaling(unittest.TestCase):
+    def test_rollup_sums_buckets_across_cores(self):
+        code, out = run_tool_with_flags("show", [scaling_report()],
+                                        ["--kernel=hism_sharded"])
+        self.assertEqual(code, 0, out)
+        self.assertIn("m0/hism_sharded N=1", out)
+        self.assertIn("m0/hism_sharded N=2", out)
+        self.assertNotIn("crs_parallel", out)
+        # N=2: two cores x 20 barrier-wait cycles summed in the rollup.
+        self.assertIn("stall_barrier_wait", out)
+        self.assertIn("40", out)
+        # no per-core table without the flag
+        self.assertNotIn("top stall", out)
+
+    def test_per_core_table(self):
+        code, out = run_tool_with_flags(
+            "show", [scaling_report()],
+            ["--per-core", "--kernel=crs_parallel", "--matrix=m0"])
+        self.assertEqual(code, 0, out)
+        self.assertIn("top stall", out)
+        self.assertIn("barrier_wait", out)
+        self.assertIn("bank-contention", out)
+
+    def test_unknown_kernel_fails(self):
+        code, out = run_tool_with_flags("show", [scaling_report()],
+                                        ["--kernel=nope"])
+        self.assertEqual(code, 2, out)
+        self.assertIn("scaling record", out)
 
 
 class ProfReportDiff(unittest.TestCase):

@@ -230,6 +230,17 @@ int main(int argc, char** argv) {
                   storage.hism_crs_byte_ratio_avg, 100.0 * storage.overhead_fraction_avg);
   }
 
+  // ---- pointers beyond the paper ------------------------------------------
+  out << "\n## Beyond the paper\n\n";
+  out << "Results not part of the original evaluation live in their own benches "
+         "(EXPERIMENTS.md records the measured numbers): `ext_multicore_scaling` "
+         "runs the sharded HiSM and parallel CRS transposes at N = 1, 2, 4, 8 "
+         "cores on the banked shared-memory system (docs/MULTICORE.md), and "
+         "`ext_kernel_suite` runs the SELL-C-\xcf\x83 SpMV and the "
+         "Gustavson-on-HiSM SpGEMM kernels across the locality and irregular "
+         "sets (docs/KERNELS.md, docs/FORMATS.md). Both emit bench_diff-gated "
+         "JSON reports next to this one.\n";
+
   // ---- harness -------------------------------------------------------------
   const bench::HarnessInfo harness{
       resolve_jobs(options.jobs),

@@ -123,6 +123,7 @@ const std::map<std::string, Mnemonic>& mnemonics() {
       {"v_scar", {Op::kVScaR, Form::kVMemIdx}},
       {"v_gthr", {Op::kVGthR, Form::kVMemIdx}},
       {"v_scac", {Op::kVScaC, Form::kVMemIdx}},
+      {"v_scax", {Op::kVScaX, Form::kVMemIdx}},
   };
   return table;
 }

@@ -79,6 +79,7 @@ const char* op_name(Op op) {
     case Op::kVScaR: return "v_scar";
     case Op::kVGthR: return "v_gthr";
     case Op::kVScaC: return "v_scac";
+    case Op::kVScaX: return "v_scax";
     case Op::kBarrier: return "barrier";
     case Op::kAmoAdd: return "amo_add";
   }

@@ -116,6 +116,12 @@ enum class Op : u8 {
   // drives y[col] += value * x[row].
   kVGthR,  // v_gthr vd, off(rs), vpos : vd[i] = mem32[rs + off + 4*row(pos_i)]
   kVScaC,  // v_scac vs, off(rs), vpos : memf32[rs + off + 4*col(pos_i)] += vs[i]
+  // General indexed scatter-accumulate: the read-modify-write sibling of
+  // v_stx, used by the SpGEMM kernel to merge a scaled B row into a dense
+  // accumulator row (C[i, jb] += a * B[k, jb]). Unlike the positional
+  // v_scar/v_scac it takes full 32-bit indices, so it pays the indexed
+  // vector-memory rate (one element per cycle) like v_ldx/v_stx.
+  kVScaX,  // v_scax vs, off(rs), vidx : memf32[rs + off + 4*vidx[i]] += vs[i]
   // Multi-core synchronization (docs/MULTICORE.md). On a MultiCoreSystem a
   // core reaching `barrier` waits until every other live core reaches one;
   // on a standalone Machine it completes immediately.

@@ -285,6 +285,18 @@ u32 Machine::execute_vector(const Instruction& inst) {
       stats_.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.lanes);
     }
+    case Op::kVScaX: {
+      // General-index sibling of v_scac: full 32-bit indices, so it streams
+      // at the indexed rate (one address per element) like v_ldx/v_stx.
+      const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) {
+        const Addr addr = base + 4ull * V[inst.c][i];
+        memory_->write_f32(addr, memory_->read_f32(addr) +
+                                     std::bit_cast<float>(V[inst.a][i]));
+      }
+      stats_.mem_indexed_elements += vl;
+      return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
+    }
     case Op::kVFAdd:
       for (u32 i = 0; i < vl; ++i) {
         V[inst.a][i] = std::bit_cast<u32>(std::bit_cast<float>(V[inst.b][i]) +
@@ -379,6 +391,7 @@ void Machine::vmem_footprint(const Instruction& inst, Addr* addr, u64* bytes) co
       return;
     case Op::kVScaR:
     case Op::kVScaC:
+    case Op::kVScaX:
       // Read-modify-write: both directions count.
       *addr = sreg(inst.b) + static_cast<u64>(inst.imm);
       *bytes = 8ull * vl;

@@ -48,6 +48,7 @@ bool is_vector_op(Op op) {
     case Op::kVScaR:
     case Op::kVGthR:
     case Op::kVScaC:
+    case Op::kVScaX:
       return true;
     default:
       return false;
@@ -59,7 +60,8 @@ void decode_vector(const Instruction& inst, DecodedInst& d) {
   // Vector memory accesses that move one element per cycle (address per
   // element) rather than streaming at the port's byte rate.
   d.indexed_vmem = inst.op == Op::kVLdx || inst.op == Op::kVStx ||
-                   inst.op == Op::kVLds || inst.op == Op::kVSts;
+                   inst.op == Op::kVLds || inst.op == Op::kVSts ||
+                   inst.op == Op::kVScaX;
 
   // Scalar sources the instruction needs at issue.
   switch (inst.op) {
@@ -73,6 +75,7 @@ void decode_vector(const Instruction& inst, DecodedInst& d) {
     case Op::kVScaR:
     case Op::kVGthR:
     case Op::kVScaC:
+    case Op::kVScaX:
       d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
       break;
     case Op::kVLds:
@@ -146,6 +149,7 @@ void decode_vector(const Instruction& inst, DecodedInst& d) {
       break;
     case Op::kVScaR:
     case Op::kVScaC:
+    case Op::kVScaX:
       d.srcs[d.num_srcs++] = static_cast<u8>(inst.a);
       d.srcs[d.num_srcs++] = static_cast<u8>(inst.c);
       break;
@@ -193,6 +197,7 @@ void decode_vector(const Instruction& inst, DecodedInst& d) {
     case Op::kVScaR:
     case Op::kVGthR:
     case Op::kVScaC:
+    case Op::kVScaX:
       d.unit = ExecUnit::kVMem;
       d.startup = StartupKind::kMem;
       break;

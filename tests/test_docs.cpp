@@ -92,6 +92,63 @@ TEST(Docs, ProfilingReferenceCoversEveryBucketAndWorkflow) {
   }
 }
 
+TEST(Docs, KernelReferenceCoversEveryKernelAndItsRegions) {
+  const std::string doc = read_doc("KERNELS.md");
+  ASSERT_FALSE(doc.empty());
+  // Every kernel source file in src/kernels/ has a section.
+  for (const char* kernel :
+       {"hism_transpose.cpp", "hism_transpose_pipelined.cpp", "crs_transpose.cpp",
+        "dense_transpose.cpp", "shard.cpp", "crs_parallel.cpp", "spmv.cpp",
+        "sell_spmv.cpp", "spgemm.cpp"}) {
+    EXPECT_NE(doc.find(kernel), std::string::npos)
+        << "docs/KERNELS.md does not cover " << kernel;
+  }
+  // The kernel-suite kernels' profile regions and driving bench.
+  for (const char* needle :
+       {"`sell_setup`", "`sell_stream`", "`spgemm_setup`", "`spgemm_walk`",
+        "`spgemm_transpose`", "`spgemm_gustavson`", "ext_kernel_suite",
+        "smtu-kernelsuite-v1", "bench_diff"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/KERNELS.md does not mention " << needle;
+  }
+  // The run_/time_ runner convention and the bit-identity invariant.
+  EXPECT_NE(doc.find("time_"), std::string::npos);
+  EXPECT_NE(doc.find("bit-identical"), std::string::npos);
+
+  // Cross-links: the top-level docs route readers here, and the kernel
+  // reference routes on to the format/profiling references.
+  const std::string readme = read_doc("../README.md");
+  EXPECT_NE(readme.find("docs/KERNELS.md"), std::string::npos)
+      << "README.md does not link docs/KERNELS.md";
+  const std::string hacking = read_doc("../HACKING.md");
+  EXPECT_NE(hacking.find("docs/KERNELS.md"), std::string::npos)
+      << "HACKING.md does not link docs/KERNELS.md";
+  EXPECT_NE(doc.find("FORMATS.md"), std::string::npos);
+  EXPECT_NE(doc.find("PROFILING.md"), std::string::npos);
+}
+
+TEST(Docs, FormatReferenceCoversEveryFormat) {
+  const std::string doc = read_doc("FORMATS.md");
+  ASSERT_FALSE(doc.empty());
+  for (const char* format : {"COO", "CSR", "CSC", "Dense", "ELLPACK", "SELL-C-σ",
+                             "Jagged Diagonal", "CDS", "BCSR", "HiSM"}) {
+    EXPECT_NE(doc.find(format), std::string::npos)
+        << "docs/FORMATS.md does not cover " << format;
+  }
+  // Storage accounting stays tied to the code and the ablation bench.
+  for (const char* needle : {"storage_bytes", "ablation_storage", "from_coo",
+                             "kPadRow", "fill_ratio"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/FORMATS.md does not mention " << needle;
+  }
+  const std::string readme = read_doc("../README.md");
+  EXPECT_NE(readme.find("docs/FORMATS.md"), std::string::npos)
+      << "README.md does not link docs/FORMATS.md";
+  const std::string hacking = read_doc("../HACKING.md");
+  EXPECT_NE(hacking.find("docs/FORMATS.md"), std::string::npos)
+      << "HACKING.md does not link docs/FORMATS.md";
+}
+
 TEST(Docs, MulticoreReferenceCoversSystemModelAndTooling) {
   const std::string doc = read_doc("MULTICORE.md");
   ASSERT_FALSE(doc.empty());

@@ -131,6 +131,50 @@ TEST(ExtensionOps, PositionalScatterAccumulateByRow) {
   EXPECT_FLOAT_EQ(machine.memory().read_f32(0x2000 + 0), 0.0f);
 }
 
+TEST(ExtensionOps, IndexedScatterAccumulate) {
+  // v_scax: the read-modify-write sibling of v_stx. Repeated indices in one
+  // vector accumulate sequentially (lane order), like v_scar/v_scac.
+  Machine machine{MachineConfig{}};
+  for (u32 i = 0; i < 8; ++i) machine.memory().write_f32(0x2000 + 4 * i, 10.0f * i);
+  const u32 idx[4] = {2, 5, 2, 0};
+  const float add[4] = {1.5f, -4.0f, 2.0f, 0.25f};
+  for (u32 i = 0; i < 4; ++i) {
+    machine.memory().write_u32(0x1000 + 4 * i, idx[i]);
+    machine.memory().write_f32(0x1100 + 4 * i, add[i]);
+  }
+  machine.run(assemble(
+      "li r1, 4\n"
+      "ssvl r1\n"
+      "li r2, 0x1000\n"
+      "v_ld vr1, (r2)\n"
+      "li r3, 0x1100\n"
+      "v_ld vr2, (r3)\n"
+      "li r4, 0x2000\n"
+      "v_scax vr2, (r4), vr1\n"
+      "halt\n"));
+  EXPECT_FLOAT_EQ(machine.memory().read_f32(0x2000 + 8), 23.5f);   // 20 + 1.5 + 2
+  EXPECT_FLOAT_EQ(machine.memory().read_f32(0x2000 + 20), 46.0f);  // 50 - 4
+  EXPECT_FLOAT_EQ(machine.memory().read_f32(0x2000 + 0), 0.25f);
+  EXPECT_FLOAT_EQ(machine.memory().read_f32(0x2000 + 4), 10.0f);   // untouched
+}
+
+TEST(ExtensionOps, IndexedScatterAccumulatePaysIndexedRate) {
+  // v_scax streams one element per cycle like v_ldx/v_stx, not at the
+  // positional ops' lane rate.
+  auto cycles_of = [](const std::string& body) {
+    Machine machine{MachineConfig{}};
+    machine.memory().ensure(0, 1 << 16);
+    return machine.run(assemble(body)).cycles;
+  };
+  const Cycle scax = cycles_of(
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nv_ld vr1, (r2)\n"
+      "v_iota vr2\nli r4, 0x2000\nv_scax vr1, (r4), vr2\nhalt\n");
+  const Cycle stx = cycles_of(
+      "li r1, 64\nssvl r1\nli r2, 0x1000\nv_ld vr1, (r2)\n"
+      "v_iota vr2\nli r4, 0x2000\nv_stx vr1, (r4), vr2\nhalt\n");
+  EXPECT_EQ(scax, stx);
+}
+
 TEST(ExtensionOps, PositionalOpsRunAtLaneRate) {
   // v_gthc addresses a banked s-element window: 64 elements at p = 4 lanes
   // should cost far less than a general 64-element gather.

@@ -2,19 +2,39 @@
 // format construction/conversion, reference transposes, the STM functional
 // model, and the non-zero locator. These gauge the simulator's own speed
 // (how fast experiments run), not simulated cycle counts.
+//
+// Custom main: besides the usual google-benchmark flags, --interp-json=FILE
+// writes per-dispatch-mode interpreter throughput records (simulated
+// insts/sec and cycles/sec per kernel class) into a host-timing JSON
+// document whose keys bench_diff.py never gates on (the "host" section and
+// *_per_sec / wall_ms fragments are host-speed measurements, not simulated
+// metrics).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <string_view>
 
 #include "formats/csc.hpp"
 #include "formats/csr.hpp"
+#include "formats/sell.hpp"
 #include "hism/image.hpp"
 #include "hism/transpose.hpp"
+#include "kernels/crs_transpose.hpp"
 #include "kernels/hism_transpose.hpp"
+#include "kernels/sell_spmv.hpp"
+#include "kernels/spgemm.hpp"
 #include "kernels/staging.hpp"
 #include "stm/locator.hpp"
 #include "stm/unit.hpp"
+#include "support/assert.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "vsim/assembler.hpp"
+#include "vsim/machine.hpp"
 #include "vsim/program_cache.hpp"
+#include "vsim/system.hpp"
 
 namespace smtu {
 namespace {
@@ -160,5 +180,174 @@ void BM_InterpretHismTranspose(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpretHismTranspose)->Arg(10000)->Arg(50000);
 
+// ---- per-dispatch-mode interpreter throughput -------------------------------
+// One pre-staged simulation per kernel class, timed under both the threaded
+// (default) and legacy switch interpreters. items/s is simulated
+// instructions per host second; the cycles_per_sec counter is simulated
+// cycles per host second. The same runners feed the --interp-json records.
+
+struct InterpRun {
+  u64 instructions = 0;
+  u64 cycles = 0;
+};
+
+struct InterpCase {
+  const char* name;
+  std::function<InterpRun()> run;  // one full simulation, pre-staged inputs
+};
+
+InterpRun from_system_stats(const vsim::SystemRunStats& stats) {
+  InterpRun run;
+  run.cycles = stats.cycles;
+  for (const vsim::RunStats& core : stats.core_stats) run.instructions += core.instructions;
+  return run;
+}
+
+const std::vector<InterpCase>& interp_cases() {
+  static const std::vector<InterpCase> cases = [] {
+    std::vector<InterpCase> built;
+
+    const auto hism_stage = std::make_shared<kernels::HismStage>(
+        kernels::build_hism_stage(HismMatrix::from_coo(make_matrix(512, 50000, 9), 64)));
+    built.push_back({"hism_transpose", [hism_stage] {
+                       const vsim::RunStats stats =
+                           kernels::time_hism_transpose(*hism_stage, vsim::MachineConfig{});
+                       return InterpRun{stats.instructions, stats.cycles};
+                     }});
+
+    const auto crs_stage = std::make_shared<kernels::CrsStage>(
+        kernels::build_crs_stage(Csr::from_coo(make_matrix(512, 20000, 10))));
+    built.push_back({"crs_transpose", [crs_stage] {
+                       const vsim::RunStats stats =
+                           kernels::time_crs_transpose(*crs_stage, vsim::MachineConfig{});
+                       return InterpRun{stats.instructions, stats.cycles};
+                     }});
+
+    const auto sell = std::make_shared<SellCSigma>(
+        SellCSigma::from_coo(make_matrix(1024, 20000, 11), 16, 0));
+    const auto x = std::make_shared<std::vector<float>>(1024, 1.0f);
+    built.push_back({"sell_spmv", [sell, x] {
+                       return from_system_stats(
+                           kernels::time_sell_spmv(*sell, *x, vsim::SystemConfig{}));
+                     }});
+
+    const auto spgemm_a = std::make_shared<Coo>(make_matrix(256, 5000, 12));
+    const auto spgemm_b =
+        std::make_shared<Csr>(Csr::from_coo(make_matrix(256, 5000, 13)));
+    built.push_back({"spgemm", [spgemm_a, spgemm_b] {
+                       return from_system_stats(kernels::time_hism_spgemm(
+                           *spgemm_a, *spgemm_b, vsim::SystemConfig{}));
+                     }});
+    return built;
+  }();
+  return cases;
+}
+
+InterpRun run_with_mode(const InterpCase& interp_case, vsim::DispatchMode mode) {
+  const vsim::DispatchMode saved = vsim::default_dispatch_mode();
+  vsim::set_default_dispatch_mode(mode);
+  const InterpRun run = interp_case.run();
+  vsim::set_default_dispatch_mode(saved);
+  return run;
+}
+
+constexpr vsim::DispatchMode kModes[] = {vsim::DispatchMode::kThreaded,
+                                         vsim::DispatchMode::kSwitch};
+
 }  // namespace
+
+void register_interp_mode_benches() {
+  for (const InterpCase& interp_case : interp_cases()) {
+    for (const vsim::DispatchMode mode : kModes) {
+      const std::string name = std::string("BM_InterpretKernel/") + interp_case.name + "/" +
+                               vsim::dispatch_mode_name(mode);
+      benchmark::RegisterBenchmark(name.c_str(), [&interp_case,
+                                                  mode](benchmark::State& state) {
+        u64 instructions = 0;
+        u64 cycles = 0;
+        for (auto _ : state) {
+          const InterpRun run = run_with_mode(interp_case, mode);
+          instructions += run.instructions;
+          cycles += run.cycles;
+        }
+        state.SetItemsProcessed(static_cast<i64>(instructions));
+        state.counters["cycles_per_sec"] =
+            benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+      });
+    }
+  }
+}
+
+// Writes the "smtu-hostmicro-v1" document: every kernel class under every
+// dispatch mode, measured over at least 200 ms of wall time each.
+void write_interp_json(const std::string& path) {
+  std::ofstream out(path);
+  SMTU_CHECK_MSG(out.good(), "cannot open " + path);
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("schema");
+  json.value("smtu-hostmicro-v1");
+  json.key("host");
+  json.begin_object();
+  json.key("dispatch");
+  json.begin_array();
+  for (const InterpCase& interp_case : interp_cases()) {
+    for (const vsim::DispatchMode mode : kModes) {
+      u64 instructions = 0;
+      u64 cycles = 0;
+      u64 runs = 0;
+      double wall_ms = 0;
+      const auto start = std::chrono::steady_clock::now();
+      do {
+        const InterpRun run = run_with_mode(interp_case, mode);
+        instructions += run.instructions;
+        cycles += run.cycles;
+        ++runs;
+        wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                            start)
+                      .count();
+      } while (wall_ms < 200.0);
+      json.begin_object();
+      json.key("name");
+      json.value(interp_case.name);
+      json.key("mode");
+      json.value(vsim::dispatch_mode_name(mode));
+      json.key("runs");
+      json.value(runs);
+      json.key("wall_ms");
+      json.value(wall_ms);
+      json.key("insts_per_sec");
+      json.value(static_cast<double>(instructions) * 1000.0 / wall_ms);
+      json.key("cycles_per_sec");
+      json.value(static_cast<double>(cycles) * 1000.0 / wall_ms);
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+  SMTU_CHECK(json.complete());
+}
+
 }  // namespace smtu
+
+int main(int argc, char** argv) {
+  std::string interp_json;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--interp-json=", 0) == 0) {
+      interp_json = std::string(arg.substr(14));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  smtu::register_interp_mode_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!interp_json.empty()) smtu::write_interp_json(interp_json);
+  return 0;
+}

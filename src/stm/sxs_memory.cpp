@@ -14,9 +14,9 @@ SxsMemory::SxsMemory(u32 section)
   SMTU_CHECK_MSG(section >= 2 && section <= 256, "section size must be in [2, 256]");
 }
 
-usize SxsMemory::cell(u32 row, u32 col) const {
-  SMTU_DCHECK(row < section_ && col < section_);
-  return static_cast<usize>(row) * section_ + col;
+void SxsMemory::duplicate_insert(u32 row, u32 col) const {
+  SMTU_CHECK_MSG(false, format("duplicate position (%u,%u) in s^2-block", row, col));
+  __builtin_unreachable();
 }
 
 void SxsMemory::clear() {
@@ -28,17 +28,6 @@ void SxsMemory::clear() {
   row_count_.assign(section_, 0);
   col_count_.assign(section_, 0);
   occupied_count_ = 0;
-}
-
-void SxsMemory::insert(u32 row, u32 col, u32 value_bits) {
-  const usize c = cell(row, col);
-  SMTU_CHECK_MSG(stamp_[c] != epoch_,
-                 format("duplicate position (%u,%u) in s^2-block", row, col));
-  stamp_[c] = epoch_;
-  values_[c] = value_bits;
-  row_count_[row]++;
-  col_count_[col]++;
-  occupied_count_++;
 }
 
 void SxsMemory::erase(u32 row, u32 col) {

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "support/assert.hpp"
 #include "support/types.hpp"
 
 namespace smtu {
@@ -22,8 +23,17 @@ class SxsMemory {
   void clear();
 
   // Inserts a value; inserting into an occupied cell aborts (a valid
-  // block-array never stores a position twice).
-  void insert(u32 row, u32 col, u32 value_bits);
+  // block-array never stores a position twice). Inline: this sits on the
+  // per-element fill path of every transpose kernel.
+  void insert(u32 row, u32 col, u32 value_bits) {
+    const usize c = cell(row, col);
+    if (stamp_[c] == epoch_) [[unlikely]] duplicate_insert(row, col);
+    stamp_[c] = epoch_;
+    values_[c] = value_bits;
+    row_count_[row]++;
+    col_count_[col]++;
+    occupied_count_++;
+  }
 
   // Clears one indicator — the locator "sets located non-zeros to zero"
   // after extracting them (§III). Aborts if the cell is empty.
@@ -41,7 +51,11 @@ class SxsMemory {
   u32 col_count(u32 col) const { return col_count_[col]; }
 
  private:
-  usize cell(u32 row, u32 col) const;
+  usize cell(u32 row, u32 col) const {
+    SMTU_DCHECK(row < section_ && col < section_);
+    return static_cast<usize>(row) * section_ + col;
+  }
+  [[noreturn]] void duplicate_insert(u32 row, u32 col) const;
 
   u32 section_;
   usize occupied_count_ = 0;

@@ -8,23 +8,25 @@
 namespace smtu {
 namespace {
 
-// Walks a stream of entries tagged with their line id, calling
-// per_entry(index, cycle) as each one moves, and returns the total cycle
-// count. One cycle moves at most B entries, all within a window of L lines
-// (consecutive indices under the strict rule, any L distinct lines
-// otherwise). Templated so the counting-only path allocates nothing.
-template <typename PerEntry>
-u32 stream_pass(std::span<const u8> lines, const StmConfig& config, PerEntry per_entry) {
+// Walks a stream of `count` entries tagged with their line id (read through
+// `line_at(i)` so callers stream straight out of entry arrays without
+// building a separate line-id buffer), calling per_entry(index, cycle) as
+// each one moves, and returns the total cycle count. One cycle moves at most
+// B entries, all within a window of L lines (consecutive indices under the
+// strict rule, any L distinct lines otherwise). Templated so the
+// counting-only path allocates nothing.
+template <typename LineAt, typename PerEntry>
+u32 stream_pass(usize count, LineAt line_at, const StmConfig& config, PerEntry per_entry) {
   u32 cycles = 0;
   usize i = 0;
-  while (i < lines.size()) {
+  while (i < count) {
     u32 taken = 0;
-    const u32 anchor = lines[i];
+    const u32 anchor = line_at(i);
     u32 distinct = 0;
     i32 last = -1;
     ++cycles;
-    while (i < lines.size() && taken < config.bandwidth) {
-      const u32 line = lines[i];
+    while (i < count && taken < config.bandwidth) {
+      const u32 line = line_at(i);
       if (config.strict_consecutive_lines &&
           (line < anchor || line >= anchor + config.lines)) {
         break;
@@ -42,18 +44,40 @@ u32 stream_pass(std::span<const u8> lines, const StmConfig& config, PerEntry per
   return cycles;
 }
 
-// Cumulative I/O-buffer cycle after which each entry has moved, written into
-// `schedule` (resized to match).
-void stream_schedule(std::span<const u8> lines, const StmConfig& config,
-                     std::vector<u32>& schedule) {
-  schedule.assign(lines.size(), 0);
-  stream_pass(lines, config, [&](usize i, u32 cycle) { schedule[i] = cycle; });
+// Sorts transposed entries into drain order — (row, col) lexicographic —
+// with two stable counting passes (LSD radix over the u8 col then row
+// keys). Positions within a block are unique, so this produces exactly the
+// order a comparator sort would; it replaces one because the comparator
+// sort dominated whole-simulation profiles of transpose kernels.
+void sort_drain_order(std::vector<StmEntry>& entries, std::vector<StmEntry>& scratch,
+                      u32 section) {
+  scratch.resize(entries.size());
+  u32 counts[256];
+  std::fill(counts, counts + section, 0u);
+  for (const StmEntry& e : entries) counts[e.col]++;
+  u32 sum = 0;
+  for (u32 i = 0; i < section; ++i) {
+    const u32 c = counts[i];
+    counts[i] = sum;
+    sum += c;
+  }
+  for (const StmEntry& e : entries) scratch[counts[e.col]++] = e;
+  std::fill(counts, counts + section, 0u);
+  for (const StmEntry& e : scratch) counts[e.row]++;
+  sum = 0;
+  for (u32 i = 0; i < section; ++i) {
+    const u32 c = counts[i];
+    counts[i] = sum;
+    sum += c;
+  }
+  for (const StmEntry& e : scratch) entries[counts[e.row]++] = e;
 }
 
 }  // namespace
 
 u32 stream_cycles(std::span<const u8> lines, const StmConfig& config) {
-  return stream_pass(lines, config, [](usize, u32) {});
+  return stream_pass(lines.size(), [&](usize i) { return lines[i]; }, config,
+                     [](usize, u32) {});
 }
 
 StmUnit::StmUnit(const StmConfig& config) : config_(config) {
@@ -83,14 +107,12 @@ u32 StmUnit::write_batch(std::span<const StmEntry> entries) {
   Bank& bank = banks_[fill_bank_];
   SMTU_CHECK_MSG(!bank.draining,
                  "cannot fill the s x s memory while draining it; issue icm first");
-  line_scratch_.clear();
-  line_scratch_.reserve(entries.size());
   for (const StmEntry& e : entries) {
     bank.grid.insert(e.row, e.col, e.value_bits);
     bank.filled.push_back(e);
-    line_scratch_.push_back(e.row);
   }
-  const u32 cycles = stream_cycles(line_scratch_, config_);
+  const u32 cycles = stream_pass(
+      entries.size(), [&](usize i) { return entries[i].row; }, config_, [](usize, u32) {});
   stats_.elements_in += entries.size();
   stats_.write_cycles += cycles;
   ++stats_.write_batches;
@@ -111,18 +133,14 @@ void StmUnit::freeze_drain_schedule(Bank& bank) {
   for (const StmEntry& e : bank.filled) {
     bank.drain_entries.push_back({e.col, e.row, e.value_bits});
   }
-  std::sort(bank.drain_entries.begin(), bank.drain_entries.end(),
-            [](const StmEntry& a, const StmEntry& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
-            });
-  line_scratch_.clear();
-  line_scratch_.reserve(bank.drain_entries.size());
-  for (const StmEntry& e : bank.drain_entries) line_scratch_.push_back(e.row);
-  const std::span<const u8> drain_lines = line_scratch_;
+  sort_drain_order(bank.drain_entries, sort_scratch_, config_.section);
+  const auto drain_line_at = [&](usize i) { return bank.drain_entries[i].row; };
   const u32 s = config_.section;
 
   if (config_.skip_empty_lines) {
-    stream_schedule(drain_lines, config_, bank.drain_cycle_of);
+    bank.drain_cycle_of.assign(bank.drain_entries.size(), 0);
+    stream_pass(bank.drain_entries.size(), drain_line_at, config_,
+                [&](usize i, u32 cycle) { bank.drain_cycle_of[i] = cycle; });
   } else {
     // Without per-line occupancy summaries the drain scans aligned groups of
     // L consecutive columns, paying one cycle even for an empty group.
@@ -131,8 +149,8 @@ void StmUnit::freeze_drain_schedule(Bank& bank) {
     usize idx = 0;
     for (u32 group = 0; group < s; group += config_.lines) {
       usize count = 0;
-      while (idx + count < drain_lines.size() &&
-             drain_lines[idx + count] < group + config_.lines) {
+      while (idx + count < bank.drain_entries.size() &&
+             drain_line_at(idx + count) < group + config_.lines) {
         ++count;
       }
       const u32 group_cycles =

@@ -148,9 +148,9 @@ class StmUnit {
   std::vector<Bank> banks_;
   u32 fill_bank_ = 0;
   Stats stats_;
-  // Reused line-id buffer for write_batch / freeze_drain_schedule, so the
-  // per-batch hot path performs no heap allocation after warm-up.
-  std::vector<u8> line_scratch_;
+  // Reused radix-sort buffer for freeze_drain_schedule, so the per-block
+  // hot path performs no heap allocation after warm-up.
+  std::vector<StmEntry> sort_scratch_;
 };
 
 // Shared cycle engine: number of I/O-buffer cycles needed to stream entries

@@ -136,6 +136,56 @@ enum class Op : u8 {
 // tooling that iterates the ISA (docs coverage test, trace exporters).
 inline constexpr usize kOpCount = static_cast<usize>(Op::kAmoAdd) + 1;
 
+// Whether an opcode executes on the vector side (vector memory, vector ALU,
+// or the STM) as opposed to the scalar core. Constexpr so the predecoder
+// and the per-opcode handler templates share one classification.
+constexpr bool op_is_vector(Op op) {
+  switch (op) {
+    case Op::kVLd:
+    case Op::kVSt:
+    case Op::kVLdx:
+    case Op::kVStx:
+    case Op::kVLds:
+    case Op::kVSts:
+    case Op::kVAdd:
+    case Op::kVSub:
+    case Op::kVMul:
+    case Op::kVAnd:
+    case Op::kVOr:
+    case Op::kVXor:
+    case Op::kVMin:
+    case Op::kVMax:
+    case Op::kVAddi:
+    case Op::kVAdds:
+    case Op::kVBcast:
+    case Op::kVBcasti:
+    case Op::kVIota:
+    case Op::kVSlideUp:
+    case Op::kVSlideDown:
+    case Op::kVRedSum:
+    case Op::kVExtract:
+    case Op::kVSeq:
+    case Op::kVSeqS:
+    case Op::kVFAdd:
+    case Op::kVFMul:
+    case Op::kVFRedSum:
+    case Op::kIcm:
+    case Op::kVLdb:
+    case Op::kVStcr:
+    case Op::kVLdcc:
+    case Op::kVStb:
+    case Op::kVStbv:
+    case Op::kVGthC:
+    case Op::kVScaR:
+    case Op::kVGthR:
+    case Op::kVScaC:
+    case Op::kVScaX:
+      return true;
+    default:
+      return false;
+  }
+}
+
 const char* op_name(Op op);
 
 // Decoded instruction. Register fields a..d are scalar or vector register

@@ -1,13 +1,33 @@
 #include "vsim/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <utility>
 
 #include "support/assert.hpp"
 #include "support/bits.hpp"
 #include "support/strings.hpp"
 #include "vsim/profiler.hpp"
+
+// Marks the element-wise inner loops that are safe to vectorize: every
+// iteration touches only lane i of its operands, so there are no loop-carried
+// dependences even when destination and source registers alias. Never put
+// this on float reductions (reassociation changes the result bits) or on
+// read-modify-write scatters (later lanes may hit earlier lanes' addresses).
+#if defined(SMTU_SIMD_OMP)
+#define SMTU_VEC_LOOP _Pragma("omp simd")
+#elif defined(__clang__)
+#define SMTU_VEC_LOOP _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define SMTU_VEC_LOOP _Pragma("GCC ivdep")
+#else
+#define SMTU_VEC_LOOP
+#endif
 
 namespace smtu::vsim {
 namespace {
@@ -27,198 +47,904 @@ void check_config(const MachineConfig& config) {
   SMTU_CHECK(config.mem_bytes_per_cycle >= 1);
 }
 
+// -1 = no programmatic override; otherwise a DispatchMode value.
+std::atomic<int> g_dispatch_override{-1};
+
+DispatchMode env_dispatch_mode() {
+  static const DispatchMode mode = [] {
+    const char* env = std::getenv("SMTU_DISPATCH");
+    if (env == nullptr || *env == '\0') return DispatchMode::kThreaded;
+    const std::string_view value(env);
+    if (value == "threaded") return DispatchMode::kThreaded;
+    if (value == "switch") return DispatchMode::kSwitch;
+    SMTU_CHECK_MSG(false, "SMTU_DISPATCH must be 'threaded' or 'switch'");
+    return DispatchMode::kThreaded;
+  }();
+  return mode;
+}
+
 }  // namespace
+
+DispatchMode default_dispatch_mode() {
+  const int override_value = g_dispatch_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return static_cast<DispatchMode>(override_value);
+  return env_dispatch_mode();
+}
+
+void set_default_dispatch_mode(DispatchMode mode) {
+  g_dispatch_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+const char* dispatch_mode_name(DispatchMode mode) {
+  return mode == DispatchMode::kThreaded ? "threaded" : "switch";
+}
+
+namespace {
+
+template <Op>
+inline constexpr bool always_false_op = false;
+
+constexpr u32 ceil_rate(u64 amount, u64 per_cycle) {
+  return static_cast<u32>(ceil_div(amount, per_cycle));
+}
+
+// Shared front of every handler: budget check, instruction count, optional
+// stderr trace. Returns the watermark before this instruction (the
+// profiler's conservation bracket).
+inline Cycle step_prologue(ExecState& es, const Instruction& inst) {
+  SMTU_CHECK_MSG(es.stats.instructions < es.max_instructions,
+                 "instruction budget exceeded (runaway program?)");
+  ++es.stats.instructions;
+  if (es.trace_remaining > 0) [[unlikely]] {
+    --es.trace_remaining;
+    std::fprintf(stderr, "[trace] pc=%zu %s\n", es.pc, to_string(inst).c_str());
+  }
+  return es.watermark;
+}
+
+// Main-memory footprint of a vector memory instruction (primary base
+// address + total bytes moved), for bank arbitration. Must be evaluated
+// before the functional body: v_ldb/v_stb auto-increment their base regs.
+template <Op OP>
+inline void vmem_footprint_for(const ExecState& es, const Instruction& inst, Addr* addr,
+                               u64* bytes) {
+  const u64 vl = es.vl;
+  if constexpr (OP == Op::kVLdb || OP == Op::kVStb) {
+    *addr = es.sreg(inst.c);
+    *bytes = 6ull * vl;
+  } else if constexpr (OP == Op::kVStbv) {
+    *addr = es.sreg(inst.b);
+    *bytes = 4ull * vl;
+  } else if constexpr (OP == Op::kVScaR || OP == Op::kVScaC || OP == Op::kVScaX) {
+    // Read-modify-write: both directions count.
+    *addr = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    *bytes = 8ull * vl;
+  } else {
+    *addr = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    *bytes = 4ull * vl;
+  }
+}
+
+// Functional execution of one vector instruction; returns its duration in
+// cycles at full streaming rate (excluding startup). Bit-identical to the
+// reference per-element bodies in Machine::execute_vector — contiguous
+// accesses move through one bounds check + memcpy per stream instead of a
+// checked call per element (the abort condition is unchanged: the span is
+// exactly the union of the element accesses).
+template <Op OP>
+inline u32 exec_vector_body(ExecState& es, const Instruction& inst) {
+  [[maybe_unused]] const u32 vl = es.vl;
+
+  if constexpr (OP == Op::kVLd) {
+    Memory& mem = *es.memory;
+    const Addr base = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    if (vl != 0) std::memcpy(es.vreg_row(inst.a), mem.read_span(base, 4ull * vl), 4ull * vl);
+    es.stats.mem_contiguous_bytes += 4ull * vl;
+    return ceil_rate(4ull * vl, es.mem_bytes_per_cycle);
+  } else if constexpr (OP == Op::kVSt) {
+    Memory& mem = *es.memory;
+    const Addr base = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    if (vl != 0) std::memcpy(mem.write_span(base, 4ull * vl), es.vreg_row(inst.a), 4ull * vl);
+    es.stats.mem_contiguous_bytes += 4ull * vl;
+    return ceil_rate(4ull * vl, es.mem_bytes_per_cycle);
+  } else if constexpr (OP == Op::kVLdx) {
+    Memory& mem = *es.memory;
+    const Addr base = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    const u32* idx = es.vreg_row(inst.c);
+    u32* dst = es.vreg_row(inst.a);
+    for (u32 i = 0; i < vl; ++i) dst[i] = mem.read_u32(base + 4ull * idx[i]);
+    es.stats.mem_indexed_elements += vl;
+    return ceil_rate(vl, es.mem_indexed_elems_per_cycle);
+  } else if constexpr (OP == Op::kVStx) {
+    Memory& mem = *es.memory;
+    const Addr base = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    const u32* idx = es.vreg_row(inst.c);
+    const u32* src = es.vreg_row(inst.a);
+    for (u32 i = 0; i < vl; ++i) mem.write_u32(base + 4ull * idx[i], src[i]);
+    es.stats.mem_indexed_elements += vl;
+    return ceil_rate(vl, es.mem_indexed_elems_per_cycle);
+  } else if constexpr (OP == Op::kVLds) {
+    // Strided accesses hit one bank per element, like indexed ones.
+    Memory& mem = *es.memory;
+    const Addr base = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    const u64 stride = es.sreg(inst.c);
+    u32* dst = es.vreg_row(inst.a);
+    for (u32 i = 0; i < vl; ++i) dst[i] = mem.read_u32(base + i * stride);
+    es.stats.mem_indexed_elements += vl;
+    return ceil_rate(vl, es.mem_indexed_elems_per_cycle);
+  } else if constexpr (OP == Op::kVSts) {
+    Memory& mem = *es.memory;
+    const Addr base = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    const u64 stride = es.sreg(inst.c);
+    const u32* src = es.vreg_row(inst.a);
+    for (u32 i = 0; i < vl; ++i) mem.write_u32(base + i * stride, src[i]);
+    es.stats.mem_indexed_elements += vl;
+    return ceil_rate(vl, es.mem_indexed_elems_per_cycle);
+  } else if constexpr (OP == Op::kVAdd || OP == Op::kVSub || OP == Op::kVMul ||
+                       OP == Op::kVAnd || OP == Op::kVOr || OP == Op::kVXor ||
+                       OP == Op::kVMin || OP == Op::kVMax || OP == Op::kVSeq) {
+    u32* a = es.vreg_row(inst.a);
+    const u32* b = es.vreg_row(inst.b);
+    const u32* c = es.vreg_row(inst.c);
+    SMTU_VEC_LOOP
+    for (u32 i = 0; i < vl; ++i) {
+      if constexpr (OP == Op::kVAdd) a[i] = b[i] + c[i];
+      else if constexpr (OP == Op::kVSub) a[i] = b[i] - c[i];
+      else if constexpr (OP == Op::kVMul) a[i] = b[i] * c[i];
+      else if constexpr (OP == Op::kVAnd) a[i] = b[i] & c[i];
+      else if constexpr (OP == Op::kVOr) a[i] = b[i] | c[i];
+      else if constexpr (OP == Op::kVXor) a[i] = b[i] ^ c[i];
+      else if constexpr (OP == Op::kVMin) a[i] = std::min(b[i], c[i]);
+      else if constexpr (OP == Op::kVMax) a[i] = std::max(b[i], c[i]);
+      else a[i] = b[i] == c[i] ? 1 : 0;
+    }
+    return ceil_rate(vl, es.lanes);
+  } else if constexpr (OP == Op::kVFAdd || OP == Op::kVFMul) {
+    // Lane-wise float: no reassociation, so vectorizing is bit-exact.
+    u32* a = es.vreg_row(inst.a);
+    const u32* b = es.vreg_row(inst.b);
+    const u32* c = es.vreg_row(inst.c);
+    SMTU_VEC_LOOP
+    for (u32 i = 0; i < vl; ++i) {
+      if constexpr (OP == Op::kVFAdd) {
+        a[i] = std::bit_cast<u32>(std::bit_cast<float>(b[i]) + std::bit_cast<float>(c[i]));
+      } else {
+        a[i] = std::bit_cast<u32>(std::bit_cast<float>(b[i]) * std::bit_cast<float>(c[i]));
+      }
+    }
+    return ceil_rate(vl, es.lanes);
+  } else if constexpr (OP == Op::kVAddi) {
+    u32* a = es.vreg_row(inst.a);
+    const u32* b = es.vreg_row(inst.b);
+    const u32 imm = static_cast<u32>(inst.imm);
+    SMTU_VEC_LOOP
+    for (u32 i = 0; i < vl; ++i) a[i] = b[i] + imm;
+    return ceil_rate(vl, es.lanes);
+  } else if constexpr (OP == Op::kVAdds || OP == Op::kVSeqS) {
+    u32* a = es.vreg_row(inst.a);
+    const u32* b = es.vreg_row(inst.b);
+    const u32 scalar = static_cast<u32>(es.sreg(inst.c));
+    SMTU_VEC_LOOP
+    for (u32 i = 0; i < vl; ++i) {
+      if constexpr (OP == Op::kVAdds) a[i] = b[i] + scalar;
+      else a[i] = b[i] == scalar ? 1 : 0;
+    }
+    return ceil_rate(vl, es.lanes);
+  } else if constexpr (OP == Op::kVBcast || OP == Op::kVBcasti) {
+    u32* a = es.vreg_row(inst.a);
+    const u32 value = OP == Op::kVBcast ? static_cast<u32>(es.sreg(inst.b))
+                                        : static_cast<u32>(inst.imm);
+    SMTU_VEC_LOOP
+    for (u32 i = 0; i < vl; ++i) a[i] = value;
+    return ceil_rate(vl, es.lanes);
+  } else if constexpr (OP == Op::kVIota) {
+    u32* a = es.vreg_row(inst.a);
+    SMTU_VEC_LOOP
+    for (u32 i = 0; i < vl; ++i) a[i] = i;
+    return ceil_rate(vl, es.lanes);
+  } else if constexpr (OP == Op::kVSlideUp || OP == Op::kVSlideDown) {
+    const u32 shift = static_cast<u32>(inst.imm);
+    es.slide_scratch.assign(vl, 0);
+    const u32* src = es.vreg_row(inst.b);
+    for (u32 i = 0; i < vl; ++i) {
+      if constexpr (OP == Op::kVSlideUp) {
+        if (i >= shift) es.slide_scratch[i] = src[i - shift];
+      } else {
+        if (i + shift < vl) es.slide_scratch[i] = src[i + shift];
+      }
+    }
+    std::copy(es.slide_scratch.begin(), es.slide_scratch.end(), es.vreg_row(inst.a));
+    return ceil_rate(vl, es.lanes);
+  } else if constexpr (OP == Op::kVRedSum) {
+    const u32* b = es.vreg_row(inst.b);
+    u64 total = 0;
+    for (u32 i = 0; i < vl; ++i) total += b[i];
+    es.set_sreg(inst.a, total);
+    // Lane-parallel partial sums plus a log-depth combine.
+    return ceil_rate(vl, es.lanes) + log2_ceil(es.lanes + 1);
+  } else if constexpr (OP == Op::kVFRedSum) {
+    // Sequential accumulation order is architectural: do not vectorize.
+    const u32* b = es.vreg_row(inst.b);
+    float total = 0.0f;
+    for (u32 i = 0; i < vl; ++i) total += std::bit_cast<float>(b[i]);
+    es.set_sreg(inst.a, std::bit_cast<u32>(total));
+    return ceil_rate(vl, es.lanes) + log2_ceil(es.lanes + 1);
+  } else if constexpr (OP == Op::kVExtract) {
+    const u64 lane = es.sreg(inst.c);
+    SMTU_CHECK_MSG(lane < es.section, "v_extract lane out of range");
+    es.set_sreg(inst.a, es.vreg_row(inst.b)[lane]);
+    return 1;
+  } else if constexpr (OP == Op::kVGthC || OP == Op::kVGthR) {
+    Memory& mem = *es.memory;
+    const Addr base = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    const u32* pos = es.vreg_row(inst.c);
+    u32* dst = es.vreg_row(inst.a);
+    for (u32 i = 0; i < vl; ++i) {
+      const u32 lane = OP == Op::kVGthC ? (pos[i] >> 8) & 0xff : pos[i] & 0xff;
+      dst[i] = mem.read_u32(base + 4ull * lane);
+    }
+    // Positional access touches an s-element window only, which the HiSM
+    // hardware banks like the s x s memory: full lane-parallel rate.
+    es.stats.mem_indexed_elements += vl;
+    return ceil_rate(vl, es.lanes);
+  } else if constexpr (OP == Op::kVScaR || OP == Op::kVScaC) {
+    // Read-modify-write scatter: lanes may collide on an address, so the
+    // sequential order is architectural — do not vectorize.
+    Memory& mem = *es.memory;
+    const Addr base = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    const u32* pos = es.vreg_row(inst.c);
+    const u32* val = es.vreg_row(inst.a);
+    for (u32 i = 0; i < vl; ++i) {
+      const u32 lane = OP == Op::kVScaR ? pos[i] & 0xff : (pos[i] >> 8) & 0xff;
+      const Addr addr = base + 4ull * lane;
+      mem.write_u32(addr, std::bit_cast<u32>(std::bit_cast<float>(mem.read_u32(addr)) +
+                                             std::bit_cast<float>(val[i])));
+    }
+    es.stats.mem_indexed_elements += vl;
+    return ceil_rate(vl, es.lanes);  // banked s-element window
+  } else if constexpr (OP == Op::kVScaX) {
+    // General-index sibling of v_scac: full 32-bit indices, so it streams
+    // at the indexed rate (one address per element) like v_ldx/v_stx.
+    Memory& mem = *es.memory;
+    const Addr base = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    const u32* idx = es.vreg_row(inst.c);
+    const u32* val = es.vreg_row(inst.a);
+    for (u32 i = 0; i < vl; ++i) {
+      const Addr addr = base + 4ull * idx[i];
+      mem.write_u32(addr, std::bit_cast<u32>(std::bit_cast<float>(mem.read_u32(addr)) +
+                                             std::bit_cast<float>(val[i])));
+    }
+    es.stats.mem_indexed_elements += vl;
+    return ceil_rate(vl, es.mem_indexed_elems_per_cycle);
+  } else if constexpr (OP == Op::kIcm) {
+    es.stm->clear();
+    return 1;
+  } else if constexpr (OP == Op::kVLdb) {
+    Memory& mem = *es.memory;
+    const Addr pos_addr = es.sreg(inst.c);
+    const Addr val_addr = es.sreg(inst.d);
+    u32* val = es.vreg_row(inst.a);
+    u32* pos = es.vreg_row(inst.b);
+    if (vl != 0) {
+      const u8* pos_src = mem.read_span(pos_addr, 2ull * vl);
+      SMTU_VEC_LOOP
+      for (u32 i = 0; i < vl; ++i) {
+        pos[i] = static_cast<u32>(pos_src[2 * i]) | static_cast<u32>(pos_src[2 * i + 1]) << 8;
+      }
+      std::memcpy(val, mem.read_span(val_addr, 4ull * vl), 4ull * vl);
+    }
+    es.set_sreg(inst.c, pos_addr + 2ull * vl);
+    es.set_sreg(inst.d, val_addr + 4ull * vl);
+    es.stats.mem_contiguous_bytes += 6ull * vl;
+    return ceil_rate(6ull * vl, es.mem_bytes_per_cycle);
+  } else if constexpr (OP == Op::kVStb) {
+    // The position and value streams must not overlap (kernel contract).
+    // Finish the position bytes before taking the value span: write_span
+    // may reallocate the backing store and invalidate earlier pointers.
+    Memory& mem = *es.memory;
+    const Addr pos_addr = es.sreg(inst.c);
+    const Addr val_addr = es.sreg(inst.d);
+    const u32* val = es.vreg_row(inst.a);
+    const u32* pos = es.vreg_row(inst.b);
+    if (vl != 0) {
+      u8* pos_dst = mem.write_span(pos_addr, 2ull * vl);
+      SMTU_VEC_LOOP
+      for (u32 i = 0; i < vl; ++i) {
+        pos_dst[2 * i] = static_cast<u8>(pos[i]);
+        pos_dst[2 * i + 1] = static_cast<u8>(pos[i] >> 8);
+      }
+      std::memcpy(mem.write_span(val_addr, 4ull * vl), val, 4ull * vl);
+    }
+    es.set_sreg(inst.c, pos_addr + 2ull * vl);
+    es.set_sreg(inst.d, val_addr + 4ull * vl);
+    es.stats.mem_contiguous_bytes += 6ull * vl;
+    return ceil_rate(6ull * vl, es.mem_bytes_per_cycle);
+  } else if constexpr (OP == Op::kVStbv) {
+    Memory& mem = *es.memory;
+    const Addr val_addr = es.sreg(inst.b);
+    if (vl != 0) std::memcpy(mem.write_span(val_addr, 4ull * vl), es.vreg_row(inst.a), 4ull * vl);
+    es.set_sreg(inst.b, val_addr + 4ull * vl);
+    es.stats.mem_contiguous_bytes += 4ull * vl;
+    return ceil_rate(4ull * vl, es.mem_bytes_per_cycle);
+  } else if constexpr (OP == Op::kVStcr) {
+    es.stm_batch_scratch.resize(vl);
+    const u32* pos = es.vreg_row(inst.b);
+    const u32* val = es.vreg_row(inst.a);
+    for (u32 i = 0; i < vl; ++i) {
+      const u32 p = pos[i];
+      es.stm_batch_scratch[i] = {static_cast<u8>(p & 0xff), static_cast<u8>((p >> 8) & 0xff),
+                                 val[i]};
+    }
+    es.stats.stm_elements += vl;
+    return es.stm->write_batch(es.stm_batch_scratch);
+  } else if constexpr (OP == Op::kVLdcc) {
+    const StmUnit::ReadBatch batch = es.stm->read_batch(vl);
+    u32* val = es.vreg_row(inst.a);
+    u32* pos = es.vreg_row(inst.b);
+    for (u32 i = 0; i < vl; ++i) {
+      val[i] = batch.entries[i].value_bits;
+      pos[i] = static_cast<u32>(batch.entries[i].row) |
+               static_cast<u32>(batch.entries[i].col) << 8;
+    }
+    es.stats.stm_elements += vl;
+    return batch.cycles;
+  } else {
+    static_assert(always_false_op<OP>, "not a vector op");
+  }
+}
+
+// Full execution of one vector instruction under the resource-time model:
+// hazards, issue slots, unit occupancy, chaining, STM bank ordering, bank
+// contention, then the functional body. The per-opcode instantiation lets
+// the unit/startup/trace classification and the STM special cases resolve
+// at compile time; the cycle arithmetic is the same as step_switch().
+template <Op OP>
+void exec_vector(ExecState& es, const Instruction& inst, const DecodedInst& dec) {
+  const Cycle profile_w_before = step_prologue(es, inst);
+  ++es.stats.vector_instructions;
+  es.stats.vector_elements += es.vl;
+
+  // Scalar sources the instruction needs at issue (predecoded). Alongside
+  // the ready time, track which constraint set it (the profiler's stall
+  // reason); strictly-later constraints win, so ties keep the first-listed
+  // reason.
+  Cycle ready = es.pc_redirect;
+  StallReason stall_why = StallReason::kScalarFetch;
+  if (es.vl_ready > ready) {
+    ready = es.vl_ready;
+    stall_why = StallReason::kRawHazard;
+  }
+  for (u32 i = 0; i < dec.num_sregs; ++i) {
+    const Cycle r = es.sreg_ready[dec.sregs[i]];
+    if (r > ready) {
+      ready = r;
+      stall_why = StallReason::kRawHazard;
+    }
+  }
+  // Start absent hazard/resource constraints: the fetch point plus
+  // sequential issue — the profiler's baseline for constraint delay.
+  const Cycle profile_unblocked = std::max(es.pc_redirect, es.last_issue + 1);
+  const Cycle t_issue = es.take_issue_slot(std::max(ready, es.last_issue));
+  es.last_issue = t_issue;
+  if (t_issue > ready) stall_why = StallReason::kIssueLimit;
+
+  constexpr ExecUnit kUnit = op_unit(OP);
+  constexpr usize kUnitIdx = static_cast<usize>(kUnit);
+  const u32 startup = es.startup_by_kind[static_cast<usize>(op_startup(OP))];
+
+  // Which bank an STM instruction touches (known before execution: the
+  // fill side for icm/v_stcr, the peeked drain bank for v_ldcc).
+  [[maybe_unused]] u32 stm_op_bank = 0;
+  Cycle resource_ready = es.unit_free[kUnitIdx];
+  if constexpr (OP == Op::kVLdcc) {
+    stm_op_bank = es.stm->peek_drain_bank();
+    // A bank drains only after its fill completed; a separate drain
+    // datapath exists only with the second buffer.
+    resource_ready = es.stm_double
+                         ? std::max(es.stm_drain_free, es.stm_fill_done[stm_op_bank])
+                         : std::max(es.unit_free[kUnitIdx], es.stm_fill_done[stm_op_bank]);
+  } else if constexpr (OP == Op::kIcm) {
+    if (es.stm_double) {
+      // Switching banks: the incoming bank's drain must have finished.
+      stm_op_bank = es.stm->fill_bank() ^ 1;
+      resource_ready = std::max(es.unit_free[kUnitIdx], es.stm_drain_done[stm_op_bank]);
+    }
+  } else if constexpr (kUnit == ExecUnit::kStm) {
+    stm_op_bank = es.stm_double ? es.stm->fill_bank() : 0u;
+  }
+
+  // Start time: issue, unit availability, producers' first element (or
+  // completion without chaining), and hazards on the destinations.
+  Cycle t_start = t_issue;
+  const auto bind = [&](Cycle term, StallReason reason) {
+    if (term > t_start) {
+      t_start = term;
+      stall_why = reason;
+    }
+  };
+  bind(resource_ready,
+       kUnit == ExecUnit::kVMem
+           ? (es.vmem_last_indexed ? StallReason::kMemIndexedSerial : StallReason::kMemPort)
+           : (kUnit == ExecUnit::kStm ? StallReason::kStmBusy : StallReason::kValuBusy));
+  Cycle src_last = 0;
+  for (u32 i = 0; i < dec.num_srcs; ++i) {
+    const u8 r = dec.srcs[i];
+    bind(es.chaining ? es.vreg_first[r] : es.vreg_last[r],
+         es.chaining ? StallReason::kChainingWait : StallReason::kRawHazard);
+    src_last = std::max(src_last, es.vreg_last[r]);
+  }
+  for (u32 i = 0; i < dec.num_dsts; ++i) {
+    const u8 r = dec.dsts[i];
+    bind(std::max(es.vreg_readers_done[r], es.vreg_last[r]), StallReason::kVregBusy);
+  }
+
+  // Shared banked memory: the access may be pushed back behind another
+  // core's occupancy of the banks it touches. A lone core never pushes
+  // itself back (its per-bank occupancy is bounded by its own access
+  // duration), which keeps the N=1 system bit-identical.
+  if constexpr (kUnit == ExecUnit::kVMem) {
+    if (es.memory_system != nullptr) {
+      Addr mem_addr = 0;
+      u64 mem_bytes = 0;
+      vmem_footprint_for<OP>(es, inst, &mem_addr, &mem_bytes);
+      const Cycle granted = es.memory_system->request(mem_addr, mem_bytes, t_start);
+      if (granted > t_start) {
+        t_start = granted;
+        stall_why = StallReason::kMemBankContention;
+      }
+    }
+  }
+
+  const u32 duration = exec_vector_body<OP>(es, inst);
+
+  const Cycle first_out = t_start + startup + 1;
+  const Cycle last_out =
+      std::max(t_start + startup + duration, src_last == 0 ? 0 : src_last + startup);
+  // Pipelined units are occupied for their transfer slots only; the
+  // startup is latency that later, independent instructions overlap.
+  // The STM is the exception: the s x s memory is a single buffer, so
+  // the unit stays busy until its results drain.
+  const bool pipelined =
+      (kUnit == ExecUnit::kVMem && es.mem_pipelined_startup) || kUnit == ExecUnit::kVAlu;
+  const Cycle busy_until = pipelined ? std::max(t_start + duration, src_last) : last_out;
+  if constexpr (OP == Op::kVLdcc) {
+    if (es.stm_double) {
+      es.stm_drain_free = std::max(es.stm_drain_free, busy_until);
+    } else {
+      es.unit_free[kUnitIdx] = std::max(es.unit_free[kUnitIdx], busy_until);
+    }
+    es.stm_drain_done[stm_op_bank] = std::max(es.stm_drain_done[stm_op_bank], last_out);
+  } else if constexpr (kUnit == ExecUnit::kStm) {
+    es.unit_free[kUnitIdx] = std::max(es.unit_free[kUnitIdx], busy_until);
+    es.stm_fill_done[stm_op_bank] = std::max(es.stm_fill_done[stm_op_bank], last_out);
+  } else {
+    es.unit_free[kUnitIdx] = std::max(es.unit_free[kUnitIdx], busy_until);
+    if constexpr (kUnit == ExecUnit::kVMem) es.vmem_last_indexed = op_indexed_vmem(OP);
+  }
+  const u64 busy = busy_until - t_start;
+  if constexpr (kUnit == ExecUnit::kVMem) {
+    es.stats.vmem_busy_cycles += busy;
+  } else if constexpr (kUnit == ExecUnit::kVAlu) {
+    es.stats.valu_busy_cycles += busy;
+  } else {
+    es.stats.stm_busy_cycles += busy;
+  }
+
+  if (es.trace_sink != nullptr) [[unlikely]] {
+    constexpr TraceUnit kTraceUnit = kUnit == ExecUnit::kVMem   ? TraceUnit::kVMem
+                                     : kUnit == ExecUnit::kVAlu ? TraceUnit::kVAlu
+                                                                : TraceUnit::kStm;
+    es.trace_sink->record(
+        {es.pc, OP, es.vl, kTraceUnit, t_issue, t_start, first_out, last_out, es.core_id});
+  }
+  for (u32 i = 0; i < dec.num_dsts; ++i) {
+    const u8 r = dec.dsts[i];
+    es.vreg_first[r] = first_out;
+    es.vreg_last[r] = last_out;
+    es.vreg_readers_done[r] = last_out;
+  }
+  for (u32 i = 0; i < dec.num_srcs; ++i) {
+    const u8 r = dec.srcs[i];
+    es.vreg_readers_done[r] = std::max(es.vreg_readers_done[r], last_out);
+  }
+
+  // Scalar side effects of vector instructions.
+  if constexpr (OP == Op::kVLdb || OP == Op::kVStb) {
+    es.retire_scalar(inst.c, t_issue + es.scalar_op_latency);
+    es.retire_scalar(inst.d, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kVStbv) {
+    es.retire_scalar(inst.b, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kVRedSum || OP == Op::kVFRedSum || OP == Op::kVExtract) {
+    es.retire_scalar(inst.a, last_out + 1);
+  }
+  es.bump_watermark(last_out);
+  if (es.profiler != nullptr) {
+    constexpr BusyKind kBusy =
+        kUnit == ExecUnit::kVMem
+            ? (op_indexed_vmem(OP) ? BusyKind::kVMemIndexed : BusyKind::kVMemStream)
+            : (kUnit == ExecUnit::kStm ? BusyKind::kStm : BusyKind::kVAlu);
+    es.profiler->record({es.pc, OP, es.vl, kBusy, stall_why, t_start, profile_unblocked,
+                         profile_w_before, es.watermark, busy});
+  }
+  ++es.pc;
+}
+
+// Full execution of one scalar instruction: hazards, issue slot, memory
+// port, functional body, retirement, trace/profile. Mirrors the scalar
+// half of step_switch() exactly.
+template <Op OP>
+void exec_scalar(ExecState& es, const Instruction& inst, const DecodedInst& dec) {
+  const Cycle profile_w_before = step_prologue(es, inst);
+  ++es.stats.scalar_instructions;
+  Cycle ready = es.pc_redirect;
+  StallReason stall_why = StallReason::kScalarFetch;
+  for (u32 i = 0; i < dec.num_sregs; ++i) {
+    const Cycle r = es.sreg_ready[dec.sregs[i]];
+    if (r > ready) {
+      ready = r;
+      stall_why = StallReason::kRawHazard;
+    }
+  }
+
+  const Cycle profile_unblocked = std::max(es.pc_redirect, es.last_issue + 1);
+  Cycle t_issue = es.take_issue_slot(std::max(ready, es.last_issue));
+  if (t_issue > ready) stall_why = StallReason::kIssueLimit;
+  if constexpr (op_scalar_mem(OP)) {
+    const Cycle slot = es.take_scalar_mem_slot(t_issue);
+    if (slot > t_issue) {
+      t_issue = slot;
+      stall_why = StallReason::kMemPort;
+    }
+  }
+  es.last_issue = t_issue;
+  es.bump_watermark(t_issue);
+
+  usize next_pc = es.pc + 1;
+  if constexpr (OP == Op::kLi) {
+    es.set_sreg(inst.a, static_cast<u64>(inst.imm));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kMv) {
+    es.set_sreg(inst.a, es.sreg(inst.b));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kAdd) {
+    es.set_sreg(inst.a, es.sreg(inst.b) + es.sreg(inst.c));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kSub) {
+    es.set_sreg(inst.a, es.sreg(inst.b) - es.sreg(inst.c));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kMul) {
+    es.set_sreg(inst.a, es.sreg(inst.b) * es.sreg(inst.c));
+    es.retire_scalar(inst.a, t_issue + es.mul_latency);
+  } else if constexpr (OP == Op::kAnd) {
+    es.set_sreg(inst.a, es.sreg(inst.b) & es.sreg(inst.c));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kOr) {
+    es.set_sreg(inst.a, es.sreg(inst.b) | es.sreg(inst.c));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kXor) {
+    es.set_sreg(inst.a, es.sreg(inst.b) ^ es.sreg(inst.c));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kSll) {
+    es.set_sreg(inst.a, es.sreg(inst.b) << (es.sreg(inst.c) & 63));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kSrl) {
+    es.set_sreg(inst.a, es.sreg(inst.b) >> (es.sreg(inst.c) & 63));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kMin) {
+    es.set_sreg(inst.a, std::min(es.sreg(inst.b), es.sreg(inst.c)));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kMax) {
+    es.set_sreg(inst.a, std::max(es.sreg(inst.b), es.sreg(inst.c)));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kFAdd) {
+    es.set_sreg(inst.a,
+                std::bit_cast<u32>(std::bit_cast<float>(static_cast<u32>(es.sreg(inst.b))) +
+                                   std::bit_cast<float>(static_cast<u32>(es.sreg(inst.c)))));
+    es.retire_scalar(inst.a, t_issue + es.mul_latency);
+  } else if constexpr (OP == Op::kFMul) {
+    es.set_sreg(inst.a,
+                std::bit_cast<u32>(std::bit_cast<float>(static_cast<u32>(es.sreg(inst.b))) *
+                                   std::bit_cast<float>(static_cast<u32>(es.sreg(inst.c)))));
+    es.retire_scalar(inst.a, t_issue + es.mul_latency);
+  } else if constexpr (OP == Op::kAddi) {
+    es.set_sreg(inst.a, es.sreg(inst.b) + static_cast<u64>(inst.imm));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kMuli) {
+    es.set_sreg(inst.a, es.sreg(inst.b) * static_cast<u64>(inst.imm));
+    es.retire_scalar(inst.a, t_issue + es.mul_latency);
+  } else if constexpr (OP == Op::kAndi) {
+    es.set_sreg(inst.a, es.sreg(inst.b) & static_cast<u64>(inst.imm));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kSlli) {
+    es.set_sreg(inst.a, es.sreg(inst.b) << (inst.imm & 63));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kSrli) {
+    es.set_sreg(inst.a, es.sreg(inst.b) >> (inst.imm & 63));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kLw) {
+    es.set_sreg(inst.a, es.memory->read_u32(es.sreg(inst.b) + static_cast<u64>(inst.imm)));
+    es.retire_scalar(inst.a, t_issue + es.scalar_load_latency);
+  } else if constexpr (OP == Op::kLhu) {
+    es.set_sreg(inst.a, es.memory->read_u16(es.sreg(inst.b) + static_cast<u64>(inst.imm)));
+    es.retire_scalar(inst.a, t_issue + es.scalar_load_latency);
+  } else if constexpr (OP == Op::kLbu) {
+    es.set_sreg(inst.a, es.memory->read_u8(es.sreg(inst.b) + static_cast<u64>(inst.imm)));
+    es.retire_scalar(inst.a, t_issue + es.scalar_load_latency);
+  } else if constexpr (OP == Op::kSw) {
+    es.memory->write_u32(es.sreg(inst.b) + static_cast<u64>(inst.imm),
+                         static_cast<u32>(es.sreg(inst.a)));
+  } else if constexpr (OP == Op::kSh) {
+    es.memory->write_u16(es.sreg(inst.b) + static_cast<u64>(inst.imm),
+                         static_cast<u16>(es.sreg(inst.a)));
+  } else if constexpr (OP == Op::kSb) {
+    es.memory->write_u8(es.sreg(inst.b) + static_cast<u64>(inst.imm),
+                        static_cast<u8>(es.sreg(inst.a)));
+  } else if constexpr (OP == Op::kAmoAdd) {
+    // Atomic fetch-and-add: atomicity comes for free because the system
+    // interleaves whole instructions; the memory round trip costs a
+    // scalar load latency.
+    const Addr addr = es.sreg(inst.b) + static_cast<u64>(inst.imm);
+    const u32 old = es.memory->read_u32(addr);
+    es.memory->write_u32(addr, old + static_cast<u32>(es.sreg(inst.c)));
+    es.set_sreg(inst.a, old);
+    es.retire_scalar(inst.a, t_issue + es.scalar_load_latency);
+  } else if constexpr (OP == Op::kBeq || OP == Op::kBne || OP == Op::kBlt || OP == Op::kBge) {
+    const i64 lhs = static_cast<i64>(es.sreg(inst.a));
+    const i64 rhs = static_cast<i64>(es.sreg(inst.b));
+    bool taken = false;
+    if constexpr (OP == Op::kBeq) taken = lhs == rhs;
+    else if constexpr (OP == Op::kBne) taken = lhs != rhs;
+    else if constexpr (OP == Op::kBlt) taken = lhs < rhs;
+    else taken = lhs >= rhs;
+    if (taken) {
+      next_pc = static_cast<usize>(inst.imm);
+      es.pc_redirect = t_issue + 1 + es.branch_penalty;
+    }
+  } else if constexpr (OP == Op::kJal) {
+    es.set_sreg(inst.a, static_cast<u64>(es.pc + 1));
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+    next_pc = static_cast<usize>(inst.imm);
+    es.pc_redirect = t_issue + 1 + es.branch_penalty;
+  } else if constexpr (OP == Op::kJr) {
+    next_pc = static_cast<usize>(es.sreg(inst.a));
+    es.pc_redirect = t_issue + 1 + es.branch_penalty;
+  } else if constexpr (OP == Op::kSsvl) {
+    const u64 remaining = es.sreg(inst.a);
+    es.vl = static_cast<u32>(std::min<u64>(es.section, remaining));
+    es.set_sreg(inst.a, remaining - es.vl);
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+    es.vl_ready = std::max(es.vl_ready, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kSetvl) {
+    es.vl = static_cast<u32>(std::min<u64>(es.section, es.sreg(inst.b)));
+    es.set_sreg(inst.a, es.vl);
+    es.retire_scalar(inst.a, t_issue + es.scalar_op_latency);
+    es.vl_ready = std::max(es.vl_ready, t_issue + es.scalar_op_latency);
+  } else if constexpr (OP == Op::kBarrier) {
+    // Rendezvous: this core is done when everything it issued completes
+    // (the watermark). The trace/profiler sample is deferred to
+    // release_barrier(), where the wait's true extent is known.
+    es.status = StepStatus::kAtBarrier;
+    es.barrier_arrival = es.watermark;
+    es.barrier_issue = t_issue;
+    es.barrier_unblocked = profile_unblocked;
+    es.barrier_w_before = profile_w_before;
+    es.barrier_pc = es.pc;
+    es.barrier_why = stall_why;
+    es.pc = next_pc;
+    return;
+  } else if constexpr (OP == Op::kHalt) {
+    es.status = StepStatus::kHalted;
+  } else if constexpr (OP == Op::kNop) {
+    // nothing
+  } else {
+    static_assert(always_false_op<OP>, "unhandled scalar op in execute");
+  }
+  if (es.trace_sink != nullptr) [[unlikely]] {
+    const Cycle done = inst.a != kRegZero ? es.sreg_ready[inst.a] : t_issue;
+    es.trace_sink->record({es.pc, OP, 0, TraceUnit::kScalar, t_issue, t_issue,
+                           std::max(t_issue, done), std::max(t_issue, done), es.core_id});
+  }
+  if (es.profiler != nullptr) {
+    es.profiler->record({es.pc, OP, 0, BusyKind::kScalar, stall_why, t_issue,
+                         profile_unblocked, profile_w_before, es.watermark, 1});
+  }
+  es.pc = next_pc;
+}
+
+template <Op OP>
+void op_entry(ExecState& es, const Instruction& inst, const DecodedInst& dec) {
+  if constexpr (op_is_vector(OP)) {
+    exec_vector<OP>(es, inst, dec);
+  } else {
+    exec_scalar<OP>(es, inst, dec);
+  }
+}
+
+template <usize... Is>
+constexpr std::array<OpHandler, kOpCount> make_handler_table(std::index_sequence<Is...>) {
+  return {&op_entry<static_cast<Op>(Is)>...};
+}
+
+constexpr std::array<OpHandler, kOpCount> kHandlerTable =
+    make_handler_table(std::make_index_sequence<kOpCount>{});
+
+}  // namespace
+
+OpHandler opcode_handler(Op op) {
+  const usize index = static_cast<usize>(op);
+  SMTU_CHECK_MSG(index < kOpCount, "opcode out of range");
+  return kHandlerTable[index];
+}
 
 Machine::Machine(const MachineConfig& config) : config_(config) {
   check_config(config_);
   owned_memory_ = std::make_unique<Memory>(config_.memory_limit);
   owned_stm_ = std::make_unique<StmUnit>(stm_config_for(config_));
-  memory_ = owned_memory_.get();
-  stm_ = owned_stm_.get();
-  vregs_.assign(kNumVectorRegs, std::vector<u32>(config_.section, 0));
-  vreg_time_.assign(kNumVectorRegs, {});
+  es_.memory = owned_memory_.get();
+  es_.stm = owned_stm_.get();
+  dispatch_ = default_dispatch_mode();
+  init_exec_state();
 }
 
-Machine::Machine(const MachineConfig& config, const CoreContext& context)
-    : config_(config) {
+Machine::Machine(const MachineConfig& config, const CoreContext& context) : config_(config) {
   check_config(config_);
   SMTU_CHECK_MSG(context.memory != nullptr, "CoreContext requires a memory");
-  memory_ = context.memory;
-  memory_system_ = context.memory_system;
+  es_.memory = context.memory;
+  es_.memory_system = context.memory_system;
   owned_stm_ = std::make_unique<StmUnit>(stm_config_for(config_));
-  stm_ = owned_stm_.get();
-  profiler_ = context.profiler;
-  trace_sink_ = context.trace;
-  core_id_ = context.core_id;
-  vregs_.assign(kNumVectorRegs, std::vector<u32>(config_.section, 0));
-  vreg_time_.assign(kNumVectorRegs, {});
+  es_.stm = owned_stm_.get();
+  es_.profiler = context.profiler;
+  es_.trace_sink = context.trace;
+  es_.core_id = context.core_id;
+  dispatch_ = default_dispatch_mode();
+  init_exec_state();
 }
 
-u64 Machine::sreg(u32 index) const {
-  SMTU_CHECK(index < kNumScalarRegs);
-  return index == kRegZero ? 0 : sregs_[index];
+void Machine::init_exec_state() {
+  es_.section = config_.section;
+  es_.vreg_data.assign(static_cast<usize>(kNumVectorRegs) * config_.section, 0);
+  es_.lanes = config_.lanes;
+  es_.scalar_issue_width = config_.scalar_issue_width;
+  es_.scalar_mem_ports = config_.scalar_mem_ports;
+  es_.mem_bytes_per_cycle = config_.mem_bytes_per_cycle;
+  es_.mem_indexed_elems_per_cycle = config_.mem_indexed_elems_per_cycle;
+  es_.scalar_op_latency = config_.scalar_op_latency;
+  es_.scalar_load_latency = config_.scalar_load_latency;
+  es_.mul_latency = config_.mul_latency;
+  es_.branch_penalty = config_.branch_penalty;
+  es_.chaining = config_.chaining;
+  es_.mem_pipelined_startup = config_.mem_pipelined_startup;
+  es_.stm_double = config_.stm.double_buffer;
+  es_.max_instructions = config_.max_instructions;
 }
 
-void Machine::set_sreg(u32 index, u64 value) {
-  SMTU_CHECK(index < kNumScalarRegs);
-  if (index != kRegZero) sregs_[index] = value;
-}
-
-const std::vector<u32>& Machine::vreg(u32 index) const {
+std::span<const u32> Machine::vreg(u32 index) const {
   SMTU_CHECK(index < kNumVectorRegs);
-  return vregs_[index];
+  return {es_.vreg_row(index), es_.section};
 }
 
-void Machine::enable_trace(u64 max_lines) { trace_remaining_ = max_lines; }
-
-Cycle Machine::take_issue_slot(Cycle earliest) {
-  if (earliest > issue_cycle_) {
-    issue_cycle_ = earliest;
-    issue_used_ = 0;
-  }
-  if (issue_used_ >= config_.scalar_issue_width) {
-    ++issue_cycle_;
-    issue_used_ = 0;
-  }
-  ++issue_used_;
-  return issue_cycle_;
-}
-
-Cycle Machine::take_scalar_mem_slot(Cycle earliest) {
-  if (earliest > scalar_mem_cycle_) {
-    scalar_mem_cycle_ = earliest;
-    scalar_mem_used_ = 0;
-  }
-  if (scalar_mem_used_ >= config_.scalar_mem_ports) {
-    ++scalar_mem_cycle_;
-    scalar_mem_used_ = 0;
-  }
-  ++scalar_mem_used_;
-  return scalar_mem_cycle_;
-}
-
-void Machine::retire_scalar(u32 dest, Cycle ready) {
-  if (dest != kRegZero) sreg_ready_[dest] = std::max(sreg_ready_[dest], ready);
-  bump_watermark(ready);
-}
-
+// Reference functional execution of one vector instruction, per element
+// through the checked memory accessors — the original interpreter bodies,
+// kept verbatim as the differential baseline for the spanned/SIMD handler
+// bodies above.
 u32 Machine::execute_vector(const Instruction& inst) {
-  const u32 vl = vl_;
-  auto& V = vregs_;
+  const u32 vl = es_.vl;
+  const auto V = [this](u8 r) { return es_.vreg_row(r); };
   const auto ceil_rate = [](u64 amount, u64 per_cycle) {
     return static_cast<u32>(ceil_div(amount, per_cycle));
   };
+  Memory& mem = *es_.memory;
 
   switch (inst.op) {
     case Op::kVLd: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = memory_->read_u32(base + 4 * i);
-      stats_.mem_contiguous_bytes += 4ull * vl;
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = mem.read_u32(base + 4 * i);
+      es_.stats.mem_contiguous_bytes += 4ull * vl;
       return ceil_rate(4ull * vl, config_.mem_bytes_per_cycle);
     }
     case Op::kVSt: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
-      for (u32 i = 0; i < vl; ++i) memory_->write_u32(base + 4 * i, V[inst.a][i]);
-      stats_.mem_contiguous_bytes += 4ull * vl;
+      for (u32 i = 0; i < vl; ++i) mem.write_u32(base + 4 * i, V(inst.a)[i]);
+      es_.stats.mem_contiguous_bytes += 4ull * vl;
       return ceil_rate(4ull * vl, config_.mem_bytes_per_cycle);
     }
     case Op::kVLdx: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
-        V[inst.a][i] = memory_->read_u32(base + 4ull * V[inst.c][i]);
+        V(inst.a)[i] = mem.read_u32(base + 4ull * V(inst.c)[i]);
       }
-      stats_.mem_indexed_elements += vl;
+      es_.stats.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
     }
     case Op::kVStx: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
-        memory_->write_u32(base + 4ull * V[inst.c][i], V[inst.a][i]);
+        mem.write_u32(base + 4ull * V(inst.c)[i], V(inst.a)[i]);
       }
-      stats_.mem_indexed_elements += vl;
+      es_.stats.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
     }
     case Op::kVLds: {
       // Strided accesses hit one bank per element, like indexed ones.
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       const u64 stride = sreg(inst.c);
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = memory_->read_u32(base + i * stride);
-      stats_.mem_indexed_elements += vl;
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = mem.read_u32(base + i * stride);
+      es_.stats.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
     }
     case Op::kVSts: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       const u64 stride = sreg(inst.c);
-      for (u32 i = 0; i < vl; ++i) memory_->write_u32(base + i * stride, V[inst.a][i]);
-      stats_.mem_indexed_elements += vl;
+      for (u32 i = 0; i < vl; ++i) mem.write_u32(base + i * stride, V(inst.a)[i]);
+      es_.stats.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
     }
     case Op::kVAdd:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] + V[inst.c][i];
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = V(inst.b)[i] + V(inst.c)[i];
       return ceil_rate(vl, config_.lanes);
     case Op::kVSub:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] - V[inst.c][i];
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = V(inst.b)[i] - V(inst.c)[i];
       return ceil_rate(vl, config_.lanes);
     case Op::kVMul:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] * V[inst.c][i];
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = V(inst.b)[i] * V(inst.c)[i];
       return ceil_rate(vl, config_.lanes);
     case Op::kVAnd:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] & V[inst.c][i];
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = V(inst.b)[i] & V(inst.c)[i];
       return ceil_rate(vl, config_.lanes);
     case Op::kVOr:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] | V[inst.c][i];
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = V(inst.b)[i] | V(inst.c)[i];
       return ceil_rate(vl, config_.lanes);
     case Op::kVXor:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] ^ V[inst.c][i];
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = V(inst.b)[i] ^ V(inst.c)[i];
       return ceil_rate(vl, config_.lanes);
     case Op::kVMin:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = std::min(V[inst.b][i], V[inst.c][i]);
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = std::min(V(inst.b)[i], V(inst.c)[i]);
       return ceil_rate(vl, config_.lanes);
     case Op::kVMax:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = std::max(V[inst.b][i], V[inst.c][i]);
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = std::max(V(inst.b)[i], V(inst.c)[i]);
       return ceil_rate(vl, config_.lanes);
     case Op::kVAddi:
       for (u32 i = 0; i < vl; ++i) {
-        V[inst.a][i] = V[inst.b][i] + static_cast<u32>(inst.imm);
+        V(inst.a)[i] = V(inst.b)[i] + static_cast<u32>(inst.imm);
       }
       return ceil_rate(vl, config_.lanes);
     case Op::kVAdds: {
       const u32 scalar = static_cast<u32>(sreg(inst.c));
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] + scalar;
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = V(inst.b)[i] + scalar;
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVBcast: {
       const u32 scalar = static_cast<u32>(sreg(inst.b));
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = scalar;
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = scalar;
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVBcasti:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = static_cast<u32>(inst.imm);
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = static_cast<u32>(inst.imm);
       return ceil_rate(vl, config_.lanes);
     case Op::kVIota:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = i;
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = i;
       return ceil_rate(vl, config_.lanes);
     case Op::kVSlideUp: {
       const u32 shift = static_cast<u32>(inst.imm);
-      slide_scratch_.assign(vl, 0);
+      es_.slide_scratch.assign(vl, 0);
       for (u32 i = 0; i < vl; ++i) {
-        if (i >= shift) slide_scratch_[i] = V[inst.b][i - shift];
+        if (i >= shift) es_.slide_scratch[i] = V(inst.b)[i - shift];
       }
-      std::copy(slide_scratch_.begin(), slide_scratch_.end(), V[inst.a].begin());
+      std::copy(es_.slide_scratch.begin(), es_.slide_scratch.end(), V(inst.a));
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVSlideDown: {
       const u32 shift = static_cast<u32>(inst.imm);
-      slide_scratch_.assign(vl, 0);
+      es_.slide_scratch.assign(vl, 0);
       for (u32 i = 0; i < vl; ++i) {
-        if (i + shift < vl) slide_scratch_[i] = V[inst.b][i + shift];
+        if (i + shift < vl) es_.slide_scratch[i] = V(inst.b)[i + shift];
       }
-      std::copy(slide_scratch_.begin(), slide_scratch_.end(), V[inst.a].begin());
+      std::copy(es_.slide_scratch.begin(), es_.slide_scratch.end(), V(inst.a));
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVRedSum: {
       u64 total = 0;
-      for (u32 i = 0; i < vl; ++i) total += V[inst.b][i];
+      for (u32 i = 0; i < vl; ++i) total += V(inst.b)[i];
       set_sreg(inst.a, total);
       // Lane-parallel partial sums plus a log-depth combine.
       return ceil_rate(vl, config_.lanes) + log2_ceil(config_.lanes + 1);
@@ -226,63 +952,61 @@ u32 Machine::execute_vector(const Instruction& inst) {
     case Op::kVExtract: {
       const u64 lane = sreg(inst.c);
       SMTU_CHECK_MSG(lane < config_.section, "v_extract lane out of range");
-      set_sreg(inst.a, V[inst.b][lane]);
+      set_sreg(inst.a, V(inst.b)[lane]);
       return 1;
     }
     case Op::kVSeq:
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] == V[inst.c][i] ? 1 : 0;
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = V(inst.b)[i] == V(inst.c)[i] ? 1 : 0;
       return ceil_rate(vl, config_.lanes);
     case Op::kVSeqS: {
       const u32 scalar = static_cast<u32>(sreg(inst.c));
-      for (u32 i = 0; i < vl; ++i) V[inst.a][i] = V[inst.b][i] == scalar ? 1 : 0;
+      for (u32 i = 0; i < vl; ++i) V(inst.a)[i] = V(inst.b)[i] == scalar ? 1 : 0;
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVFRedSum: {
       float total = 0.0f;
-      for (u32 i = 0; i < vl; ++i) total += std::bit_cast<float>(V[inst.b][i]);
+      for (u32 i = 0; i < vl; ++i) total += std::bit_cast<float>(V(inst.b)[i]);
       set_sreg(inst.a, std::bit_cast<u32>(total));
       return ceil_rate(vl, config_.lanes) + log2_ceil(config_.lanes + 1);
     }
     case Op::kVGthC: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
-        const u32 col = (V[inst.c][i] >> 8) & 0xff;
-        V[inst.a][i] = memory_->read_u32(base + 4ull * col);
+        const u32 col = (V(inst.c)[i] >> 8) & 0xff;
+        V(inst.a)[i] = mem.read_u32(base + 4ull * col);
       }
       // Positional access touches an s-element window only, which the HiSM
       // hardware banks like the s x s memory: full lane-parallel rate.
-      stats_.mem_indexed_elements += vl;
+      es_.stats.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVScaR: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
-        const u32 row = V[inst.c][i] & 0xff;
+        const u32 row = V(inst.c)[i] & 0xff;
         const Addr addr = base + 4ull * row;
-        memory_->write_f32(addr, memory_->read_f32(addr) +
-                                     std::bit_cast<float>(V[inst.a][i]));
+        mem.write_f32(addr, mem.read_f32(addr) + std::bit_cast<float>(V(inst.a)[i]));
       }
-      stats_.mem_indexed_elements += vl;
+      es_.stats.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.lanes);  // banked s-element window
     }
     case Op::kVGthR: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
-        const u32 row = V[inst.c][i] & 0xff;
-        V[inst.a][i] = memory_->read_u32(base + 4ull * row);
+        const u32 row = V(inst.c)[i] & 0xff;
+        V(inst.a)[i] = mem.read_u32(base + 4ull * row);
       }
-      stats_.mem_indexed_elements += vl;
+      es_.stats.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVScaC: {
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
-        const u32 col = (V[inst.c][i] >> 8) & 0xff;
+        const u32 col = (V(inst.c)[i] >> 8) & 0xff;
         const Addr addr = base + 4ull * col;
-        memory_->write_f32(addr, memory_->read_f32(addr) +
-                                     std::bit_cast<float>(V[inst.a][i]));
+        mem.write_f32(addr, mem.read_f32(addr) + std::bit_cast<float>(V(inst.a)[i]));
       }
-      stats_.mem_indexed_elements += vl;
+      es_.stats.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.lanes);
     }
     case Op::kVScaX: {
@@ -290,81 +1014,80 @@ u32 Machine::execute_vector(const Instruction& inst) {
       // at the indexed rate (one address per element) like v_ldx/v_stx.
       const Addr base = sreg(inst.b) + static_cast<u64>(inst.imm);
       for (u32 i = 0; i < vl; ++i) {
-        const Addr addr = base + 4ull * V[inst.c][i];
-        memory_->write_f32(addr, memory_->read_f32(addr) +
-                                     std::bit_cast<float>(V[inst.a][i]));
+        const Addr addr = base + 4ull * V(inst.c)[i];
+        mem.write_f32(addr, mem.read_f32(addr) + std::bit_cast<float>(V(inst.a)[i]));
       }
-      stats_.mem_indexed_elements += vl;
+      es_.stats.mem_indexed_elements += vl;
       return ceil_rate(vl, config_.mem_indexed_elems_per_cycle);
     }
     case Op::kVFAdd:
       for (u32 i = 0; i < vl; ++i) {
-        V[inst.a][i] = std::bit_cast<u32>(std::bit_cast<float>(V[inst.b][i]) +
-                                          std::bit_cast<float>(V[inst.c][i]));
+        V(inst.a)[i] = std::bit_cast<u32>(std::bit_cast<float>(V(inst.b)[i]) +
+                                          std::bit_cast<float>(V(inst.c)[i]));
       }
       return ceil_rate(vl, config_.lanes);
     case Op::kVFMul:
       for (u32 i = 0; i < vl; ++i) {
-        V[inst.a][i] = std::bit_cast<u32>(std::bit_cast<float>(V[inst.b][i]) *
-                                          std::bit_cast<float>(V[inst.c][i]));
+        V(inst.a)[i] = std::bit_cast<u32>(std::bit_cast<float>(V(inst.b)[i]) *
+                                          std::bit_cast<float>(V(inst.c)[i]));
       }
       return ceil_rate(vl, config_.lanes);
     case Op::kIcm:
-      stm_->clear();
+      es_.stm->clear();
       return 1;
     case Op::kVLdb: {
       Addr pos_addr = sreg(inst.c);
       Addr val_addr = sreg(inst.d);
       for (u32 i = 0; i < vl; ++i) {
-        const u8 row = memory_->read_u8(pos_addr + 2ull * i);
-        const u8 col = memory_->read_u8(pos_addr + 2ull * i + 1);
-        V[inst.b][i] = static_cast<u32>(row) | static_cast<u32>(col) << 8;
-        V[inst.a][i] = memory_->read_u32(val_addr + 4ull * i);
+        const u8 row = mem.read_u8(pos_addr + 2ull * i);
+        const u8 col = mem.read_u8(pos_addr + 2ull * i + 1);
+        V(inst.b)[i] = static_cast<u32>(row) | static_cast<u32>(col) << 8;
+        V(inst.a)[i] = mem.read_u32(val_addr + 4ull * i);
       }
       set_sreg(inst.c, pos_addr + 2ull * vl);
       set_sreg(inst.d, val_addr + 4ull * vl);
-      stats_.mem_contiguous_bytes += 6ull * vl;
+      es_.stats.mem_contiguous_bytes += 6ull * vl;
       return ceil_rate(6ull * vl, config_.mem_bytes_per_cycle);
     }
     case Op::kVStcr: {
-      stm_batch_scratch_.resize(vl);
+      es_.stm_batch_scratch.resize(vl);
       for (u32 i = 0; i < vl; ++i) {
-        const u32 pos = V[inst.b][i];
-        stm_batch_scratch_[i] = {static_cast<u8>(pos & 0xff),
-                                 static_cast<u8>((pos >> 8) & 0xff), V[inst.a][i]};
+        const u32 pos = V(inst.b)[i];
+        es_.stm_batch_scratch[i] = {static_cast<u8>(pos & 0xff),
+                                    static_cast<u8>((pos >> 8) & 0xff), V(inst.a)[i]};
       }
-      stats_.stm_elements += vl;
-      return stm_->write_batch(stm_batch_scratch_);
+      es_.stats.stm_elements += vl;
+      return es_.stm->write_batch(es_.stm_batch_scratch);
     }
     case Op::kVLdcc: {
-      const StmUnit::ReadBatch batch = stm_->read_batch(vl);
+      const StmUnit::ReadBatch batch = es_.stm->read_batch(vl);
       for (u32 i = 0; i < vl; ++i) {
-        V[inst.a][i] = batch.entries[i].value_bits;
-        V[inst.b][i] = static_cast<u32>(batch.entries[i].row) |
+        V(inst.a)[i] = batch.entries[i].value_bits;
+        V(inst.b)[i] = static_cast<u32>(batch.entries[i].row) |
                        static_cast<u32>(batch.entries[i].col) << 8;
       }
-      stats_.stm_elements += vl;
+      es_.stats.stm_elements += vl;
       return batch.cycles;
     }
     case Op::kVStb: {
       Addr pos_addr = sreg(inst.c);
       Addr val_addr = sreg(inst.d);
       for (u32 i = 0; i < vl; ++i) {
-        const u32 pos = V[inst.b][i];
-        memory_->write_u8(pos_addr + 2ull * i, static_cast<u8>(pos & 0xff));
-        memory_->write_u8(pos_addr + 2ull * i + 1, static_cast<u8>((pos >> 8) & 0xff));
-        memory_->write_u32(val_addr + 4ull * i, V[inst.a][i]);
+        const u32 pos = V(inst.b)[i];
+        mem.write_u8(pos_addr + 2ull * i, static_cast<u8>(pos & 0xff));
+        mem.write_u8(pos_addr + 2ull * i + 1, static_cast<u8>((pos >> 8) & 0xff));
+        mem.write_u32(val_addr + 4ull * i, V(inst.a)[i]);
       }
       set_sreg(inst.c, pos_addr + 2ull * vl);
       set_sreg(inst.d, val_addr + 4ull * vl);
-      stats_.mem_contiguous_bytes += 6ull * vl;
+      es_.stats.mem_contiguous_bytes += 6ull * vl;
       return ceil_rate(6ull * vl, config_.mem_bytes_per_cycle);
     }
     case Op::kVStbv: {
       Addr val_addr = sreg(inst.b);
-      for (u32 i = 0; i < vl; ++i) memory_->write_u32(val_addr + 4ull * i, V[inst.a][i]);
+      for (u32 i = 0; i < vl; ++i) mem.write_u32(val_addr + 4ull * i, V(inst.a)[i]);
       set_sreg(inst.b, val_addr + 4ull * vl);
-      stats_.mem_contiguous_bytes += 4ull * vl;
+      es_.stats.mem_contiguous_bytes += 4ull * vl;
       return ceil_rate(4ull * vl, config_.mem_bytes_per_cycle);
     }
     default:
@@ -378,7 +1101,7 @@ void Machine::vmem_footprint(const Instruction& inst, Addr* addr, u64* bytes) co
   // the instruction's total traffic laid out from its primary base. Multi-
   // stream instructions (v_ldb/v_stb move a position and a value stream)
   // fold into one request so an instruction can never contend with itself.
-  const u64 vl = vl_;
+  const u64 vl = es_.vl;
   switch (inst.op) {
     case Op::kVLdb:
     case Op::kVStb:
@@ -409,120 +1132,116 @@ void Machine::begin_run(const Program& program, usize entry_pc) {
   // Programs from assemble() arrive predecoded; hand-built ones (tests,
   // generators) get a local decode so the hot loop has a single path.
   program_ = &program;
-  decoded_ = program.decoded.data();
+  es_.insts = program.instructions.data();
+  es_.decoded = program.decoded.data();
+  es_.program_size = program.size();
   if (program.decoded.size() != program.instructions.size()) {
     local_decode_ = decode_instructions(program.instructions);
-    decoded_ = local_decode_.data();
+    es_.decoded = local_decode_.data();
   }
   // Startup latencies by StartupKind, resolved from the config once per run
   // (indexed by the predecoded kind instead of re-deriving per dynamic
   // instruction).
-  startup_by_kind_ = {config_.mem_startup, config_.valu_startup,
-                      config_.stm.fill_pipeline_cycles,
-                      config_.stm.drain_pipeline_cycles, 0};
+  es_.startup_by_kind = {config_.mem_startup, config_.valu_startup,
+                         config_.stm.fill_pipeline_cycles,
+                         config_.stm.drain_pipeline_cycles, 0};
 
   // Reset timing and statistics; architectural state persists.
-  sreg_ready_.fill(0);
-  vreg_time_.assign(kNumVectorRegs, {});
-  unit_free_.fill(0);
-  vl_ready_ = 0;
-  last_issue_ = 0;
-  pc_redirect_ = 0;
-  watermark_ = 0;
-  issue_cycle_ = 0;
-  issue_used_ = 0;
-  scalar_mem_cycle_ = 0;
-  scalar_mem_used_ = 0;
-  stm_fill_done_[0] = 0;
-  stm_fill_done_[1] = 0;
-  stm_drain_done_[0] = 0;
-  stm_drain_done_[1] = 0;
-  stm_drain_free_ = 0;
-  vmem_last_indexed_ = false;
-  stats_ = {};
-  stm_before_ = stm_->stats();
-  pc_ = entry_pc;
-  status_ = StepStatus::kRunning;
-  if (profiler_ != nullptr) profiler_->begin_run(program);
+  es_.sreg_ready.fill(0);
+  es_.vreg_first.fill(0);
+  es_.vreg_last.fill(0);
+  es_.vreg_readers_done.fill(0);
+  es_.unit_free.fill(0);
+  es_.vl_ready = 0;
+  es_.last_issue = 0;
+  es_.pc_redirect = 0;
+  es_.watermark = 0;
+  es_.issue_cycle = 0;
+  es_.issue_used = 0;
+  es_.scalar_mem_cycle = 0;
+  es_.scalar_mem_used = 0;
+  es_.stm_fill_done[0] = 0;
+  es_.stm_fill_done[1] = 0;
+  es_.stm_drain_done[0] = 0;
+  es_.stm_drain_done[1] = 0;
+  es_.stm_drain_free = 0;
+  es_.vmem_last_indexed = false;
+  es_.stats = {};
+  stm_before_ = es_.stm->stats();
+  es_.pc = entry_pc;
+  es_.status = StepStatus::kRunning;
+  if (es_.profiler != nullptr) es_.profiler->begin_run(program);
 }
 
 StepStatus Machine::step() {
-  SMTU_CHECK_MSG(status_ == StepStatus::kRunning,
+  SMTU_CHECK_MSG(es_.status == StepStatus::kRunning,
                  "step() on a core that is halted or waiting at a barrier");
-  const Program& program = *program_;
-  SMTU_CHECK_MSG(pc_ < program.size(), "pc ran off the end of the program (missing halt?)");
-  SMTU_CHECK_MSG(stats_.instructions < config_.max_instructions,
+  SMTU_CHECK_MSG(es_.pc < es_.program_size,
+                 "pc ran off the end of the program (missing halt?)");
+  if (dispatch_ == DispatchMode::kSwitch) return step_switch();
+  const DecodedInst& dec = es_.decoded[es_.pc];
+  dec.handler(es_, es_.insts[es_.pc], dec);
+  return es_.status;
+}
+
+// The legacy switch-dispatch interpreter, retained as the differential
+// reference for the threaded handlers (tests/test_dispatch.cpp asserts
+// bit-identical stats, profiles, and memory images between both paths).
+StepStatus Machine::step_switch() {
+  ExecState& es = es_;
+  const Instruction& inst = es.insts[es.pc];
+  const DecodedInst& dec = es.decoded[es.pc];
+  SMTU_CHECK_MSG(es.stats.instructions < config_.max_instructions,
                  "instruction budget exceeded (runaway program?)");
-  const Instruction& inst = program.instructions[pc_];
-  const DecodedInst& dec = decoded_[pc_];
-  ++stats_.instructions;
+  ++es.stats.instructions;
   // Watermark increments bracket each instruction; they telescope to the
   // final cycle count, which is what makes the profiler's attribution
   // conservation-exact (see profiler.hpp).
-  const Cycle profile_w_before = watermark_;
+  const Cycle profile_w_before = es.watermark;
 
-  if (trace_remaining_ > 0) {
-    --trace_remaining_;
-    std::fprintf(stderr, "[trace] pc=%zu %s\n", pc_, to_string(inst).c_str());
+  if (es.trace_remaining > 0) {
+    --es.trace_remaining;
+    std::fprintf(stderr, "[trace] pc=%zu %s\n", es.pc, to_string(inst).c_str());
   }
 
   if (dec.is_vector) {
-    ++stats_.vector_instructions;
-    stats_.vector_elements += vl_;
+    ++es.stats.vector_instructions;
+    es.stats.vector_elements += es.vl;
 
-    // Scalar sources a vector instruction needs at issue (predecoded).
-    // Alongside the ready time, track which constraint set it (the
-    // profiler's stall reason); strictly-later constraints win, so ties
-    // keep the first-listed reason.
-    Cycle ready = pc_redirect_;
+    Cycle ready = es.pc_redirect;
     StallReason stall_why = StallReason::kScalarFetch;
-    if (vl_ready_ > ready) {
-      ready = vl_ready_;
+    if (es.vl_ready > ready) {
+      ready = es.vl_ready;
       stall_why = StallReason::kRawHazard;
     }
     for (u32 i = 0; i < dec.num_sregs; ++i) {
-      if (sreg_ready_[dec.sregs[i]] > ready) {
-        ready = sreg_ready_[dec.sregs[i]];
+      if (es.sreg_ready[dec.sregs[i]] > ready) {
+        ready = es.sreg_ready[dec.sregs[i]];
         stall_why = StallReason::kRawHazard;
       }
     }
-    // Start absent hazard/resource constraints: the fetch point plus
-    // sequential issue — the profiler's baseline for constraint delay.
-    const Cycle profile_unblocked = std::max(pc_redirect_, last_issue_ + 1);
-    const Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
-    last_issue_ = t_issue;
+    const Cycle profile_unblocked = std::max(es.pc_redirect, es.last_issue + 1);
+    const Cycle t_issue = es.take_issue_slot(std::max(ready, es.last_issue));
+    es.last_issue = t_issue;
     if (t_issue > ready) stall_why = StallReason::kIssueLimit;
 
-    // Vector sources and destinations (predecoded by opcode).
-    const u8* srcs = dec.srcs;
-    const u32 num_srcs = dec.num_srcs;
-    const u8* dsts = dec.dsts;
-    const u32 num_dsts = dec.num_dsts;
+    const usize unit = static_cast<usize>(dec.unit);
+    const u32 startup = es.startup_by_kind[static_cast<usize>(dec.startup)];
 
-    const Unit unit = static_cast<Unit>(dec.unit);
-    const u32 startup = startup_by_kind_[static_cast<usize>(dec.startup)];
-
-    // Start time: issue, unit availability, producers' first element (or
-    // completion without chaining), and hazards on the destinations.
-    const bool stm_double = config_.stm.double_buffer;
-    // Which bank an STM instruction touches (known before execution: the
-    // fill side for icm/v_stcr, the peeked drain bank for v_ldcc).
+    const bool stm_double = es.stm_double;
     u32 stm_op_bank = 0;
-    Cycle resource_ready = unit_free_[unit];
-    if (unit == kUnitStm) {
+    Cycle resource_ready = es.unit_free[unit];
+    if (dec.unit == ExecUnit::kStm) {
       if (inst.op == Op::kVLdcc) {
-        stm_op_bank = stm_->peek_drain_bank();
-        // A bank drains only after its fill completed; a separate drain
-        // datapath exists only with the second buffer.
-        resource_ready = stm_double ? std::max(stm_drain_free_, stm_fill_done_[stm_op_bank])
-                                    : std::max(unit_free_[kUnitStm],
-                                               stm_fill_done_[stm_op_bank]);
+        stm_op_bank = es.stm->peek_drain_bank();
+        resource_ready =
+            stm_double ? std::max(es.stm_drain_free, es.stm_fill_done[stm_op_bank])
+                       : std::max(es.unit_free[unit], es.stm_fill_done[stm_op_bank]);
       } else if (inst.op == Op::kIcm && stm_double) {
-        // Switching banks: the incoming bank's drain must have finished.
-        stm_op_bank = stm_->fill_bank() ^ 1;
-        resource_ready = std::max(unit_free_[kUnitStm], stm_drain_done_[stm_op_bank]);
+        stm_op_bank = es.stm->fill_bank() ^ 1;
+        resource_ready = std::max(es.unit_free[unit], es.stm_drain_done[stm_op_bank]);
       } else {
-        stm_op_bank = stm_double ? stm_->fill_bank() : 0u;
+        stm_op_bank = stm_double ? es.stm->fill_bank() : 0u;
       }
     }
     Cycle t_start = t_issue;
@@ -533,30 +1252,26 @@ StepStatus Machine::step() {
       }
     };
     bind(resource_ready,
-         unit == kUnitVMem
-             ? (vmem_last_indexed_ ? StallReason::kMemIndexedSerial : StallReason::kMemPort)
-             : (unit == kUnitStm ? StallReason::kStmBusy : StallReason::kValuBusy));
+         dec.unit == ExecUnit::kVMem
+             ? (es.vmem_last_indexed ? StallReason::kMemIndexedSerial : StallReason::kMemPort)
+             : (dec.unit == ExecUnit::kStm ? StallReason::kStmBusy : StallReason::kValuBusy));
     Cycle src_last = 0;
-    for (u32 i = 0; i < num_srcs; ++i) {
-      const VregTiming& src = vreg_time_[srcs[i]];
-      bind(config_.chaining ? src.first : src.last,
-           config_.chaining ? StallReason::kChainingWait : StallReason::kRawHazard);
-      src_last = std::max(src_last, src.last);
+    for (u32 i = 0; i < dec.num_srcs; ++i) {
+      const u8 r = dec.srcs[i];
+      bind(es.chaining ? es.vreg_first[r] : es.vreg_last[r],
+           es.chaining ? StallReason::kChainingWait : StallReason::kRawHazard);
+      src_last = std::max(src_last, es.vreg_last[r]);
     }
-    for (u32 i = 0; i < num_dsts; ++i) {
-      const VregTiming& dst = vreg_time_[dsts[i]];
-      bind(std::max(dst.readers_done, dst.last), StallReason::kVregBusy);
+    for (u32 i = 0; i < dec.num_dsts; ++i) {
+      const u8 r = dec.dsts[i];
+      bind(std::max(es.vreg_readers_done[r], es.vreg_last[r]), StallReason::kVregBusy);
     }
 
-    // Shared banked memory: the access may be pushed back behind another
-    // core's occupancy of the banks it touches. A lone core never pushes
-    // itself back (its per-bank occupancy is bounded by its own access
-    // duration), which keeps the N=1 system bit-identical.
-    if (memory_system_ != nullptr && unit == kUnitVMem) {
+    if (es.memory_system != nullptr && dec.unit == ExecUnit::kVMem) {
       Addr mem_addr = 0;
       u64 mem_bytes = 0;
       vmem_footprint(inst, &mem_addr, &mem_bytes);
-      const Cycle granted = memory_system_->request(mem_addr, mem_bytes, t_start);
+      const Cycle granted = es.memory_system->request(mem_addr, mem_bytes, t_start);
       if (granted > t_start) {
         t_start = granted;
         stall_why = StallReason::kMemBankContention;
@@ -568,220 +1283,218 @@ StepStatus Machine::step() {
     const Cycle first_out = t_start + startup + 1;
     const Cycle last_out =
         std::max(t_start + startup + duration, src_last == 0 ? 0 : src_last + startup);
-    // Pipelined units are occupied for their transfer slots only; the
-    // startup is latency that later, independent instructions overlap.
-    // The STM is the exception: the s x s memory is a single buffer, so
-    // the unit stays busy until its results drain.
     const bool pipelined =
-        (unit == kUnitVMem && config_.mem_pipelined_startup) || unit == kUnitVAlu;
-    const Cycle busy_until =
-        pipelined ? std::max(t_start + duration, src_last) : last_out;
-    if (unit == kUnitStm) {
+        (dec.unit == ExecUnit::kVMem && es.mem_pipelined_startup) ||
+        dec.unit == ExecUnit::kVAlu;
+    const Cycle busy_until = pipelined ? std::max(t_start + duration, src_last) : last_out;
+    if (dec.unit == ExecUnit::kStm) {
       if (stm_double && inst.op == Op::kVLdcc) {
-        stm_drain_free_ = std::max(stm_drain_free_, busy_until);
-        stm_drain_done_[stm_op_bank] = std::max(stm_drain_done_[stm_op_bank], last_out);
+        es.stm_drain_free = std::max(es.stm_drain_free, busy_until);
+        es.stm_drain_done[stm_op_bank] = std::max(es.stm_drain_done[stm_op_bank], last_out);
       } else {
-        unit_free_[kUnitStm] = std::max(unit_free_[kUnitStm], busy_until);
+        es.unit_free[unit] = std::max(es.unit_free[unit], busy_until);
         if (inst.op == Op::kVLdcc) {
-          stm_drain_done_[stm_op_bank] = std::max(stm_drain_done_[stm_op_bank], last_out);
+          es.stm_drain_done[stm_op_bank] = std::max(es.stm_drain_done[stm_op_bank], last_out);
         } else {
-          stm_fill_done_[stm_op_bank] = std::max(stm_fill_done_[stm_op_bank], last_out);
+          es.stm_fill_done[stm_op_bank] = std::max(es.stm_fill_done[stm_op_bank], last_out);
         }
       }
     } else {
-      unit_free_[unit] = std::max(unit_free_[unit], busy_until);
-      if (unit == kUnitVMem) vmem_last_indexed_ = dec.indexed_vmem;
+      es.unit_free[unit] = std::max(es.unit_free[unit], busy_until);
+      if (dec.unit == ExecUnit::kVMem) es.vmem_last_indexed = dec.indexed_vmem;
     }
     const u64 busy = busy_until - t_start;
-    if (unit == kUnitVMem) stats_.vmem_busy_cycles += busy;
-    else if (unit == kUnitVAlu) stats_.valu_busy_cycles += busy;
-    else stats_.stm_busy_cycles += busy;
+    if (dec.unit == ExecUnit::kVMem) es.stats.vmem_busy_cycles += busy;
+    else if (dec.unit == ExecUnit::kVAlu) es.stats.valu_busy_cycles += busy;
+    else es.stats.stm_busy_cycles += busy;
 
-    if (trace_sink_ != nullptr) {
-      const TraceUnit trace_unit = unit == kUnitVMem   ? TraceUnit::kVMem
-                                   : unit == kUnitVAlu ? TraceUnit::kVAlu
-                                                       : TraceUnit::kStm;
-      trace_sink_->record(
-          {pc_, inst.op, vl_, trace_unit, t_issue, t_start, first_out, last_out, core_id_});
+    if (es.trace_sink != nullptr) {
+      const TraceUnit trace_unit = dec.unit == ExecUnit::kVMem   ? TraceUnit::kVMem
+                                   : dec.unit == ExecUnit::kVAlu ? TraceUnit::kVAlu
+                                                                 : TraceUnit::kStm;
+      es.trace_sink->record(
+          {es.pc, inst.op, es.vl, trace_unit, t_issue, t_start, first_out, last_out,
+           es.core_id});
     }
-    for (u32 i = 0; i < num_dsts; ++i) {
-      vreg_time_[dsts[i]] = {first_out, last_out, last_out};
+    for (u32 i = 0; i < dec.num_dsts; ++i) {
+      const u8 r = dec.dsts[i];
+      es.vreg_first[r] = first_out;
+      es.vreg_last[r] = last_out;
+      es.vreg_readers_done[r] = last_out;
     }
-    for (u32 i = 0; i < num_srcs; ++i) {
-      vreg_time_[srcs[i]].readers_done =
-          std::max(vreg_time_[srcs[i]].readers_done, last_out);
+    for (u32 i = 0; i < dec.num_srcs; ++i) {
+      const u8 r = dec.srcs[i];
+      es.vreg_readers_done[r] = std::max(es.vreg_readers_done[r], last_out);
     }
 
     // Scalar side effects of vector instructions.
     switch (inst.op) {
       case Op::kVLdb:
       case Op::kVStb:
-        retire_scalar(inst.c, t_issue + config_.scalar_op_latency);
-        retire_scalar(inst.d, t_issue + config_.scalar_op_latency);
+        es.retire_scalar(inst.c, t_issue + config_.scalar_op_latency);
+        es.retire_scalar(inst.d, t_issue + config_.scalar_op_latency);
         break;
       case Op::kVStbv:
-        retire_scalar(inst.b, t_issue + config_.scalar_op_latency);
+        es.retire_scalar(inst.b, t_issue + config_.scalar_op_latency);
         break;
       case Op::kVRedSum:
       case Op::kVFRedSum:
       case Op::kVExtract:
-        retire_scalar(inst.a, last_out + 1);
+        es.retire_scalar(inst.a, last_out + 1);
         break;
       default:
         break;
     }
-    bump_watermark(last_out);
-    if (profiler_ != nullptr) {
+    es.bump_watermark(last_out);
+    if (es.profiler != nullptr) {
       const BusyKind kind =
-          unit == kUnitVMem
+          dec.unit == ExecUnit::kVMem
               ? (dec.indexed_vmem ? BusyKind::kVMemIndexed : BusyKind::kVMemStream)
-              : (unit == kUnitStm ? BusyKind::kStm : BusyKind::kVAlu);
-      profiler_->record({pc_, inst.op, vl_, kind, stall_why, t_start, profile_unblocked,
-                         profile_w_before, watermark_, busy});
+              : (dec.unit == ExecUnit::kStm ? BusyKind::kStm : BusyKind::kVAlu);
+      es.profiler->record({es.pc, inst.op, es.vl, kind, stall_why, t_start,
+                           profile_unblocked, profile_w_before, es.watermark, busy});
     }
-    ++pc_;
-    return status_;
+    ++es.pc;
+    return es.status;
   }
 
   // ---- Scalar instruction path. ----
-  ++stats_.scalar_instructions;
-  Cycle ready = pc_redirect_;
+  ++es.stats.scalar_instructions;
+  Cycle ready = es.pc_redirect;
   StallReason stall_why = StallReason::kScalarFetch;
   for (u32 i = 0; i < dec.num_sregs; ++i) {
-    if (sreg_ready_[dec.sregs[i]] > ready) {
-      ready = sreg_ready_[dec.sregs[i]];
+    if (es.sreg_ready[dec.sregs[i]] > ready) {
+      ready = es.sreg_ready[dec.sregs[i]];
       stall_why = StallReason::kRawHazard;
     }
   }
 
-  const Cycle profile_unblocked = std::max(pc_redirect_, last_issue_ + 1);
-  Cycle t_issue = take_issue_slot(std::max(ready, last_issue_));
+  const Cycle profile_unblocked = std::max(es.pc_redirect, es.last_issue + 1);
+  Cycle t_issue = es.take_issue_slot(std::max(ready, es.last_issue));
   if (t_issue > ready) stall_why = StallReason::kIssueLimit;
   if (dec.scalar_mem) {
-    const Cycle slot = take_scalar_mem_slot(t_issue);
+    const Cycle slot = es.take_scalar_mem_slot(t_issue);
     if (slot > t_issue) {
       t_issue = slot;
       stall_why = StallReason::kMemPort;
     }
   }
-  last_issue_ = t_issue;
-  bump_watermark(t_issue);
+  es.last_issue = t_issue;
+  es.bump_watermark(t_issue);
 
-  usize next_pc = pc_ + 1;
+  Memory& mem = *es.memory;
+  usize next_pc = es.pc + 1;
   switch (inst.op) {
     case Op::kLi:
       set_sreg(inst.a, static_cast<u64>(inst.imm));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kMv:
       set_sreg(inst.a, sreg(inst.b));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kAdd:
       set_sreg(inst.a, sreg(inst.b) + sreg(inst.c));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kSub:
       set_sreg(inst.a, sreg(inst.b) - sreg(inst.c));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kMul:
       set_sreg(inst.a, sreg(inst.b) * sreg(inst.c));
-      retire_scalar(inst.a, t_issue + config_.mul_latency);
+      es.retire_scalar(inst.a, t_issue + config_.mul_latency);
       break;
     case Op::kAnd:
       set_sreg(inst.a, sreg(inst.b) & sreg(inst.c));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kOr:
       set_sreg(inst.a, sreg(inst.b) | sreg(inst.c));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kXor:
       set_sreg(inst.a, sreg(inst.b) ^ sreg(inst.c));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kSll:
       set_sreg(inst.a, sreg(inst.b) << (sreg(inst.c) & 63));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kSrl:
       set_sreg(inst.a, sreg(inst.b) >> (sreg(inst.c) & 63));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kMin:
       set_sreg(inst.a, std::min(sreg(inst.b), sreg(inst.c)));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kMax:
       set_sreg(inst.a, std::max(sreg(inst.b), sreg(inst.c)));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kFAdd:
       set_sreg(inst.a, std::bit_cast<u32>(
                            std::bit_cast<float>(static_cast<u32>(sreg(inst.b))) +
                            std::bit_cast<float>(static_cast<u32>(sreg(inst.c)))));
-      retire_scalar(inst.a, t_issue + config_.mul_latency);
+      es.retire_scalar(inst.a, t_issue + config_.mul_latency);
       break;
     case Op::kFMul:
       set_sreg(inst.a, std::bit_cast<u32>(
                            std::bit_cast<float>(static_cast<u32>(sreg(inst.b))) *
                            std::bit_cast<float>(static_cast<u32>(sreg(inst.c)))));
-      retire_scalar(inst.a, t_issue + config_.mul_latency);
+      es.retire_scalar(inst.a, t_issue + config_.mul_latency);
       break;
     case Op::kAddi:
       set_sreg(inst.a, sreg(inst.b) + static_cast<u64>(inst.imm));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kMuli:
       set_sreg(inst.a, sreg(inst.b) * static_cast<u64>(inst.imm));
-      retire_scalar(inst.a, t_issue + config_.mul_latency);
+      es.retire_scalar(inst.a, t_issue + config_.mul_latency);
       break;
     case Op::kAndi:
       set_sreg(inst.a, sreg(inst.b) & static_cast<u64>(inst.imm));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kSlli:
       set_sreg(inst.a, sreg(inst.b) << (inst.imm & 63));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kSrli:
       set_sreg(inst.a, sreg(inst.b) >> (inst.imm & 63));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       break;
     case Op::kLw:
-      set_sreg(inst.a, memory_->read_u32(sreg(inst.b) + static_cast<u64>(inst.imm)));
-      retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+      set_sreg(inst.a, mem.read_u32(sreg(inst.b) + static_cast<u64>(inst.imm)));
+      es.retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
       break;
     case Op::kLhu:
-      set_sreg(inst.a, memory_->read_u16(sreg(inst.b) + static_cast<u64>(inst.imm)));
-      retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+      set_sreg(inst.a, mem.read_u16(sreg(inst.b) + static_cast<u64>(inst.imm)));
+      es.retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
       break;
     case Op::kLbu:
-      set_sreg(inst.a, memory_->read_u8(sreg(inst.b) + static_cast<u64>(inst.imm)));
-      retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+      set_sreg(inst.a, mem.read_u8(sreg(inst.b) + static_cast<u64>(inst.imm)));
+      es.retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
       break;
     case Op::kSw:
-      memory_->write_u32(sreg(inst.b) + static_cast<u64>(inst.imm),
-                         static_cast<u32>(sreg(inst.a)));
+      mem.write_u32(sreg(inst.b) + static_cast<u64>(inst.imm),
+                    static_cast<u32>(sreg(inst.a)));
       break;
     case Op::kSh:
-      memory_->write_u16(sreg(inst.b) + static_cast<u64>(inst.imm),
-                         static_cast<u16>(sreg(inst.a)));
+      mem.write_u16(sreg(inst.b) + static_cast<u64>(inst.imm),
+                    static_cast<u16>(sreg(inst.a)));
       break;
     case Op::kSb:
-      memory_->write_u8(sreg(inst.b) + static_cast<u64>(inst.imm),
-                        static_cast<u8>(sreg(inst.a)));
+      mem.write_u8(sreg(inst.b) + static_cast<u64>(inst.imm),
+                   static_cast<u8>(sreg(inst.a)));
       break;
     case Op::kAmoAdd: {
-      // Atomic fetch-and-add: atomicity comes for free because the system
-      // interleaves whole instructions; the memory round trip costs a
-      // scalar load latency.
       const Addr addr = sreg(inst.b) + static_cast<u64>(inst.imm);
-      const u32 old = memory_->read_u32(addr);
-      memory_->write_u32(addr, old + static_cast<u32>(sreg(inst.c)));
+      const u32 old = mem.read_u32(addr);
+      mem.write_u32(addr, old + static_cast<u32>(sreg(inst.c)));
       set_sreg(inst.a, old);
-      retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_load_latency);
       break;
     }
     case Op::kBeq:
@@ -800,115 +1513,129 @@ StepStatus Machine::step() {
       }
       if (taken) {
         next_pc = static_cast<usize>(inst.imm);
-        pc_redirect_ = t_issue + 1 + config_.branch_penalty;
+        es.pc_redirect = t_issue + 1 + config_.branch_penalty;
       }
       break;
     }
     case Op::kJal:
-      set_sreg(inst.a, static_cast<u64>(pc_ + 1));
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      set_sreg(inst.a, static_cast<u64>(es.pc + 1));
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
       next_pc = static_cast<usize>(inst.imm);
-      pc_redirect_ = t_issue + 1 + config_.branch_penalty;
+      es.pc_redirect = t_issue + 1 + config_.branch_penalty;
       break;
     case Op::kJr:
       next_pc = static_cast<usize>(sreg(inst.a));
-      pc_redirect_ = t_issue + 1 + config_.branch_penalty;
+      es.pc_redirect = t_issue + 1 + config_.branch_penalty;
       break;
     case Op::kSsvl: {
       const u64 remaining = sreg(inst.a);
-      vl_ = static_cast<u32>(std::min<u64>(config_.section, remaining));
-      set_sreg(inst.a, remaining - vl_);
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-      vl_ready_ = std::max(vl_ready_, t_issue + config_.scalar_op_latency);
+      es.vl = static_cast<u32>(std::min<u64>(config_.section, remaining));
+      set_sreg(inst.a, remaining - es.vl);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.vl_ready = std::max(es.vl_ready, t_issue + config_.scalar_op_latency);
       break;
     }
     case Op::kSetvl: {
-      vl_ = static_cast<u32>(std::min<u64>(config_.section, sreg(inst.b)));
-      set_sreg(inst.a, vl_);
-      retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
-      vl_ready_ = std::max(vl_ready_, t_issue + config_.scalar_op_latency);
+      es.vl = static_cast<u32>(std::min<u64>(config_.section, sreg(inst.b)));
+      set_sreg(inst.a, es.vl);
+      es.retire_scalar(inst.a, t_issue + config_.scalar_op_latency);
+      es.vl_ready = std::max(es.vl_ready, t_issue + config_.scalar_op_latency);
       break;
     }
     case Op::kBarrier:
-      // Rendezvous: this core is done when everything it issued completes
-      // (the watermark). The trace/profiler sample is deferred to
-      // release_barrier(), where the wait's true extent is known.
-      status_ = StepStatus::kAtBarrier;
-      barrier_arrival_ = watermark_;
-      barrier_issue_ = t_issue;
-      barrier_unblocked_ = profile_unblocked;
-      barrier_w_before_ = profile_w_before;
-      barrier_pc_ = pc_;
-      barrier_why_ = stall_why;
+      es.status = StepStatus::kAtBarrier;
+      es.barrier_arrival = es.watermark;
+      es.barrier_issue = t_issue;
+      es.barrier_unblocked = profile_unblocked;
+      es.barrier_w_before = profile_w_before;
+      es.barrier_pc = es.pc;
+      es.barrier_why = stall_why;
       break;
     case Op::kHalt:
-      status_ = StepStatus::kHalted;
+      es.status = StepStatus::kHalted;
       break;
     case Op::kNop:
       break;
     default:
       SMTU_CHECK_MSG(false, "unhandled scalar op in execute");
   }
-  if (status_ == StepStatus::kAtBarrier) {
-    pc_ = next_pc;
-    return status_;
+  if (es.status == StepStatus::kAtBarrier) {
+    es.pc = next_pc;
+    return es.status;
   }
-  if (trace_sink_ != nullptr) {
-    const Cycle done = inst.a != kRegZero ? sreg_ready_[inst.a] : t_issue;
-    trace_sink_->record({pc_, inst.op, 0, TraceUnit::kScalar, t_issue, t_issue,
-                         std::max(t_issue, done), std::max(t_issue, done), core_id_});
+  if (es.trace_sink != nullptr) {
+    const Cycle done = inst.a != kRegZero ? es.sreg_ready[inst.a] : t_issue;
+    es.trace_sink->record({es.pc, inst.op, 0, TraceUnit::kScalar, t_issue, t_issue,
+                           std::max(t_issue, done), std::max(t_issue, done), es.core_id});
   }
-  if (profiler_ != nullptr) {
-    profiler_->record({pc_, inst.op, 0, BusyKind::kScalar, stall_why, t_issue,
-                       profile_unblocked, profile_w_before, watermark_, 1});
+  if (es.profiler != nullptr) {
+    es.profiler->record({es.pc, inst.op, 0, BusyKind::kScalar, stall_why, t_issue,
+                         profile_unblocked, profile_w_before, es.watermark, 1});
   }
-  pc_ = next_pc;
-  return status_;
+  es.pc = next_pc;
+  return es.status;
 }
 
 void Machine::release_barrier(Cycle release) {
-  SMTU_CHECK_MSG(status_ == StepStatus::kAtBarrier,
+  SMTU_CHECK_MSG(es_.status == StepStatus::kAtBarrier,
                  "release_barrier() on a core not waiting at a barrier");
-  SMTU_CHECK(release >= barrier_arrival_);
+  SMTU_CHECK(release >= es_.barrier_arrival);
   // The front end resumes at the release; everything after the barrier is
   // ordered behind it.
-  pc_redirect_ = std::max(pc_redirect_, release);
-  bump_watermark(release);
-  if (trace_sink_ != nullptr) {
-    trace_sink_->record({barrier_pc_, Op::kBarrier, 0, TraceUnit::kScalar, barrier_issue_,
-                         barrier_issue_, release, release, core_id_});
+  es_.pc_redirect = std::max(es_.pc_redirect, release);
+  es_.bump_watermark(release);
+  if (es_.trace_sink != nullptr) {
+    es_.trace_sink->record({es_.barrier_pc, Op::kBarrier, 0, TraceUnit::kScalar,
+                            es_.barrier_issue, es_.barrier_issue, release, release,
+                            es_.core_id});
   }
-  if (profiler_ != nullptr) {
+  if (es_.profiler != nullptr) {
     // Cycles spent past the core's own arrival are the barrier's fault;
     // anything before that keeps the reason the issue path found.
     const StallReason why =
-        release > barrier_arrival_ ? StallReason::kBarrierWait : barrier_why_;
-    profiler_->record({barrier_pc_, Op::kBarrier, 0, BusyKind::kScalar, why, release,
-                       barrier_unblocked_, barrier_w_before_, watermark_, 1});
+        release > es_.barrier_arrival ? StallReason::kBarrierWait : es_.barrier_why;
+    es_.profiler->record({es_.barrier_pc, Op::kBarrier, 0, BusyKind::kScalar, why, release,
+                          es_.barrier_unblocked, es_.barrier_w_before, es_.watermark, 1});
   }
-  status_ = StepStatus::kRunning;
+  es_.status = StepStatus::kRunning;
 }
 
 RunStats Machine::finish_run() {
-  SMTU_CHECK_MSG(status_ == StepStatus::kHalted, "finish_run() before halt");
-  stats_.cycles = watermark_;
-  const StmUnit::Stats& stm_stats = stm_->stats();
-  stats_.stm_blocks = stm_stats.blocks - stm_before_.blocks;
-  stats_.stm_write_cycles = stm_stats.write_cycles - stm_before_.write_cycles;
-  stats_.stm_read_cycles = stm_stats.read_cycles - stm_before_.read_cycles;
-  if (profiler_ != nullptr) profiler_->end_run(stats_.cycles);
-  return stats_;
+  SMTU_CHECK_MSG(es_.status == StepStatus::kHalted, "finish_run() before halt");
+  es_.stats.cycles = es_.watermark;
+  const StmUnit::Stats& stm_stats = es_.stm->stats();
+  es_.stats.stm_blocks = stm_stats.blocks - stm_before_.blocks;
+  es_.stats.stm_write_cycles = stm_stats.write_cycles - stm_before_.write_cycles;
+  es_.stats.stm_read_cycles = stm_stats.read_cycles - stm_before_.read_cycles;
+  if (es_.profiler != nullptr) es_.profiler->end_run(es_.stats.cycles);
+  return es_.stats;
 }
 
 RunStats Machine::run(const Program& program, usize entry_pc) {
   begin_run(program, entry_pc);
-  while (true) {
-    const StepStatus status = step();
-    if (status == StepStatus::kAtBarrier) {
-      // A lone core's barrier releases the moment it arrives.
-      release_barrier(barrier_arrival_);
-    } else if (status == StepStatus::kHalted) {
-      break;
+  if (dispatch_ == DispatchMode::kThreaded) {
+    // The hot loop: indirect call through the pre-bound handler, no
+    // per-instruction mode or status branching beyond the exit check.
+    ExecState& es = es_;
+    while (true) {
+      SMTU_CHECK_MSG(es.pc < es.program_size,
+                     "pc ran off the end of the program (missing halt?)");
+      const DecodedInst& dec = es.decoded[es.pc];
+      dec.handler(es, es.insts[es.pc], dec);
+      if (es.status != StepStatus::kRunning) [[unlikely]] {
+        if (es.status == StepStatus::kHalted) break;
+        // A lone core's barrier releases the moment it arrives.
+        release_barrier(es.barrier_arrival);
+      }
+    }
+  } else {
+    while (true) {
+      const StepStatus status = step();
+      if (status == StepStatus::kAtBarrier) {
+        release_barrier(es_.barrier_arrival);
+      } else if (status == StepStatus::kHalted) {
+        break;
+      }
     }
   }
   return finish_run();

@@ -29,14 +29,25 @@
 // system.hpp and docs/MULTICORE.md). Both run the identical timing model;
 // the only multi-core additions are bank-contention pushback on vector
 // memory accesses and the `barrier` rendezvous.
+//
+// Dispatch is threaded-code style (HACKING.md "Interpreter internals"):
+// every predecoded instruction carries a per-opcode handler pointer bound
+// at assembly time, and all hot interpreter state lives in one SoA
+// ExecState the handlers receive directly. The legacy switch interpreter
+// is retained behind DispatchMode::kSwitch (env SMTU_DISPATCH=switch) as
+// the bit-identical reference for differential testing
+// (tests/test_dispatch.cpp).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "stm/unit.hpp"
+#include "support/assert.hpp"
 #include "vsim/config.hpp"
 #include "vsim/memory.hpp"
 #include "vsim/memory_system.hpp"
@@ -45,6 +56,20 @@
 #include "vsim/trace.hpp"
 
 namespace smtu::vsim {
+
+// How the interpreter dispatches opcodes: pre-bound per-opcode handler
+// pointers (the fast default), or the legacy `switch (inst.op)` reference
+// path kept for differential testing. Both produce bit-identical cycle
+// counts, stats, profiles, and memory images.
+enum class DispatchMode : u8 { kThreaded = 0, kSwitch = 1 };
+
+// Process-wide default captured by each Machine at construction. The
+// initial value comes from the SMTU_DISPATCH environment variable
+// ("threaded" or "switch", read once); set_default_dispatch_mode overrides
+// it programmatically (tests flipping modes between runs).
+DispatchMode default_dispatch_mode();
+void set_default_dispatch_mode(DispatchMode mode);
+const char* dispatch_mode_name(DispatchMode mode);
 
 struct RunStats {
   Cycle cycles = 0;
@@ -87,6 +112,142 @@ enum class StepStatus : u8 {
   kHalted,     // executed `halt`
 };
 
+// Everything the interpreter's hot loop touches, gathered into one
+// cache-friendly structure-of-arrays block that every opcode handler
+// receives as its single context argument. Parallel arrays replace the
+// old array-of-structs register timing; the vector register file is one
+// contiguous kNumVectorRegs x section block. The Machine owns exactly one
+// ExecState and exposes the architectural pieces through its accessors —
+// treat this as the interpreter's internals, not public API.
+struct ExecState {
+  // ---- Architectural state (persists across runs) -------------------------
+  std::array<u64, kNumScalarRegs> sregs{};
+  u32 vl = 0;
+  u32 section = 0;          // row stride of vreg_data
+  std::vector<u32> vreg_data;  // kNumVectorRegs rows of `section` lanes
+
+  // ---- Timing state (reset per run), SoA ----------------------------------
+  std::array<Cycle, kNumScalarRegs> sreg_ready{};
+  std::array<Cycle, kNumVectorRegs> vreg_first{};         // first element available
+  std::array<Cycle, kNumVectorRegs> vreg_last{};          // last element available
+  std::array<Cycle, kNumVectorRegs> vreg_readers_done{};  // latest consumer read
+  std::array<Cycle, 3> unit_free{};                       // indexed by ExecUnit
+  Cycle vl_ready = 0;
+  Cycle last_issue = 0;
+  Cycle pc_redirect = 0;
+  Cycle watermark = 0;
+  Cycle issue_cycle = 0;
+  u32 issue_used = 0;
+  Cycle scalar_mem_cycle = 0;
+  u32 scalar_mem_used = 0;
+  // STM phase ordering, tracked per bank: a bank's drain cannot start
+  // before its fill completed, and icm cannot clear a bank whose drain is
+  // still in flight. Single-buffer mode only uses index 0.
+  Cycle stm_fill_done[2] = {0, 0};
+  Cycle stm_drain_done[2] = {0, 0};
+  Cycle stm_drain_free = 0;
+  // Whether the vector memory pipe's current occupant is an indexed
+  // (1 element/cycle) access — distinguishes "waiting behind a slow
+  // gather/scatter" from plain port contention in the stall taxonomy.
+  bool vmem_last_indexed = false;
+
+  // ---- Current run (valid between begin_run and finish_run) ---------------
+  const Instruction* insts = nullptr;
+  const DecodedInst* decoded = nullptr;
+  usize program_size = 0;
+  usize pc = 0;
+  StepStatus status = StepStatus::kHalted;
+  RunStats stats;
+  // Startup latencies by StartupKind, resolved from the config once per run.
+  std::array<u32, kStartupKindCount> startup_by_kind{};
+
+  // Pending-barrier bookkeeping (valid while status == kAtBarrier): the
+  // profiler/trace sample is deferred to release_barrier(), where the
+  // barrier's true cost is known.
+  Cycle barrier_arrival = 0;
+  Cycle barrier_issue = 0;
+  Cycle barrier_unblocked = 0;
+  Cycle barrier_w_before = 0;
+  usize barrier_pc = 0;
+  StallReason barrier_why = StallReason::kScalarFetch;
+
+  // ---- Environment (borrowed; the Machine manages ownership) --------------
+  Memory* memory = nullptr;
+  StmUnit* stm = nullptr;
+  MemorySystem* memory_system = nullptr;
+  PerfCounters* profiler = nullptr;
+  ExecutionTrace* trace_sink = nullptr;
+  u64 trace_remaining = 0;
+  u32 core_id = 0;
+
+  // ---- Config scalars (copied from MachineConfig at construction) ---------
+  u32 lanes = 1;
+  u32 scalar_issue_width = 1;
+  u32 scalar_mem_ports = 1;
+  u32 mem_bytes_per_cycle = 1;
+  u32 mem_indexed_elems_per_cycle = 1;
+  u32 scalar_op_latency = 1;
+  u32 scalar_load_latency = 1;
+  u32 mul_latency = 1;
+  u32 branch_penalty = 0;
+  bool chaining = true;
+  bool mem_pipelined_startup = true;
+  bool stm_double = false;
+  u64 max_instructions = 0;
+
+  // Reused per-instruction buffers for vector slides and STM batches, so
+  // the interpreter's hot loop performs no heap allocation after warm-up.
+  // (An ExecState is single-threaded state; run one Machine per thread.)
+  std::vector<u32> slide_scratch;
+  std::vector<StmEntry> stm_batch_scratch;
+
+  u32* vreg_row(u32 index) {
+    return vreg_data.data() + static_cast<usize>(index) * section;
+  }
+  const u32* vreg_row(u32 index) const {
+    return vreg_data.data() + static_cast<usize>(index) * section;
+  }
+  u64 sreg(u32 index) const {
+    SMTU_CHECK(index < kNumScalarRegs);
+    return index == kRegZero ? 0 : sregs[index];
+  }
+  void set_sreg(u32 index, u64 value) {
+    SMTU_CHECK(index < kNumScalarRegs);
+    if (index != kRegZero) sregs[index] = value;
+  }
+  void bump_watermark(Cycle cycle) { watermark = std::max(watermark, cycle); }
+
+  // Issue bookkeeping shared by both dispatch paths.
+  Cycle take_issue_slot(Cycle earliest) {
+    if (earliest > issue_cycle) {
+      issue_cycle = earliest;
+      issue_used = 0;
+    }
+    if (issue_used >= scalar_issue_width) {
+      ++issue_cycle;
+      issue_used = 0;
+    }
+    ++issue_used;
+    return issue_cycle;
+  }
+  Cycle take_scalar_mem_slot(Cycle earliest) {
+    if (earliest > scalar_mem_cycle) {
+      scalar_mem_cycle = earliest;
+      scalar_mem_used = 0;
+    }
+    if (scalar_mem_used >= scalar_mem_ports) {
+      ++scalar_mem_cycle;
+      scalar_mem_used = 0;
+    }
+    ++scalar_mem_used;
+    return scalar_mem_cycle;
+  }
+  void retire_scalar(u32 dest, Cycle ready) {
+    if (dest != kRegZero) sreg_ready[dest] = std::max(sreg_ready[dest], ready);
+    bump_watermark(ready);
+  }
+};
+
 class Machine {
  public:
   // Owning single-core machine (the classic setup).
@@ -95,27 +256,31 @@ class Machine {
   Machine(const MachineConfig& config, const CoreContext& context);
 
   const MachineConfig& config() const { return config_; }
-  Memory& memory() { return *memory_; }
-  const Memory& memory() const { return *memory_; }
-  StmUnit& stm_unit() { return *stm_; }
-  u32 core_id() const { return core_id_; }
+  Memory& memory() { return *es_.memory; }
+  const Memory& memory() const { return *es_.memory; }
+  StmUnit& stm_unit() { return *es_.stm; }
+  u32 core_id() const { return es_.core_id; }
 
-  u64 sreg(u32 index) const;
-  void set_sreg(u32 index, u64 value);
-  const std::vector<u32>& vreg(u32 index) const;
-  u32 vl() const { return vl_; }
+  // Dispatch mode, captured from default_dispatch_mode() at construction.
+  DispatchMode dispatch() const { return dispatch_; }
+  void set_dispatch(DispatchMode mode) { dispatch_ = mode; }
+
+  u64 sreg(u32 index) const { return es_.sreg(index); }
+  void set_sreg(u32 index, u64 value) { es_.set_sreg(index, value); }
+  std::span<const u32> vreg(u32 index) const;
+  u32 vl() const { return es_.vl; }
 
   // Prints executed instructions (at most `max_lines`) to stderr.
-  void enable_trace(u64 max_lines);
+  void enable_trace(u64 max_lines) { es_.trace_remaining = max_lines; }
 
   // Records structured timing events into `trace` during run() (nullptr
   // detaches). The trace is not cleared automatically.
-  void attach_trace(ExecutionTrace* trace) { trace_sink_ = trace; }
+  void attach_trace(ExecutionTrace* trace) { es_.trace_sink = trace; }
 
   // Attaches a cycle-attribution profiler (nullptr detaches). run() calls
   // begin_run()/record()/end_run() on it; counters accumulate across runs
   // of the same program until PerfCounters::reset().
-  void attach_profiler(PerfCounters* profiler) { profiler_ = profiler; }
+  void attach_profiler(PerfCounters* profiler) { es_.profiler = profiler; }
 
   // Executes from `entry_pc` until halt; aborts on runaway programs.
   // Timing state and statistics are reset per run; memory and registers
@@ -129,109 +294,46 @@ class Machine {
   void begin_run(const Program& program, usize entry_pc = 0);
   // Executes exactly one instruction of the current run.
   StepStatus step();
-  StepStatus status() const { return status_; }
+  StepStatus status() const { return es_.status; }
   // Closes out the run (stats, STM deltas, profiler end_run). Only valid
   // once step() returned kHalted.
   RunStats finish_run();
 
   // While kAtBarrier: the cycle this core arrived (all its issued work
   // complete). release_barrier(t) resumes it at cycle t >= arrival.
-  Cycle barrier_arrival() const { return barrier_arrival_; }
+  Cycle barrier_arrival() const { return es_.barrier_arrival; }
   void release_barrier(Cycle release);
 
   // Earliest cycle the next instruction could issue — the system scheduler
   // steps the core with the smallest horizon to keep simulated time
   // coherent across cores sharing the banked memory.
-  Cycle issue_horizon() const { return std::max(pc_redirect_, last_issue_); }
+  Cycle issue_horizon() const { return std::max(es_.pc_redirect, es_.last_issue); }
 
  private:
-  enum Unit : u32 { kUnitVMem = 0, kUnitVAlu = 1, kUnitStm = 2, kUnitCount = 3 };
-
-  struct VregTiming {
-    Cycle first = 0;         // first element available
-    Cycle last = 0;          // last element available
-    Cycle readers_done = 0;  // latest cycle any consumer still reads it
-  };
-
-  // Issue bookkeeping.
-  Cycle take_issue_slot(Cycle earliest);
-  Cycle take_scalar_mem_slot(Cycle earliest);
-  void retire_scalar(u32 dest, Cycle ready);
-  void bump_watermark(Cycle cycle) { watermark_ = std::max(watermark_, cycle); }
-
-  // Executes one vector instruction functionally and returns its duration in
-  // cycles at full streaming rate (excluding startup).
+  // The legacy switch-dispatch interpreter (differential reference).
+  StepStatus step_switch();
+  // Executes one vector instruction functionally (reference per-element
+  // implementation) and returns its duration in cycles at full streaming
+  // rate (excluding startup). Used only by step_switch().
   u32 execute_vector(const Instruction& inst);
-
   // Main-memory footprint of a vector memory instruction (primary base
   // address + total bytes moved), for bank arbitration.
   void vmem_footprint(const Instruction& inst, Addr* addr, u64* bytes) const;
+
+  void init_exec_state();
 
   MachineConfig config_;
   // Owning mode keeps its memory/STM here; core mode leaves these null.
   std::unique_ptr<Memory> owned_memory_;
   std::unique_ptr<StmUnit> owned_stm_;
-  Memory* memory_ = nullptr;
-  StmUnit* stm_ = nullptr;
-  MemorySystem* memory_system_ = nullptr;
-  u32 core_id_ = 0;
-
-  // Architectural state.
-  std::array<u64, kNumScalarRegs> sregs_{};
-  std::vector<std::vector<u32>> vregs_;
-  u32 vl_ = 0;
-
-  // Timing state (reset per run).
-  std::array<Cycle, kNumScalarRegs> sreg_ready_{};
-  std::vector<VregTiming> vreg_time_;
-  std::array<Cycle, kUnitCount> unit_free_{};
-  Cycle vl_ready_ = 0;
-  Cycle last_issue_ = 0;
-  Cycle pc_redirect_ = 0;
-  Cycle watermark_ = 0;
-  Cycle issue_cycle_ = 0;
-  u32 issue_used_ = 0;
-  Cycle scalar_mem_cycle_ = 0;
-  u32 scalar_mem_used_ = 0;
-  // STM phase ordering, tracked per bank: a bank's drain cannot start
-  // before its fill completed, and icm cannot clear a bank whose drain is
-  // still in flight. Single-buffer mode only uses index 0.
-  Cycle stm_fill_done_[2] = {0, 0};
-  Cycle stm_drain_done_[2] = {0, 0};
-  Cycle stm_drain_free_ = 0;
-  // Whether the vector memory pipe's current occupant is an indexed
-  // (1 element/cycle) access — distinguishes "waiting behind a slow
-  // gather/scatter" from plain port contention in the stall taxonomy.
-  bool vmem_last_indexed_ = false;
+  DispatchMode dispatch_ = DispatchMode::kThreaded;
 
   // Step-mode run state (valid between begin_run and finish_run).
   const Program* program_ = nullptr;
   std::vector<DecodedInst> local_decode_;
-  const DecodedInst* decoded_ = nullptr;
-  std::array<u32, kStartupKindCount> startup_by_kind_{};
-  usize pc_ = 0;
-  StepStatus status_ = StepStatus::kHalted;
   StmUnit::Stats stm_before_;
-  // Pending-barrier bookkeeping (valid while status_ == kAtBarrier): the
-  // profiler/trace sample is deferred to release_barrier(), where the
-  // barrier's true cost is known.
-  Cycle barrier_arrival_ = 0;
-  Cycle barrier_issue_ = 0;
-  Cycle barrier_unblocked_ = 0;
-  Cycle barrier_w_before_ = 0;
-  usize barrier_pc_ = 0;
-  StallReason barrier_why_ = StallReason::kScalarFetch;
 
-  RunStats stats_;
-  u64 trace_remaining_ = 0;
-  ExecutionTrace* trace_sink_ = nullptr;
-  PerfCounters* profiler_ = nullptr;
-
-  // Reused per-instruction buffers for vector slides and STM batches, so
-  // the interpreter's hot loop performs no heap allocation after warm-up.
-  // (A Machine is single-threaded state; run one per thread.)
-  std::vector<u32> slide_scratch_;
-  std::vector<StmEntry> stm_batch_scratch_;
+  ExecState es_;
 };
 
 }  // namespace smtu::vsim

@@ -1,7 +1,6 @@
 #include "vsim/memory.hpp"
 
 #include <bit>
-#include <cstring>
 
 #include "support/assert.hpp"
 #include "support/strings.hpp"
@@ -23,7 +22,7 @@ void Memory::privatize() {
   refresh_view();
 }
 
-void Memory::ensure(Addr addr, u64 len) {
+void Memory::ensure_slow(Addr addr, u64 len) {
   const u64 end = addr + len;
   SMTU_CHECK_MSG(end >= addr, "address overflow");
   SMTU_CHECK_MSG(end <= limit_, format("memory access at 0x%llx exceeds the %llu-byte limit",
@@ -39,46 +38,13 @@ void Memory::ensure(Addr addr, u64 len) {
   refresh_view();
 }
 
-void Memory::check_readable(Addr addr, u64 len) const {
-  SMTU_CHECK_MSG(addr + len <= view_size_ && addr + len >= addr,
-                 format("read at 0x%llx beyond allocated memory",
-                        static_cast<unsigned long long>(addr)));
-}
-
-u8 Memory::read_u8(Addr addr) const {
-  check_readable(addr, 1);
-  return view_[addr];
-}
-
-u16 Memory::read_u16(Addr addr) const {
-  check_readable(addr, 2);
-  return static_cast<u16>(view_[addr] | view_[addr + 1] << 8);
-}
-
-u32 Memory::read_u32(Addr addr) const {
-  check_readable(addr, 4);
-  u32 value = 0;
-  std::memcpy(&value, view_ + addr, 4);  // little-endian host
-  return value;
+void Memory::read_out_of_bounds(Addr addr) const {
+  SMTU_CHECK_MSG(false, format("read at 0x%llx beyond allocated memory",
+                               static_cast<unsigned long long>(addr)));
+  __builtin_unreachable();
 }
 
 float Memory::read_f32(Addr addr) const { return std::bit_cast<float>(read_u32(addr)); }
-
-void Memory::write_u8(Addr addr, u8 value) {
-  ensure(addr, 1);
-  bytes_[addr] = value;
-}
-
-void Memory::write_u16(Addr addr, u16 value) {
-  ensure(addr, 2);
-  bytes_[addr] = static_cast<u8>(value);
-  bytes_[addr + 1] = static_cast<u8>(value >> 8);
-}
-
-void Memory::write_u32(Addr addr, u32 value) {
-  ensure(addr, 4);
-  std::memcpy(bytes_.data() + addr, &value, 4);
-}
 
 void Memory::write_f32(Addr addr, float value) { write_u32(addr, std::bit_cast<u32>(value)); }
 

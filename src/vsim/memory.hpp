@@ -8,8 +8,16 @@
 // image) that it reads through copy-on-write: many machines share one base
 // image, and the first write privatizes a full copy. This is what lets
 // ablation ladders stop re-staging identical matrix images per config.
+//
+// The accessors are structured for the interpreter's hot loop: the common
+// case (in-bounds read through the cached view, in-bounds write into private
+// storage) is a branch plus a memcpy, inline at every call site; the rare
+// cases (grow, privatize, out-of-bounds abort) live out of line. The span
+// accessors amortize that branch to one bounds check per vector instruction
+// for contiguous accesses.
 #pragma once
 
+#include <cstring>
 #include <memory>
 #include <span>
 #include <vector>
@@ -31,17 +39,55 @@ class Memory {
   void attach_base(std::shared_ptr<const std::vector<u8>> base);
 
   // Grows the backing store to cover [0, addr + len); aborts past the limit.
-  void ensure(Addr addr, u64 len);
+  void ensure(Addr addr, u64 len) {
+    if (!writable(addr, len)) [[unlikely]] ensure_slow(addr, len);
+  }
 
-  u8 read_u8(Addr addr) const;
-  u16 read_u16(Addr addr) const;
-  u32 read_u32(Addr addr) const;
+  u8 read_u8(Addr addr) const {
+    check_readable(addr, 1);
+    return view_[addr];
+  }
+  u16 read_u16(Addr addr) const {
+    check_readable(addr, 2);
+    return static_cast<u16>(view_[addr] | view_[addr + 1] << 8);
+  }
+  u32 read_u32(Addr addr) const {
+    check_readable(addr, 4);
+    u32 value;
+    std::memcpy(&value, view_ + addr, 4);  // little-endian host
+    return value;
+  }
   float read_f32(Addr addr) const;
 
-  void write_u8(Addr addr, u8 value);
-  void write_u16(Addr addr, u16 value);
-  void write_u32(Addr addr, u32 value);
+  void write_u8(Addr addr, u8 value) {
+    ensure(addr, 1);
+    bytes_[addr] = value;
+  }
+  void write_u16(Addr addr, u16 value) {
+    ensure(addr, 2);
+    bytes_[addr] = static_cast<u8>(value);
+    bytes_[addr + 1] = static_cast<u8>(value >> 8);
+  }
+  void write_u32(Addr addr, u32 value) {
+    ensure(addr, 4);
+    std::memcpy(bytes_.data() + addr, &value, 4);
+  }
   void write_f32(Addr addr, float value);
+
+  // One-bounds-check bulk access for the contiguous vector memory paths
+  // (v_ld/v_st/v_ldb/v_stb/v_stbv): the whole [addr, addr+len) range is
+  // checked (or grown) once, then elements move via memcpy. The abort
+  // condition is identical to per-element accesses over the same range —
+  // contiguous elements cover exactly the span. `len` must be nonzero.
+  // The returned pointer is invalidated by any subsequent write/ensure.
+  const u8* read_span(Addr addr, u64 len) const {
+    check_readable(addr, len);
+    return view_ + addr;
+  }
+  u8* write_span(Addr addr, u64 len) {
+    ensure(addr, len);
+    return bytes_.data() + addr;
+  }
 
   // Bulk host-side access for laying out workload images. raw() never
   // privatizes an attached snapshot.
@@ -49,7 +95,15 @@ class Memory {
   std::span<const u8> raw() const { return {view_, view_size_}; }
 
  private:
-  void check_readable(Addr addr, u64 len) const;
+  void check_readable(Addr addr, u64 len) const {
+    if (addr + len > view_size_ || addr + len < addr) [[unlikely]] read_out_of_bounds(addr);
+  }
+  bool writable(Addr addr, u64 len) const {
+    return base_ == nullptr && addr + len <= bytes_.size() && addr + len >= addr;
+  }
+  [[noreturn]] void read_out_of_bounds(Addr addr) const;
+  // Grow/privatize/abort tail of ensure() (first write, growth, limit).
+  void ensure_slow(Addr addr, u64 len);
   // Copies an attached snapshot into private storage (first write).
   void privatize();
   void refresh_view() {

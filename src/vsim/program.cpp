@@ -8,60 +8,9 @@
 namespace smtu::vsim {
 namespace {
 
-bool is_vector_op(Op op) {
-  switch (op) {
-    case Op::kVLd:
-    case Op::kVSt:
-    case Op::kVLdx:
-    case Op::kVStx:
-    case Op::kVLds:
-    case Op::kVSts:
-    case Op::kVAdd:
-    case Op::kVSub:
-    case Op::kVMul:
-    case Op::kVAnd:
-    case Op::kVOr:
-    case Op::kVXor:
-    case Op::kVMin:
-    case Op::kVMax:
-    case Op::kVAddi:
-    case Op::kVAdds:
-    case Op::kVBcast:
-    case Op::kVBcasti:
-    case Op::kVIota:
-    case Op::kVSlideUp:
-    case Op::kVSlideDown:
-    case Op::kVRedSum:
-    case Op::kVExtract:
-    case Op::kVSeq:
-    case Op::kVSeqS:
-    case Op::kVFAdd:
-    case Op::kVFMul:
-    case Op::kVFRedSum:
-    case Op::kIcm:
-    case Op::kVLdb:
-    case Op::kVStcr:
-    case Op::kVLdcc:
-    case Op::kVStb:
-    case Op::kVStbv:
-    case Op::kVGthC:
-    case Op::kVScaR:
-    case Op::kVGthR:
-    case Op::kVScaC:
-    case Op::kVScaX:
-      return true;
-    default:
-      return false;
-  }
-}
-
 void decode_vector(const Instruction& inst, DecodedInst& d) {
   d.is_vector = true;
-  // Vector memory accesses that move one element per cycle (address per
-  // element) rather than streaming at the port's byte rate.
-  d.indexed_vmem = inst.op == Op::kVLdx || inst.op == Op::kVStx ||
-                   inst.op == Op::kVLds || inst.op == Op::kVSts ||
-                   inst.op == Op::kVScaX;
+  d.indexed_vmem = op_indexed_vmem(inst.op);
 
   // Scalar sources the instruction needs at issue.
   switch (inst.op) {
@@ -182,46 +131,15 @@ void decode_vector(const Instruction& inst, DecodedInst& d) {
       break;
   }
 
-  // Functional unit and which config field supplies the startup latency.
-  switch (inst.op) {
-    case Op::kVLd:
-    case Op::kVSt:
-    case Op::kVLdx:
-    case Op::kVStx:
-    case Op::kVLds:
-    case Op::kVSts:
-    case Op::kVLdb:
-    case Op::kVStb:
-    case Op::kVStbv:
-    case Op::kVGthC:
-    case Op::kVScaR:
-    case Op::kVGthR:
-    case Op::kVScaC:
-    case Op::kVScaX:
-      d.unit = ExecUnit::kVMem;
-      d.startup = StartupKind::kMem;
-      break;
-    case Op::kIcm:
-      d.unit = ExecUnit::kStm;
-      d.startup = StartupKind::kNone;
-      break;
-    case Op::kVStcr:
-      d.unit = ExecUnit::kStm;
-      d.startup = StartupKind::kStmFill;
-      break;
-    case Op::kVLdcc:
-      d.unit = ExecUnit::kStm;
-      d.startup = StartupKind::kStmDrain;
-      break;
-    default:
-      d.unit = ExecUnit::kVAlu;
-      d.startup = StartupKind::kValu;
-      break;
-  }
+  // Functional unit and which config field supplies the startup latency
+  // (shared constexpr tables, program.hpp).
+  d.unit = op_unit(inst.op);
+  d.startup = op_startup(inst.op);
 }
 
 void decode_scalar(const Instruction& inst, DecodedInst& d) {
   d.is_vector = false;
+  d.scalar_mem = op_scalar_mem(inst.op);
   switch (inst.op) {
     case Op::kLi:
       break;
@@ -257,13 +175,11 @@ void decode_scalar(const Instruction& inst, DecodedInst& d) {
     case Op::kLw:
     case Op::kLhu:
     case Op::kLbu:
-      d.scalar_mem = true;
       d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
       break;
     case Op::kSw:
     case Op::kSh:
     case Op::kSb:
-      d.scalar_mem = true;
       d.sregs[d.num_sregs++] = static_cast<u8>(inst.a);
       d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
       break;
@@ -280,7 +196,6 @@ void decode_scalar(const Instruction& inst, DecodedInst& d) {
     case Op::kBarrier:
       break;
     case Op::kAmoAdd:
-      d.scalar_mem = true;
       d.sregs[d.num_sregs++] = static_cast<u8>(inst.b);
       d.sregs[d.num_sregs++] = static_cast<u8>(inst.c);
       break;
@@ -293,10 +208,23 @@ void decode_scalar(const Instruction& inst, DecodedInst& d) {
 
 DecodedInst decode_instruction(const Instruction& inst) {
   DecodedInst d;
-  if (is_vector_op(inst.op)) {
+  if (op_is_vector(inst.op)) {
     decode_vector(inst, d);
   } else {
     decode_scalar(inst, d);
+  }
+  // Bind the threaded-dispatch target once per static instruction; the
+  // handlers index register-timing arrays with these numbers, so validate
+  // them here rather than per dynamic execution.
+  d.handler = opcode_handler(inst.op);
+  for (u32 i = 0; i < d.num_sregs; ++i) {
+    SMTU_CHECK_MSG(d.sregs[i] < kNumScalarRegs, "scalar register out of range");
+  }
+  for (u32 i = 0; i < d.num_srcs; ++i) {
+    SMTU_CHECK_MSG(d.srcs[i] < kNumVectorRegs, "vector register out of range");
+  }
+  for (u32 i = 0; i < d.num_dsts; ++i) {
+    SMTU_CHECK_MSG(d.dsts[i] < kNumVectorRegs, "vector register out of range");
   }
   return d;
 }

@@ -29,12 +29,84 @@ enum class ExecUnit : u8 { kVMem = 0, kVAlu = 1, kStm = 2 };
 enum class StartupKind : u8 { kMem = 0, kValu = 1, kStmFill = 2, kStmDrain = 3, kNone = 4 };
 inline constexpr usize kStartupKindCount = static_cast<usize>(StartupKind::kNone) + 1;
 
+// Per-opcode static properties, constexpr so the predecoder and the
+// per-opcode handler templates (machine.cpp) resolve them from one source.
+
+// Vector memory accesses that move one element per cycle (an address per
+// element) rather than streaming at the port's byte rate.
+constexpr bool op_indexed_vmem(Op op) {
+  return op == Op::kVLdx || op == Op::kVStx || op == Op::kVLds || op == Op::kVSts ||
+         op == Op::kVScaX;
+}
+
+// Scalar loads/stores contend for the scalar memory ports.
+constexpr bool op_scalar_mem(Op op) {
+  switch (op) {
+    case Op::kLw:
+    case Op::kLhu:
+    case Op::kLbu:
+    case Op::kSw:
+    case Op::kSh:
+    case Op::kSb:
+    case Op::kAmoAdd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Functional unit a vector instruction occupies (meaningful only when
+// op_is_vector(op)).
+constexpr ExecUnit op_unit(Op op) {
+  switch (op) {
+    case Op::kVLd:
+    case Op::kVSt:
+    case Op::kVLdx:
+    case Op::kVStx:
+    case Op::kVLds:
+    case Op::kVSts:
+    case Op::kVLdb:
+    case Op::kVStb:
+    case Op::kVStbv:
+    case Op::kVGthC:
+    case Op::kVScaR:
+    case Op::kVGthR:
+    case Op::kVScaC:
+    case Op::kVScaX:
+      return ExecUnit::kVMem;
+    case Op::kIcm:
+    case Op::kVStcr:
+    case Op::kVLdcc:
+      return ExecUnit::kStm;
+    default:
+      return ExecUnit::kVAlu;
+  }
+}
+
+constexpr StartupKind op_startup(Op op) {
+  switch (op) {
+    case Op::kIcm:
+      return StartupKind::kNone;
+    case Op::kVStcr:
+      return StartupKind::kStmFill;
+    case Op::kVLdcc:
+      return StartupKind::kStmDrain;
+    default:
+      return op_unit(op) == ExecUnit::kVMem ? StartupKind::kMem : StartupKind::kValu;
+  }
+}
+
+// The interpreter's hot state bundle (vsim/machine.hpp).
+struct ExecState;
+
 // Dispatch-friendly predecode of one static instruction: everything the
 // interpreter's issue logic derives from the opcode alone (unit, startup
 // kind, operand register lists) is computed once at assembly time instead
 // of per dynamic execution. Register numbers are resolved from the
 // Instruction fields, in the same order the Machine's hazard checks
-// evaluated them.
+// evaluated them. `handler` is the threaded-code dispatch target: a
+// per-opcode function that executes the instruction end to end (timing
+// model + functional semantics) and advances es.pc.
 struct DecodedInst {
   bool is_vector = false;
   bool indexed_vmem = false;  // 1-element/cycle vmem access (v_ldx/v_stx/v_lds/v_sts)
@@ -47,7 +119,16 @@ struct DecodedInst {
   u8 sregs[2] = {0, 0};
   u8 srcs[3] = {0, 0, 0};
   u8 dsts[2] = {0, 0};
+  void (*handler)(ExecState&, const Instruction&, const DecodedInst&) = nullptr;
 };
+
+// Pre-bound per-opcode execute handler (see DecodedInst::handler).
+using OpHandler = void (*)(ExecState&, const Instruction&, const DecodedInst&);
+
+// The handler for one opcode, from the process-global per-opcode table
+// (defined next to the Machine in machine.cpp). Stable for the process
+// lifetime, so predecoded programs cached by ProgramCache stay valid.
+OpHandler opcode_handler(Op op);
 
 // Predecode of a single instruction / an instruction sequence. Machine::run
 // uses Program::decoded when present and falls back to decoding on the fly

@@ -1,0 +1,288 @@
+// Bit-identity of the threaded-code interpreter (handlers bound at decode
+// time, SoA ExecState) against the legacy switch interpreter retained behind
+// DispatchMode::kSwitch. Every representative kernel class runs under both
+// modes; RunStats, profiler attribution, result matrices, and raw memory
+// images must match bit for bit — the dispatch rework is a host-side
+// optimization and must not move a single simulated cycle.
+//
+// Also covers the hoisted span bounds check of the contiguous vector memory
+// paths: out-of-range accesses abort with the same diagnostics in both
+// modes.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "formats/csr.hpp"
+#include "formats/sell.hpp"
+#include "kernels/crs_transpose.hpp"
+#include "kernels/hism_transpose.hpp"
+#include "kernels/layout.hpp"
+#include "kernels/shard.hpp"
+#include "kernels/spgemm.hpp"
+#include "kernels/sell_spmv.hpp"
+#include "testing.hpp"
+#include "vsim/assembler.hpp"
+#include "vsim/machine.hpp"
+#include "vsim/profiler.hpp"
+#include "vsim/system.hpp"
+
+namespace smtu {
+namespace {
+
+using testing::coo_equal;
+using testing::random_coo;
+
+// Restores the process-wide dispatch default on scope exit, so death tests
+// and mode sweeps cannot leak state into other tests.
+class ScopedDispatch {
+ public:
+  explicit ScopedDispatch(vsim::DispatchMode mode) : saved_(vsim::default_dispatch_mode()) {
+    vsim::set_default_dispatch_mode(mode);
+  }
+  ~ScopedDispatch() { vsim::set_default_dispatch_mode(saved_); }
+
+ private:
+  vsim::DispatchMode saved_;
+};
+
+void expect_stats_equal(const vsim::RunStats& a, const vsim::RunStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.scalar_instructions, b.scalar_instructions);
+  EXPECT_EQ(a.vector_instructions, b.vector_instructions);
+  EXPECT_EQ(a.vector_elements, b.vector_elements);
+  EXPECT_EQ(a.mem_contiguous_bytes, b.mem_contiguous_bytes);
+  EXPECT_EQ(a.mem_indexed_elements, b.mem_indexed_elements);
+  EXPECT_EQ(a.stm_blocks, b.stm_blocks);
+  EXPECT_EQ(a.stm_write_cycles, b.stm_write_cycles);
+  EXPECT_EQ(a.stm_read_cycles, b.stm_read_cycles);
+  EXPECT_EQ(a.stm_elements, b.stm_elements);
+  EXPECT_EQ(a.vmem_busy_cycles, b.vmem_busy_cycles);
+  EXPECT_EQ(a.valu_busy_cycles, b.valu_busy_cycles);
+  EXPECT_EQ(a.stm_busy_cycles, b.stm_busy_cycles);
+}
+
+void expect_profilers_equal(const vsim::PerfCounters& a, const vsim::PerfCounters& b) {
+  EXPECT_EQ(a.total_cycles(), b.total_cycles());
+  EXPECT_EQ(a.attributed_cycles(), b.attributed_cycles());
+  EXPECT_EQ(a.stall_cycles(), b.stall_cycles());
+  EXPECT_EQ(a.busy_cycles(), b.busy_cycles());
+}
+
+Coo test_matrix(u64 seed = 11, Index rows = 300, Index cols = 280, usize nnz = 2500) {
+  Rng rng(seed);
+  return random_coo(rows, cols, nnz, rng);
+}
+
+// ---- HiSM transpose: stats, profile, and the raw memory image ------------
+
+TEST(DispatchModes, HismTransposeBitIdentical) {
+  const Coo coo = test_matrix();
+  const vsim::MachineConfig config;
+  const HismMatrix hism = HismMatrix::from_coo(coo, config.section);
+  const auto program = vsim::assemble(kernels::hism_transpose_source());
+
+  auto run_mode = [&](vsim::DispatchMode mode, vsim::PerfCounters& profiler,
+                      std::vector<u8>& image_out) {
+    ScopedDispatch scoped(mode);
+    vsim::Machine machine(config);
+    EXPECT_EQ(machine.dispatch(), mode);
+    const HismImage image = kernels::stage_hism(machine, hism);
+    machine.set_sreg(1, image.root_addr);
+    machine.set_sreg(2, image.root_len);
+    machine.set_sreg(3, image.levels - 1);
+    machine.set_sreg(vsim::kRegSp, kernels::kStackTop);
+    machine.attach_profiler(&profiler);
+    const vsim::RunStats stats = machine.run(program);
+    const std::span<const u8> raw = machine.memory().raw();
+    image_out.assign(raw.begin(), raw.end());
+    return stats;
+  };
+
+  vsim::PerfCounters threaded_prof, switch_prof;
+  std::vector<u8> threaded_image, switch_image;
+  const vsim::RunStats threaded = run_mode(vsim::DispatchMode::kThreaded, threaded_prof,
+                                           threaded_image);
+  const vsim::RunStats legacy = run_mode(vsim::DispatchMode::kSwitch, switch_prof,
+                                         switch_image);
+
+  expect_stats_equal(threaded, legacy);
+  expect_profilers_equal(threaded_prof, switch_prof);
+  EXPECT_EQ(threaded_image, switch_image);
+}
+
+// ---- CRS transpose baseline ----------------------------------------------
+
+TEST(DispatchModes, CrsTransposeBitIdentical) {
+  const Csr csr = Csr::from_coo(test_matrix(23));
+  const vsim::MachineConfig config;
+
+  vsim::PerfCounters threaded_prof, switch_prof;
+  kernels::CrsTransposeResult threaded, legacy;
+  {
+    ScopedDispatch scoped(vsim::DispatchMode::kThreaded);
+    threaded = kernels::run_crs_transpose(csr, config, {}, &threaded_prof);
+  }
+  {
+    ScopedDispatch scoped(vsim::DispatchMode::kSwitch);
+    legacy = kernels::run_crs_transpose(csr, config, {}, &switch_prof);
+  }
+  expect_stats_equal(threaded.stats, legacy.stats);
+  expect_profilers_equal(threaded_prof, switch_prof);
+  EXPECT_TRUE(coo_equal(threaded.transposed, legacy.transposed));
+}
+
+// ---- SELL-C-sigma SpMV ----------------------------------------------------
+
+TEST(DispatchModes, SellSpmvBitIdentical) {
+  const Coo coo = test_matrix(31, 400, 256, 3000);
+  const SellCSigma sell = SellCSigma::from_coo(coo, 16, 0);
+  std::vector<float> x(static_cast<usize>(coo.cols()));
+  Rng rng(5);
+  for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  vsim::SystemConfig config;
+
+  kernels::SellSpmvResult threaded, legacy;
+  {
+    ScopedDispatch scoped(vsim::DispatchMode::kThreaded);
+    threaded = kernels::run_sell_spmv(sell, x, config);
+  }
+  {
+    ScopedDispatch scoped(vsim::DispatchMode::kSwitch);
+    legacy = kernels::run_sell_spmv(sell, x, config);
+  }
+  EXPECT_EQ(threaded.stats.cycles, legacy.stats.cycles);
+  ASSERT_EQ(threaded.stats.core_stats.size(), legacy.stats.core_stats.size());
+  for (usize c = 0; c < threaded.stats.core_stats.size(); ++c) {
+    expect_stats_equal(threaded.stats.core_stats[c], legacy.stats.core_stats[c]);
+  }
+  // Float results must match bitwise, not just approximately.
+  ASSERT_EQ(threaded.y.size(), legacy.y.size());
+  for (usize i = 0; i < threaded.y.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<u32>(threaded.y[i]), std::bit_cast<u32>(legacy.y[i])) << i;
+  }
+}
+
+// ---- SpGEMM on the STM ----------------------------------------------------
+
+TEST(DispatchModes, SpgemmBitIdentical) {
+  const Coo a = test_matrix(47, 200, 180, 1500);
+  const Csr b = Csr::from_coo(test_matrix(48, 200, 120, 1200));
+  vsim::SystemConfig config;
+
+  kernels::SpgemmResult threaded, legacy;
+  {
+    ScopedDispatch scoped(vsim::DispatchMode::kThreaded);
+    threaded = kernels::run_hism_spgemm(a, b, config);
+  }
+  {
+    ScopedDispatch scoped(vsim::DispatchMode::kSwitch);
+    legacy = kernels::run_hism_spgemm(a, b, config);
+  }
+  EXPECT_EQ(threaded.stats.cycles, legacy.stats.cycles);
+  ASSERT_EQ(threaded.stats.core_stats.size(), legacy.stats.core_stats.size());
+  for (usize c = 0; c < threaded.stats.core_stats.size(); ++c) {
+    expect_stats_equal(threaded.stats.core_stats[c], legacy.stats.core_stats[c]);
+  }
+  EXPECT_EQ(threaded.dense.size(), legacy.dense.size());
+  for (usize i = 0; i < threaded.dense.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<u32>(threaded.dense[i]), std::bit_cast<u32>(legacy.dense[i])) << i;
+  }
+}
+
+// ---- Multi-core sharded transpose (N = 4) ---------------------------------
+
+TEST(DispatchModes, ShardedTransposeFourCoresBitIdentical) {
+  const Coo coo = test_matrix(53, 500, 480, 4000);
+  vsim::SystemConfig config;
+  config.cores = 4;
+
+  kernels::ShardedHismTransposeResult threaded, legacy;
+  std::vector<vsim::PerfCounters> threaded_profs, switch_profs;
+  {
+    ScopedDispatch scoped(vsim::DispatchMode::kThreaded);
+    threaded = kernels::run_sharded_hism_transpose(coo, config, &threaded_profs);
+  }
+  {
+    ScopedDispatch scoped(vsim::DispatchMode::kSwitch);
+    legacy = kernels::run_sharded_hism_transpose(coo, config, &switch_profs);
+  }
+  EXPECT_EQ(threaded.stats.cycles, legacy.stats.cycles);
+  EXPECT_EQ(threaded.stats.barriers, legacy.stats.barriers);
+  ASSERT_EQ(threaded.stats.core_stats.size(), 4u);
+  ASSERT_EQ(legacy.stats.core_stats.size(), 4u);
+  for (usize c = 0; c < 4; ++c) {
+    expect_stats_equal(threaded.stats.core_stats[c], legacy.stats.core_stats[c]);
+  }
+  ASSERT_EQ(threaded_profs.size(), switch_profs.size());
+  for (usize c = 0; c < threaded_profs.size(); ++c) {
+    expect_profilers_equal(threaded_profs[c], switch_profs[c]);
+  }
+  EXPECT_TRUE(coo_equal(threaded.transposed, legacy.transposed));
+}
+
+// ---- Programmatic dispatch selection --------------------------------------
+
+TEST(DispatchModes, PerMachineOverride) {
+  ScopedDispatch scoped(vsim::DispatchMode::kThreaded);
+  vsim::Machine machine{vsim::MachineConfig{}};
+  EXPECT_EQ(machine.dispatch(), vsim::DispatchMode::kThreaded);
+  machine.set_dispatch(vsim::DispatchMode::kSwitch);
+  EXPECT_EQ(machine.dispatch(), vsim::DispatchMode::kSwitch);
+  EXPECT_STREQ(vsim::dispatch_mode_name(vsim::DispatchMode::kThreaded), "threaded");
+  EXPECT_STREQ(vsim::dispatch_mode_name(vsim::DispatchMode::kSwitch), "switch");
+}
+
+// ---- Hoisted span bounds check --------------------------------------------
+//
+// The contiguous v_ld/v_st paths check the whole element span once per
+// instruction instead of once per element. The abort condition is the exact
+// union of the per-element accesses, so an out-of-range vector access must
+// still die — with the same diagnostic — under both dispatch modes.
+
+using DispatchDeathTest = ::testing::TestWithParam<vsim::DispatchMode>;
+
+TEST_P(DispatchDeathTest, ContiguousLoadBeyondMemoryAborts) {
+  const vsim::DispatchMode mode = GetParam();
+  EXPECT_DEATH(
+      {
+        ScopedDispatch scoped(mode);
+        vsim::Machine machine{vsim::MachineConfig{}};
+        machine.memory().write_u32(0, 1);  // allocate a small region
+        machine.run(vsim::assemble(
+            "li r1, 64\n"
+            "ssvl r1\n"
+            "li r2, 0x100000\n"
+            "v_ld vr1, (r2)\n"
+            "halt\n"));
+      },
+      "beyond allocated memory");
+}
+
+TEST_P(DispatchDeathTest, ContiguousStoreBeyondLimitAborts) {
+  const vsim::DispatchMode mode = GetParam();
+  vsim::MachineConfig config;
+  config.memory_limit = 0x1000;
+  EXPECT_DEATH(
+      {
+        ScopedDispatch scoped(mode);
+        vsim::Machine machine(config);
+        machine.run(vsim::assemble(
+            "li r1, 64\n"
+            "ssvl r1\n"
+            "li r2, 0xF80\n"  // span [0xF80, 0x1080) crosses the limit
+            "v_st vr1, (r2)\n"
+            "halt\n"));
+      },
+      "exceeds the");
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, DispatchDeathTest,
+                         ::testing::Values(vsim::DispatchMode::kThreaded,
+                                           vsim::DispatchMode::kSwitch),
+                         [](const ::testing::TestParamInfo<vsim::DispatchMode>& info) {
+                           return vsim::dispatch_mode_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace smtu

@@ -21,12 +21,13 @@ A metric's direction decides what counts as a regression:
     --all but never fails the run.
 
 Host-timing keys are ignored entirely: any key containing "wall_ms" (the
-per-matrix and harness wall-time measurements) is nondeterministic by
-nature, and "jobs"/"harness" only describe how the run was executed. The
-"host" section (program/stage/sim cache hit counters — HACKING.md "Host
-performance") likewise depends on process history, not on the simulated
-machine. None of them can gate, appear as [new]/[gone], or show under
---all.
+per-matrix and harness wall-time measurements) or "per_sec" (the
+interpreter-throughput rates micro_host --interp-json emits) is
+nondeterministic by nature, and "jobs"/"harness" only describe how the run
+was executed. The "host" section (program/stage/sim cache hit counters and
+dispatch throughput records — HACKING.md "Host performance") likewise
+depends on process history, not on the simulated machine. None of them can
+gate, appear as [new]/[gone], or show under --all.
 
 Schema drift is gated, not just reported: a metric present in OLD but
 missing from NEW ([gone]) always fails — a silently vanished counter would
@@ -48,7 +49,9 @@ SKIPPED_KEYS = {"schema", "bench", "seed", "scale", "jobs", "harness", "host"}
 
 # Any key containing one of these fragments is host-timing noise, never a
 # simulated metric; skipped at flatten time so it cannot gate or diff.
-TIMING_KEY_FRAGMENTS = ("wall_ms",)
+# "per_sec" covers the interpreter-throughput records micro_host emits
+# (insts_per_sec / cycles_per_sec): host speed, not simulated behavior.
+TIMING_KEY_FRAGMENTS = ("wall_ms", "per_sec")
 
 
 def flatten(value, prefix, out):

@@ -98,6 +98,37 @@ class BenchDiffGating(unittest.TestCase):
         self.assertNotIn("host", out)
         self.assertNotIn("sim_cache", out)
 
+    def test_per_sec_rates_are_invisible(self):
+        # Interpreter-throughput rates (micro_host --interp-json) are host
+        # speed, not simulated metrics: a 10x swing must neither gate nor
+        # appear as schema drift, even outside a "host" section.
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 10.0)
+        new["matrices"][0]["insts_per_sec"] = 19.4e6
+        new["matrices"][0]["cycles_per_sec"] = 150e6
+        code, out = run_diff(old, new, "--all")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[new]", out)
+        self.assertNotIn("per_sec", out)
+
+    def test_hostmicro_dispatch_records_are_invisible(self):
+        # The full smtu-hostmicro-v1 record shape: everything lives under
+        # "host", and the per-record rates/wall times are timing fragments.
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 10.0)
+        new["host"] = {
+            "dispatch": [
+                {"name": "hism_transpose", "mode": "threaded", "runs": 220,
+                 "wall_ms": 201.0, "insts_per_sec": 1.9e7, "cycles_per_sec": 1.6e8},
+                {"name": "hism_transpose", "mode": "switch", "runs": 60,
+                 "wall_ms": 204.0, "insts_per_sec": 2.7e6, "cycles_per_sec": 2.2e7},
+            ],
+        }
+        code, out = run_diff(old, new, "--all")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[new]", out)
+        self.assertNotIn("dispatch", out)
+
     def test_cycle_regression_still_fails(self):
         old = report(1000, 5.0, 10.0)
         new = report(1500, 5.0, 10.0)  # 50% more simulated cycles

@@ -59,5 +59,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nreading: if the relaxed gain is small at L=4, the paper's cheap consecutive-\n"
       "line hardware is justified; the gap closes further as L grows.\n");
+  bench::finish_telemetry(options);
   return 0;
 }

@@ -92,5 +92,6 @@ int main(int argc, char** argv) {
                           100.0 * (static_cast<double>(t.crs_off) / static_cast<double>(t.crs_on) - 1.0))});
   }
   bench::emit(table, options.csv_path);
+  bench::finish_telemetry(options);
   return 0;
 }

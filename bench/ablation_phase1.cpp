@@ -54,5 +54,6 @@ int main(int argc, char** argv) {
   bench::emit(table, options.csv_path);
   std::printf("\nreading: the masked variant loses by growing factors as matrices grow —\n"
               "the paper's choice of scalar code for phase 1 is the right one.\n");
+  bench::finish_telemetry(options);
   return 0;
 }

@@ -47,5 +47,6 @@ int main(int argc, char** argv) {
       "monotone locality trend) hold across the whole 2..32-cycle range; the\n"
       "default of 8 sits in the middle. This is the reproduction's error bar for\n"
       "the authors' unpublished SimpleScalar configuration.\n");
+  bench::finish_telemetry(options);
   return 0;
 }

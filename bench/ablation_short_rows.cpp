@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
       "t=4 captures nearly all of the gain, and very large thresholds de-vectorize\n"
       "long rows and lose again. Figs. 11-13 use t=4. (Disabling the scalar path\n"
       "would only *widen* the reported HiSM speedups.)\n");
+  bench::finish_telemetry(options);
   return 0;
 }

@@ -47,5 +47,6 @@ int main(int argc, char** argv) {
   std::printf("\naverage HiSM/CRS size ratio: %.2f  (paper: HiSM positions are 2 bytes vs\n"
               "CRS's 4-byte indices; hierarchy overhead ~2-5%% at s=64 -> avg here %.1f%%)\n",
               ratio_sum / n, 100.0 * overhead_sum / n);
+  bench::finish_telemetry(options);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "support/json.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 #include "vsim/json_export.hpp"
 #include "vsim/trace.hpp"
 
@@ -94,8 +95,35 @@ BenchOptions parse_options(CommandLine& cli) {
   options.profile = cli.get_flag("profile");
   const std::string sim_cache = cli.get_string("sim-cache", "");
   if (!sim_cache.empty()) options.sim_cache_dir = sim_cache;
+  options.telemetry = cli.get_flag("telemetry");
+  const std::string telemetry_json = cli.get_string("telemetry-json", "");
+  if (!telemetry_json.empty()) {
+    options.telemetry_json_path = telemetry_json;
+    options.telemetry = true;
+  }
   cli.finish();
+  if (options.telemetry) {
+    telemetry::set_enabled(true);
+    // Host spans join the Chrome dump (own pid) only when both were asked
+    // for; a bare --trace-json dump stays byte-identical to telemetry-off.
+    if (options.trace_json_path) telemetry::set_host_trace_enabled(true);
+  }
   return options;
+}
+
+void finish_telemetry(const BenchOptions& options) {
+  if (!telemetry::enabled()) return;
+  if (options.telemetry_json_path) {
+    std::ofstream out(*options.telemetry_json_path);
+    SMTU_CHECK_MSG(static_cast<bool>(out),
+                   "cannot open telemetry output " + *options.telemetry_json_path);
+    JsonWriter json(out);
+    telemetry::write_telemetry_json(json);
+    out << '\n';
+    std::fprintf(stderr, "wrote telemetry to %s\n", options.telemetry_json_path->c_str());
+  }
+  std::fprintf(stderr, "-- telemetry --\n%s",
+               telemetry::MetricsRegistry::instance().summary().c_str());
 }
 
 TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
@@ -183,6 +211,10 @@ TransposeComparison compare_transposes(const suite::SuiteMatrix& entry,
                            : static_cast<double>(comparison.crs_cycles) /
                                  static_cast<double>(comparison.hism_cycles);
   comparison.wall_ms = elapsed_ms(started);
+  if (telemetry::enabled()) {
+    telemetry::histogram("bench.item_wall_us")
+        .record(static_cast<u64>(comparison.wall_ms * 1000.0));
+  }
   return comparison;
 }
 
@@ -297,6 +329,7 @@ int run_figure_bench(int argc, const char* const* argv, const FigureSeries& seri
               summary.avg);
   std::printf("paper (IPPS'04):  min %.1f  max %.1f  avg %.1f\n", series.paper_min,
               series.paper_max, series.paper_avg);
+  finish_telemetry(options);
   return 0;
 }
 
@@ -448,6 +481,13 @@ void write_bench_report_json(std::ostream& out, const std::string& bench_name,
   write_harness_json(json, harness);
   json.key("host");
   write_host_json(json, host);
+  if (telemetry::enabled()) {
+    // Only present on telemetry runs, and skipped wholesale by
+    // tools/bench_diff.py, so telemetry-on and telemetry-off reports diff
+    // clean at threshold 0.
+    json.key("telemetry");
+    telemetry::write_telemetry_json(json);
+  }
   json.key("matrices");
   write_matrix_records_json(json, records);
   json.key("summary");

@@ -22,6 +22,11 @@
 //                      are skipped and their RunStats/profile replayed from
 //                      <dir> (see HACKING.md "Host performance"). Reports
 //                      stay bit-identical modulo wall_ms/host keys
+//   --telemetry        collect host telemetry (ThreadPool, caches, per-item
+//                      latency — docs/TELEMETRY.md); JSON reports gain a
+//                      "telemetry" section and a summary prints to stderr
+//   --telemetry-json=<path>  also write the standalone smtu-telemetry-v1
+//                      document there (implies --telemetry)
 //
 // summary_speedup additionally accepts --mtxdir=<dir>: run on every .mtx
 // file found there (e.g. the original D-SAB matrices) instead of the
@@ -63,6 +68,11 @@ struct BenchOptions {
   // --sim-cache: directory of the content-addressed result cache; nullopt
   // disables it (every simulation runs).
   std::optional<std::string> sim_cache_dir;
+  // --telemetry / --telemetry-json: host-side metrics (docs/TELEMETRY.md).
+  // parse_options flips the process-wide telemetry switch, so `telemetry`
+  // mirrors smtu::telemetry::enabled() for the rest of the run.
+  bool telemetry = false;
+  std::optional<std::string> telemetry_json_path;
 };
 
 // The process-wide SimCache for `dir` (one instance per directory, so its
@@ -71,7 +81,15 @@ struct BenchOptions {
 vsim::SimCache* sim_cache_for(const std::optional<std::string>& dir);
 
 // Parses the standard flags; calls cli.finish() so unknown flags fail fast.
+// Side effect: enables process-wide telemetry when --telemetry /
+// --telemetry-json was given (and host trace events when --trace-json rides
+// along, so host spans land in the Chrome dump under their own pid).
 BenchOptions parse_options(CommandLine& cli);
+
+// End-of-main telemetry flush: writes the standalone smtu-telemetry-v1
+// document to options.telemetry_json_path (if set) and prints the metric
+// summary to stderr. No-op when telemetry is off.
+void finish_telemetry(const BenchOptions& options);
 
 // One matrix through both transposition paths on the simulated machine.
 // The full per-run counters (unit busy cycles, instruction mix, STM phase

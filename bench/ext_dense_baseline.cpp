@@ -47,5 +47,6 @@ int main(int argc, char** argv) {
       "\nreading: the strided dense method costs O(n^2) cycles at 1 element/cycle\n"
       "(bank-conflicted stride) no matter the sparsity; HiSM touches only stored\n"
       "elements. Real sparse matrices (density <<1%%) sit far left of the crossover.\n");
+  bench::finish_telemetry(options);
   return 0;
 }

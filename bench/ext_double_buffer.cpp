@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
       "serializes the phases regardless of banking); hardware + the software-\n"
       "pipelined kernel together overlap each child's drain with the next\n"
       "child's fill. Cost: 2x the unit's SRAM and a more intricate kernel.\n");
+  bench::finish_telemetry(options);
   return 0;
 }

@@ -399,5 +399,6 @@ int main(int argc, char** argv) {
       "C = 64 chunk padding can give the advantage back. The SpGEMM curve scales\n"
       "with the output-row stripes; docs/KERNELS.md maps every column here to its\n"
       "kernel and profile regions.\n");
+  bench::finish_telemetry(options);
   return 0;
 }

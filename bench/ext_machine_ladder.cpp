@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
               "further %.1fx on top — transposition is irregular enough that plain\n"
               "vectorization leaves most of the win to the dedicated unit.\n",
               total_vector / n, total_stm / n);
+  bench::finish_telemetry(options);
   return 0;
 }

@@ -284,5 +284,6 @@ int main(int argc, char** argv) {
       "block rows bound the useful core count) and the scalar merge serializes the\n"
       "tail; the CRS baseline's atomic histogram scales but pays bank contention\n"
       "and barrier waits. Per-core stall taxonomy: --json + prof_report --per-core.\n");
+  bench::finish_telemetry(options);
   return 0;
 }

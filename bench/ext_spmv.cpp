@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
               "(companion paper [5]: up to ~5x, pattern-dependent)\n",
               sum_vs_crs / static_cast<double>(set.size()),
               sum_vs_jd / static_cast<double>(set.size()));
+  bench::finish_telemetry(options);
   return 0;
 }

@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper shape: BU max at B=1 (<1.0 only due to the 6-cycle block penalty),\n"
       "rises with L, saturates for L>4 -> L=4 chosen for Figs. 11-13.\n");
+  bench::finish_telemetry(options);
   return 0;
 }

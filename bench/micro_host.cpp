@@ -31,6 +31,7 @@
 #include "support/assert.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 #include "vsim/assembler.hpp"
 #include "vsim/machine.hpp"
 #include "vsim/program_cache.hpp"
@@ -333,21 +334,41 @@ void write_interp_json(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string interp_json;
+  std::string telemetry_json;
+  bool telemetry_on = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--interp-json=", 0) == 0) {
       interp_json = std::string(arg.substr(14));
+    } else if (arg.rfind("--telemetry-json=", 0) == 0) {
+      telemetry_json = std::string(arg.substr(17));
+      telemetry_on = true;
+    } else if (arg == "--telemetry") {
+      telemetry_on = true;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (telemetry_on) smtu::telemetry::set_enabled(true);
   smtu::register_interp_mode_benches();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!interp_json.empty()) smtu::write_interp_json(interp_json);
+  if (!telemetry_json.empty()) {
+    std::ofstream out(telemetry_json);
+    SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open telemetry output " + telemetry_json);
+    smtu::JsonWriter json(out);
+    smtu::telemetry::write_telemetry_json(json);
+    out << '\n';
+    std::fprintf(stderr, "wrote telemetry to %s\n", telemetry_json.c_str());
+  }
+  if (telemetry_on) {
+    std::fprintf(stderr, "-- telemetry --\n%s",
+                 smtu::telemetry::MetricsRegistry::instance().summary().c_str());
+  }
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "support/json.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 #include "vsim/json_export.hpp"
 
 namespace {
@@ -278,6 +279,12 @@ int main(int argc, char** argv) {
     bench::write_harness_json(json, harness);
     json.key("host");
     bench::write_host_json(json, bench::collect_host_counters(options.sim_cache_dir));
+    if (telemetry::enabled()) {
+      // Telemetry-only key, skipped wholesale by tools/bench_diff.py, so
+      // telemetry-on and -off reports stay bit-identical at threshold 0.
+      json.key("telemetry");
+      telemetry::write_telemetry_json(json);
+    }
     json.key("fig10");
     json.begin_object();
     json.key("bandwidths");
@@ -337,5 +344,6 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "report written to %s\n", out_path.c_str());
   std::printf("wrote %s and %s\n", out_path.c_str(), options.json_path->c_str());
+  bench::finish_telemetry(options);
   return 0;
 }

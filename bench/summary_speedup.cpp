@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
   std::printf("\nmeasured: speedup %.1f .. %.1f, average %.1f (%zu matrices)\n", summary.min,
               summary.max, summary.avg, summary.count);
   std::printf("paper:    speedup 1.8 .. 32.0, average 17.6 (30 matrices)\n");
+  bench::finish_telemetry(options);
   return 0;
 }

@@ -6,6 +6,7 @@
 //               [--timeline] [--events] [--trace-json=out.json]
 //               [--profile] [--profile-json=out.json]
 //               [--profile-speedscope=out.json]
+//               [--telemetry] [--telemetry-json=out.json]
 //
 // Scalar registers r1..r29 can be preset via --rN=value (decimal or hex).
 // After the run, cycle statistics are printed; --dump-regs adds the final
@@ -15,12 +16,16 @@
 // cycle-attribution summary (stall taxonomy, FU occupancy, hottest source
 // lines); --profile-json / --profile-speedscope write the same counters as
 // smtu-profile-v1 JSON and a speedscope.app flamegraph (docs/PROFILING.md).
+// --telemetry times the host-side assemble/run phases (docs/TELEMETRY.md);
+// --telemetry-json writes the smtu-telemetry-v1 document, and combined with
+// --trace-json the host spans join the dump under their own pid.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "support/cli.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 #include "vsim/assembler.hpp"
 #include "vsim/json_export.hpp"
 #include "vsim/machine.hpp"
@@ -41,6 +46,12 @@ int main(int argc, char** argv) {
   const bool profile = cli.get_flag("profile");
   const std::string profile_json = cli.get_string("profile-json", "");
   const std::string profile_speedscope = cli.get_string("profile-speedscope", "");
+  const std::string telemetry_json = cli.get_string("telemetry-json", "");
+  const bool telemetry_on = cli.get_flag("telemetry") || !telemetry_json.empty();
+  if (telemetry_on) {
+    telemetry::set_enabled(true);
+    if (!trace_json.empty()) telemetry::set_host_trace_enabled(true);
+  }
 
   vsim::MachineConfig config;
   config.section = static_cast<u32>(section);
@@ -68,6 +79,7 @@ int main(int argc, char** argv) {
 
   vsim::Program program;
   try {
+    telemetry::HostSpan span("vsim.assemble_us");
     program = vsim::assemble(source.str());
   } catch (const vsim::AssemblyError& e) {
     std::fprintf(stderr, "%s: %s\n", cli.positional()[0].c_str(), e.what());
@@ -85,8 +97,11 @@ int main(int argc, char** argv) {
     machine.attach_profiler(&profiler);
   }
 
-  const vsim::RunStats stats =
-      machine.run(program, program.has_label("main") ? program.label("main") : 0);
+  vsim::RunStats stats;
+  {
+    telemetry::HostSpan span("vsim.run_us");
+    stats = machine.run(program, program.has_label("main") ? program.label("main") : 0);
+  }
   std::fputs(vsim::run_stats_summary(stats).c_str(), stdout);
   if (events) {
     std::ostringstream table;
@@ -128,6 +143,22 @@ int main(int argc, char** argv) {
     }
     vsim::write_speedscope_profile(speedscope_out, profiler, cli.positional()[0]);
     std::fprintf(stderr, "wrote speedscope profile to %s\n", profile_speedscope.c_str());
+  }
+
+  if (!telemetry_json.empty()) {
+    std::ofstream telemetry_out(telemetry_json);
+    if (!telemetry_out) {
+      std::fprintf(stderr, "cannot open %s\n", telemetry_json.c_str());
+      return 2;
+    }
+    JsonWriter json(telemetry_out);
+    telemetry::write_telemetry_json(json);
+    telemetry_out << '\n';
+    std::fprintf(stderr, "wrote telemetry JSON to %s\n", telemetry_json.c_str());
+  }
+  if (telemetry_on) {
+    std::fprintf(stderr, "-- telemetry --\n%s",
+                 telemetry::MetricsRegistry::instance().summary().c_str());
   }
 
   if (dump_regs) {

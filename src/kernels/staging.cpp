@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "support/assert.hpp"
+#include "support/telemetry.hpp"
 #include "vsim/sim_cache.hpp"
 
 namespace smtu::kernels {
@@ -46,6 +47,7 @@ std::string coo_key(const Coo& coo, std::string_view layout, u64 salt) {
 }  // namespace
 
 HismStage build_hism_stage(HismMatrix hism) {
+  telemetry::HostSpan span("stage.build_us");
   HismStage stage;
   stage.hism = std::move(hism);
   stage.image = build_hism_image(stage.hism, kImageBase);
@@ -54,6 +56,7 @@ HismStage build_hism_stage(HismMatrix hism) {
 }
 
 CrsStage build_crs_stage(Csr csr) {
+  telemetry::HostSpan span("stage.build_us");
   CrsStage stage;
   stage.csr = std::move(csr);
   std::vector<u8> bytes;
@@ -68,12 +71,14 @@ MatrixStageCache& MatrixStageCache::instance() {
 }
 
 std::shared_ptr<const HismStage> MatrixStageCache::hism(const Coo& coo, u32 section) {
+  telemetry::HostSpan span("cache.stage.lookup_us");
   const std::string key = coo_key(coo, "hism", section);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = hism_entries_.find(key);
     if (it != hism_entries_.end()) {
       ++stats_.hits;
+      if (telemetry::enabled()) telemetry::counter("cache.stage.hits_total").add(1);
       return it->second;
     }
   }
@@ -81,22 +86,32 @@ std::shared_ptr<const HismStage> MatrixStageCache::hism(const Coo& coo, u32 sect
   // duplicate builds twice and the first insert wins.
   auto stage =
       std::make_shared<const HismStage>(build_hism_stage(HismMatrix::from_coo(coo, section)));
+  if (telemetry::enabled()) {
+    telemetry::counter("cache.stage.misses_total").add(1);
+    telemetry::counter("cache.stage.bytes_total").add(stage->snapshot->size());
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
   return hism_entries_.emplace(key, std::move(stage)).first->second;
 }
 
 std::shared_ptr<const CrsStage> MatrixStageCache::crs(const Coo& coo) {
+  telemetry::HostSpan span("cache.stage.lookup_us");
   const std::string key = coo_key(coo, "crs", 0);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = crs_entries_.find(key);
     if (it != crs_entries_.end()) {
       ++stats_.hits;
+      if (telemetry::enabled()) telemetry::counter("cache.stage.hits_total").add(1);
       return it->second;
     }
   }
   auto stage = std::make_shared<const CrsStage>(build_crs_stage(Csr::from_coo(coo)));
+  if (telemetry::enabled()) {
+    telemetry::counter("cache.stage.misses_total").add(1);
+    telemetry::counter("cache.stage.bytes_total").add(stage->snapshot->size());
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
   return crs_entries_.emplace(key, std::move(stage)).first->second;
@@ -109,6 +124,10 @@ MatrixStageCache::Stats MatrixStageCache::stats() const {
 
 void MatrixStageCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  const usize dropped = hism_entries_.size() + crs_entries_.size();
+  if (telemetry::enabled() && dropped != 0) {
+    telemetry::counter("cache.stage.evictions_total").add(dropped);
+  }
   hism_entries_.clear();
   crs_entries_.clear();
   stats_ = {};

@@ -2,7 +2,39 @@
 
 #include <cstdio>
 
+#include "support/telemetry.hpp"
+
 namespace smtu {
+
+namespace {
+
+// Metric lookups resolved once; registry metrics are never destroyed.
+telemetry::Counter& pool_tasks_total() {
+  static telemetry::Counter& counter = telemetry::counter("pool.tasks_total");
+  return counter;
+}
+
+telemetry::LatencyHistogram& pool_task_wait_us() {
+  static telemetry::LatencyHistogram& hist = telemetry::histogram("pool.task_wait_us");
+  return hist;
+}
+
+telemetry::LatencyHistogram& pool_task_run_us() {
+  static telemetry::LatencyHistogram& hist = telemetry::histogram("pool.task_run_us");
+  return hist;
+}
+
+}  // namespace
+
+bool ThreadPool::telemetry_on() { return telemetry::enabled(); }
+
+u64 ThreadPool::telemetry_now_us() { return telemetry::now_us(); }
+
+void ThreadPool::record_task(u64 wait_us, u64 run_us) {
+  pool_tasks_total().add(1);
+  pool_task_wait_us().record(wait_us);
+  pool_task_run_us().record(run_us);
+}
 
 u32 resolve_jobs(u32 requested) {
   const unsigned hardware = std::thread::hardware_concurrency();
@@ -22,6 +54,7 @@ u32 resolve_jobs(u32 requested) {
 }
 
 ThreadPool::ThreadPool(u32 jobs) : jobs_(resolve_jobs(jobs)) {
+  if (telemetry::enabled()) born_us_ = telemetry::now_us();
   workers_.reserve(jobs_ - 1);
   for (u32 i = 0; i + 1 < jobs_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -35,14 +68,33 @@ ThreadPool::~ThreadPool() {
   }
   ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // A serial pool (jobs == 1) has no worker_loop to report utilization, so
+  // the destructor reports the submitting thread's share of the pool's
+  // lifetime spent inside inline tasks.
+  if (workers_.empty() && born_us_ != 0 && telemetry::enabled()) {
+    const u64 life_us = telemetry::now_us() - born_us_;
+    const u64 busy_us = inline_busy_us_.load(std::memory_order_relaxed);
+    telemetry::histogram("pool.worker_util_pct")
+        .record(life_us == 0 ? 0 : busy_us * 100 / life_us);
+  }
+}
+
+void ThreadPool::record_inline_task(u64 run_us) {
+  record_task(0, run_us);
+  inline_busy_us_.fetch_add(run_us, std::memory_order_relaxed);
 }
 
 void ThreadPool::enqueue(Job job) {
+  usize depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));
+    depth = queue_.size();
   }
   ready_.notify_one();
+  if (telemetry::enabled()) {
+    telemetry::gauge("pool.queue_depth_peak").update_max(depth);
+  }
 }
 
 bool ThreadPool::run_one() {
@@ -58,16 +110,32 @@ bool ThreadPool::run_one() {
 }
 
 void ThreadPool::worker_loop() {
+  // Utilization = job time / worker lifetime, recorded once per worker at
+  // exit into pool.worker_util_pct (0 when telemetry stayed off throughout).
+  const bool sampled = telemetry::enabled();
+  const u64 born_us = sampled ? telemetry::now_us() : 0;
+  u64 busy_us = 0;
   for (;;) {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop requested and nothing left to run
+      if (queue_.empty()) break;  // stop requested and nothing left to run
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    if (sampled) {
+      const u64 begin_us = telemetry::now_us();
+      job();
+      busy_us += telemetry::now_us() - begin_us;
+    } else {
+      job();
+    }
+  }
+  if (sampled) {
+    const u64 life_us = telemetry::now_us() - born_us;
+    const u64 util_pct = life_us == 0 ? 0 : busy_us * 100 / life_us;
+    telemetry::histogram("pool.worker_util_pct").record(util_pct);
   }
 }
 

@@ -14,6 +14,7 @@
 //    rethrows the first failure (in item order) after every task finished.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -52,12 +53,28 @@ class ThreadPool {
     using R = std::invoke_result_t<F&>;
     std::packaged_task<R()> task(std::move(fn));
     std::future<R> future = task.get_future();
+    const bool sampled = telemetry_on();
     if (workers_.empty()) {
-      task();
+      if (sampled) {
+        const u64 begin_us = telemetry_now_us();
+        task();
+        record_inline_task(telemetry_now_us() - begin_us);
+      } else {
+        task();
+      }
       return future;
     }
     auto shared = std::make_shared<std::packaged_task<R()>>(std::move(task));
-    enqueue([shared] { (*shared)(); });
+    if (sampled) {
+      const u64 enqueued_us = telemetry_now_us();
+      enqueue([shared, enqueued_us] {
+        const u64 begin_us = telemetry_now_us();
+        (*shared)();
+        record_task(begin_us - enqueued_us, telemetry_now_us() - begin_us);
+      });
+    } else {
+      enqueue([shared] { (*shared)(); });
+    }
     return future;
   }
 
@@ -80,10 +97,22 @@ class ThreadPool {
  private:
   using Job = std::function<void()>;
 
+  // Telemetry shims, out-of-line so this header stays telemetry-free.
+  // record_task feeds pool.tasks_total / pool.task_wait_us / pool.task_run_us;
+  // record_inline_task additionally accumulates the serial pool's busy time
+  // so the destructor can report pool.worker_util_pct even at jobs == 1
+  // (worker threads report their own utilization from worker_loop).
+  static bool telemetry_on();
+  static u64 telemetry_now_us();
+  static void record_task(u64 wait_us, u64 run_us);
+  void record_inline_task(u64 run_us);
+
   void enqueue(Job job);
   void worker_loop();
 
   u32 jobs_ = 1;
+  u64 born_us_ = 0;  // 0 unless telemetry was on at construction
+  std::atomic<u64> inline_busy_us_{0};
   std::mutex mutex_;
   std::condition_variable ready_;
   std::deque<Job> queue_;

@@ -1,0 +1,337 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace smtu::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_host_trace{false};
+
+// Small dense per-thread slot, assigned on first use; histograms index
+// their shard arrays by it so recording needs no locks.
+u32 thread_slot() {
+  static std::atomic<u32> next{0};
+  thread_local const u32 slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+std::mutex& trace_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<HostTraceEvent>& trace_buffer() {
+  static std::vector<HostTraceEvent>* events = new std::vector<HostTraceEvent>();
+  return *events;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool host_trace_enabled() { return g_host_trace.load(std::memory_order_relaxed); }
+void set_host_trace_enabled(bool on) { g_host_trace.store(on, std::memory_order_relaxed); }
+
+std::vector<HostTraceEvent> host_trace_events() {
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  return trace_buffer();
+}
+
+u64 now_us() {
+  // One origin per process so every span and trace event shares a timebase.
+  static const auto origin = std::chrono::steady_clock::now();
+  const auto delta = std::chrono::steady_clock::now() - origin;
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::microseconds>(delta).count());
+}
+
+// ---- Counter / Gauge -------------------------------------------------------
+
+void Counter::add(u64 delta) {
+  u64 current = value_.load(std::memory_order_relaxed);
+  u64 next;
+  do {
+    next = current + delta;
+    if (next < current) next = ~u64{0};  // saturate instead of wrapping
+  } while (!value_.compare_exchange_weak(current, next, std::memory_order_relaxed));
+}
+
+void Gauge::update_max(u64 candidate) {
+  u64 current = value_.load(std::memory_order_relaxed);
+  while (candidate > current &&
+         !value_.compare_exchange_weak(current, candidate, std::memory_order_relaxed)) {
+  }
+}
+
+// ---- LatencyHistogram ------------------------------------------------------
+
+usize LatencyHistogram::bucket_index(u64 value) {
+  if (value < 4) return static_cast<usize>(value);  // 0..3 exact
+  const u32 msb = static_cast<u32>(std::bit_width(value)) - 1;  // >= 2
+  const u64 sub = (value >> (msb - 2)) & 3;
+  return 4 * (static_cast<usize>(msb) - 1) + static_cast<usize>(sub);
+}
+
+u64 LatencyHistogram::bucket_upper_bound(usize index) {
+  if (index < 4) return static_cast<u64>(index);
+  const u32 msb = static_cast<u32>(index / 4) + 1;
+  const u64 sub = index % 4;
+  // 2^msb + (sub+1) * 2^(msb-2) - 1; for the last bucket the sum wraps to
+  // zero and the -1 yields exactly u64 max (unsigned wraparound).
+  return (u64{1} << msb) + ((sub + 1) << (msb - 2)) - 1;
+}
+
+LatencyHistogram::Shard& LatencyHistogram::local_shard() {
+  const u32 slot = thread_slot() % kMaxShards;
+  Shard* shard = shards_[slot].load(std::memory_order_acquire);
+  if (shard == nullptr) {
+    auto fresh = std::make_unique<Shard>();
+    Shard* expected = nullptr;
+    if (shards_[slot].compare_exchange_strong(expected, fresh.get(),
+                                              std::memory_order_acq_rel)) {
+      shard = fresh.release();
+    } else {
+      shard = expected;  // another thread on the same slot won the race
+    }
+  }
+  return *shard;
+}
+
+void LatencyHistogram::record(u64 value) {
+  Shard& shard = local_shard();
+  shard.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  u64 seen = shard.min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !shard.min.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !shard.max.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot merged;
+  merged.buckets.assign(kBucketCount, 0);
+  merged.min = ~u64{0};
+  for (usize slot = 0; slot < kMaxShards; ++slot) {
+    const Shard* shard = shards_[slot].load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    for (usize i = 0; i < kBucketCount; ++i) {
+      merged.buckets[i] += shard->buckets[i].load(std::memory_order_relaxed);
+    }
+    merged.count += shard->count.load(std::memory_order_relaxed);
+    merged.sum += shard->sum.load(std::memory_order_relaxed);
+    merged.min = std::min(merged.min, shard->min.load(std::memory_order_relaxed));
+    merged.max = std::max(merged.max, shard->max.load(std::memory_order_relaxed));
+  }
+  if (merged.count == 0) merged.min = 0;
+  return merged;
+}
+
+void LatencyHistogram::reset() {
+  for (usize slot = 0; slot < kMaxShards; ++slot) {
+    Shard* shard = shards_[slot].load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    for (usize i = 0; i < kBucketCount; ++i) {
+      shard->buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard->count.store(0, std::memory_order_relaxed);
+    shard->sum.store(0, std::memory_order_relaxed);
+    shard->min.store(~u64{0}, std::memory_order_relaxed);
+    shard->max.store(0, std::memory_order_relaxed);
+  }
+}
+
+LatencyHistogram::~LatencyHistogram() {
+  for (usize slot = 0; slot < kMaxShards; ++slot) {
+    delete shards_[slot].load(std::memory_order_acquire);
+  }
+}
+
+u64 LatencyHistogram::Snapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  const double clamped = std::min(100.0, std::max(q, 0.0));
+  // 1-based rank of the sample the percentile names, ascending order.
+  u64 rank = static_cast<u64>(std::ceil(clamped / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  u64 cumulative = 0;
+  for (usize i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return std::min(bucket_upper_bound(i), max);
+  }
+  return max;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+// Sorted-vector lookup shared by the three metric families: metrics are
+// created on first sight and never destroyed or moved.
+template <typename Metric>
+Metric& find_or_create(std::vector<std::pair<std::string, std::unique_ptr<Metric>>>& family,
+                       std::string_view name) {
+  const auto at = std::lower_bound(
+      family.begin(), family.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (at != family.end() && at->first == name) return *at->second;
+  auto fresh = std::make_unique<Metric>();
+  Metric& metric = *fresh;
+  family.emplace(at, std::string(name), std::move(fresh));
+  return metric;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(histograms_, name);
+}
+
+void MetricsRegistry::reset_for_tests() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+  std::lock_guard<std::mutex> trace_lock(trace_mutex());
+  trace_buffer().clear();
+}
+
+void MetricsRegistry::write_json(JsonWriter& json) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json.begin_object();
+  json.key("schema");
+  json.value("smtu-telemetry-v1");
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, counter] : counters_) {
+    json.key(name);
+    json.value(counter->value());
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, gauge] : gauges_) {
+    json.key(name);
+    json.value(gauge->value());
+  }
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram::Snapshot stats = histogram->snapshot();
+    json.key(name);
+    json.begin_object();
+    json.key("count");
+    json.value(stats.count);
+    json.key("sum");
+    json.value(stats.sum);
+    json.key("min");
+    json.value(stats.min);
+    json.key("max");
+    json.value(stats.max);
+    json.key("p50");
+    json.value(stats.percentile(50.0));
+    json.key("p90");
+    json.value(stats.percentile(90.0));
+    json.key("p95");
+    json.value(stats.percentile(95.0));
+    json.key("p99");
+    json.value(stats.percentile(99.0));
+    // Only occupied buckets, as [upper-bound, count] pairs.
+    json.key("buckets");
+    json.begin_array();
+    for (usize i = 0; i < stats.buckets.size(); ++i) {
+      if (stats.buckets[i] == 0) continue;
+      json.begin_object();
+      json.key("le");
+      json.value(LatencyHistogram::bucket_upper_bound(i));
+      json.key("n");
+      json.value(stats.buckets[i]);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+std::string MetricsRegistry::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << format("%-36s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << format("%-36s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(gauge->value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram::Snapshot stats = histogram->snapshot();
+    out << format("%-36s count=%llu p50=%llu p90=%llu p95=%llu p99=%llu max=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(stats.count),
+                  static_cast<unsigned long long>(stats.percentile(50.0)),
+                  static_cast<unsigned long long>(stats.percentile(90.0)),
+                  static_cast<unsigned long long>(stats.percentile(95.0)),
+                  static_cast<unsigned long long>(stats.percentile(99.0)),
+                  static_cast<unsigned long long>(stats.max));
+  }
+  return out.str();
+}
+
+Counter& counter(std::string_view name) { return MetricsRegistry::instance().counter(name); }
+Gauge& gauge(std::string_view name) { return MetricsRegistry::instance().gauge(name); }
+LatencyHistogram& histogram(std::string_view name) {
+  return MetricsRegistry::instance().histogram(name);
+}
+
+void write_telemetry_json(JsonWriter& json) { MetricsRegistry::instance().write_json(json); }
+
+// ---- HostSpan --------------------------------------------------------------
+
+HostSpan::HostSpan(const char* histogram_name) : name_(histogram_name), armed_(enabled()) {
+  if (armed_) start_us_ = now_us();
+}
+
+HostSpan::~HostSpan() {
+  if (!armed_) return;
+  const u64 end_us = now_us();
+  const u64 dur_us = end_us - start_us_;
+  histogram(name_).record(dur_us);
+  if (host_trace_enabled()) {
+    HostTraceEvent event{name_, thread_slot(), start_us_, dur_us};
+    std::lock_guard<std::mutex> lock(trace_mutex());
+    trace_buffer().push_back(std::move(event));
+  }
+}
+
+}  // namespace smtu::telemetry

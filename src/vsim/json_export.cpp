@@ -4,6 +4,7 @@
 #include <map>
 
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 
 namespace smtu::vsim {
 
@@ -225,6 +226,45 @@ void write_chrome_trace(std::ostream& out, const ExecutionTrace& trace,
     json.value(last);
     json.end_object();
     json.end_object();
+  }
+
+  // Host telemetry spans, interleaved under their own process id
+  // (telemetry::kHostTracePid) so the simulated-unit tracks above are
+  // untouched. The buffer is empty unless both telemetry and host tracing
+  // are on, keeping default dumps byte-identical.
+  const std::vector<telemetry::HostTraceEvent> host_events = telemetry::host_trace_events();
+  if (!host_events.empty()) {
+    json.begin_object();
+    json.key("name");
+    json.value("process_name");
+    json.key("ph");
+    json.value("M");
+    json.key("pid");
+    json.value(telemetry::kHostTracePid);
+    json.key("args");
+    json.begin_object();
+    json.key("name");
+    json.value("host");
+    json.end_object();
+    json.end_object();
+    for (const telemetry::HostTraceEvent& event : host_events) {
+      json.begin_object();
+      json.key("name");
+      json.value(event.name);
+      json.key("cat");
+      json.value("host");
+      json.key("ph");
+      json.value("X");
+      json.key("ts");
+      json.value(event.start_us);
+      json.key("dur");
+      json.value(std::max<u64>(1, event.dur_us));
+      json.key("pid");
+      json.value(telemetry::kHostTracePid);
+      json.key("tid");
+      json.value(static_cast<u64>(event.thread));
+      json.end_object();
+    }
   }
   json.end_array();
   json.key("displayTimeUnit");

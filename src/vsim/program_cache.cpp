@@ -1,5 +1,6 @@
 #include "vsim/program_cache.hpp"
 
+#include "support/telemetry.hpp"
 #include "vsim/assembler.hpp"
 
 namespace smtu::vsim {
@@ -10,6 +11,8 @@ ProgramCache& ProgramCache::instance() {
 }
 
 std::shared_ptr<const Program> ProgramCache::get(std::string_view source) {
+  // Latency as the caller sees it: a miss includes the assemble().
+  telemetry::HostSpan span("cache.program.lookup_us");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Heterogeneous lookup through a temporary key: sources are a few KB at
@@ -17,6 +20,7 @@ std::shared_ptr<const Program> ProgramCache::get(std::string_view source) {
     const auto it = entries_.find(std::string(source));
     if (it != entries_.end()) {
       ++stats_.hits;
+      if (telemetry::enabled()) telemetry::counter("cache.program.hits_total").add(1);
       return it->second;
     }
   }
@@ -25,6 +29,10 @@ std::shared_ptr<const Program> ProgramCache::get(std::string_view source) {
   auto program = std::make_shared<const Program>(assemble(source));
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
+  if (telemetry::enabled()) {
+    telemetry::counter("cache.program.misses_total").add(1);
+    telemetry::counter("cache.program.bytes_total").add(source.size());
+  }
   const auto [it, inserted] = entries_.emplace(std::string(source), std::move(program));
   return it->second;
 }
@@ -36,6 +44,9 @@ ProgramCache::Stats ProgramCache::stats() const {
 
 void ProgramCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (telemetry::enabled() && !entries_.empty()) {
+    telemetry::counter("cache.program.evictions_total").add(entries_.size());
+  }
   entries_.clear();
   stats_ = {};
 }

@@ -8,6 +8,7 @@
 #include "support/assert.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 #include "vsim/json_export.hpp"
 
 namespace smtu::vsim {
@@ -116,10 +117,15 @@ std::optional<SimCache::Entry> SimCache::read_entry(const std::string& key) cons
 
 std::optional<SimCache::Entry> SimCache::lookup(const std::string& key, bool need_verified,
                                                 bool need_profile) {
+  telemetry::HostSpan span("cache.sim.lookup_us");
   std::optional<Entry> entry = read_entry(key);
   if (entry.has_value() &&
       ((need_verified && !entry->verified) || (need_profile && entry->profile_json.empty()))) {
     entry.reset();  // the cached run produced less than this lookup needs
+  }
+  if (telemetry::enabled()) {
+    telemetry::counter(entry.has_value() ? "cache.sim.hits_total" : "cache.sim.misses_total")
+        .add(1);
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++(entry.has_value() ? stats_.hits : stats_.misses);
@@ -171,6 +177,10 @@ void SimCache::store(const std::string& key, const Entry& entry) {
   std::filesystem::rename(tmp, path, ec);
   SMTU_CHECK_MSG(!ec, "sim-cache: rename failed for " + path);
 
+  if (telemetry::enabled()) {
+    telemetry::counter("cache.sim.stores_total").add(1);
+    telemetry::counter("cache.sim.bytes_total").add(text.view().size());
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
 }

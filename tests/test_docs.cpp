@@ -189,6 +189,56 @@ TEST(Docs, MulticoreReferenceCoversSystemModelAndTooling) {
       << "HACKING.md does not link docs/MULTICORE.md";
 }
 
+TEST(Docs, TelemetryReferenceCoversMetricsSchemaAndTooling) {
+  const std::string doc = read_doc("TELEMETRY.md");
+  ASSERT_FALSE(doc.empty());
+  // The metric-name suffix scheme and every instrumented component's
+  // metrics, under the exact names the registry exports.
+  for (const char* needle :
+       {"`_total`", "`_us`", "`_pct`", "`_peak`", "pool.tasks_total",
+        "pool.task_wait_us", "pool.task_run_us", "pool.queue_depth_peak",
+        "pool.worker_util_pct", "cache.program.", "cache.stage.",
+        "cache.sim.", "stage.build_us", "bench.item_wall_us",
+        "vsim.assemble_us", "vsim.run_us"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/TELEMETRY.md does not mention " << needle;
+  }
+  // Histogram semantics: bucket geometry and the percentile contract.
+  for (const char* needle : {"25%", "octave", "shard", "snapshot()",
+                             "upper bound", "TSan"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/TELEMETRY.md does not describe " << needle;
+  }
+  // The schema, the flags, the renderer, the gating rule, and the
+  // determinism enforcement.
+  for (const char* needle :
+       {"smtu-telemetry-v1", "--telemetry", "--telemetry-json",
+        "prof_report.py", "bench_diff", "check_repro_determinism.py",
+        "kHostTracePid", "HostSpan", "Adding a metric"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/TELEMETRY.md does not mention " << needle;
+  }
+  // Off-by-default byte-identity is stated.
+  EXPECT_NE(doc.find("byte-identical"), std::string::npos);
+
+  // Cross-links: the top-level docs and the sibling references route here.
+  const std::string readme = read_doc("../README.md");
+  EXPECT_NE(readme.find("docs/TELEMETRY.md"), std::string::npos)
+      << "README.md does not link docs/TELEMETRY.md";
+  const std::string hacking = read_doc("../HACKING.md");
+  EXPECT_NE(hacking.find("docs/TELEMETRY.md"), std::string::npos)
+      << "HACKING.md does not link docs/TELEMETRY.md";
+  const std::string profiling = read_doc("PROFILING.md");
+  EXPECT_NE(profiling.find("TELEMETRY.md"), std::string::npos)
+      << "docs/PROFILING.md does not link docs/TELEMETRY.md";
+  const std::string trace = read_doc("TRACE.md");
+  EXPECT_NE(trace.find("TELEMETRY.md"), std::string::npos)
+      << "docs/TRACE.md does not link docs/TELEMETRY.md";
+  // And TELEMETRY.md routes back to the simulated-side references.
+  EXPECT_NE(doc.find("PROFILING.md"), std::string::npos);
+  EXPECT_NE(doc.find("TRACE.md"), std::string::npos);
+}
+
 TEST(Docs, InterpreterInternalsDocumented) {
   // HACKING.md's "Host performance" section explains the threaded-code
   // interpreter: decode-time dispatch binding, the SoA ExecState, the SIMD

@@ -26,8 +26,14 @@ interpreter-throughput rates micro_host --interp-json emits) is
 nondeterministic by nature, and "jobs"/"harness" only describe how the run
 was executed. The "host" section (program/stage/sim cache hit counters and
 dispatch throughput records — HACKING.md "Host performance") likewise
-depends on process history, not on the simulated machine. None of them can
-gate, appear as [new]/[gone], or show under --all.
+depends on process history, not on the simulated machine. The "telemetry"
+section (docs/TELEMETRY.md) is skipped wholesale for the same reason — it
+only exists on --telemetry runs, so a telemetry-on report diffs clean at
+threshold 0 against a telemetry-off one — and, defense in depth, telemetry
+metric names carry unit suffixes ("_us", "_pct", "_peak", "_total") that
+are skipped wherever they appear, so stray latency/hit-count leaves can
+never gate CI. None of them can gate, appear as [new]/[gone], or show
+under --all.
 
 Schema drift is gated, not just reported: a metric present in OLD but
 missing from NEW ([gone]) always fails — a silently vanished counter would
@@ -45,13 +51,29 @@ import argparse
 import json
 import sys
 
-SKIPPED_KEYS = {"schema", "bench", "seed", "scale", "jobs", "harness", "host"}
+SKIPPED_KEYS = {"schema", "bench", "seed", "scale", "jobs", "harness", "host",
+                "telemetry"}
 
 # Any key containing one of these fragments is host-timing noise, never a
 # simulated metric; skipped at flatten time so it cannot gate or diff.
 # "per_sec" covers the interpreter-throughput records micro_host emits
 # (insts_per_sec / cycles_per_sec): host speed, not simulated behavior.
 TIMING_KEY_FRAGMENTS = ("wall_ms", "per_sec")
+
+# Telemetry metric names end in a unit suffix (docs/TELEMETRY.md naming
+# scheme). Suffix (not substring) matched so simulated byte counters such as
+# "mem_contiguous_bytes" / "storage_bytes" keep gating.
+TELEMETRY_KEY_SUFFIXES = ("_us", "_pct", "_peak", "_total")
+
+
+def skipped_key(key):
+    """True for keys that must never gate: run descriptors, host timing,
+    and telemetry metric names (suffix-matched by unit)."""
+    if key in SKIPPED_KEYS:
+        return True
+    if any(fragment in key for fragment in TIMING_KEY_FRAGMENTS):
+        return True
+    return key.endswith(TELEMETRY_KEY_SUFFIXES)
 
 
 def flatten(value, prefix, out):
@@ -63,9 +85,7 @@ def flatten(value, prefix, out):
         return
     if isinstance(value, dict):
         for key, child in value.items():
-            if key in SKIPPED_KEYS:
-                continue
-            if any(fragment in key for fragment in TIMING_KEY_FRAGMENTS):
+            if skipped_key(key):
                 continue
             flatten(child, f"{prefix}.{key}" if prefix else key, out)
         return

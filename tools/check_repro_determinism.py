@@ -4,14 +4,14 @@
 Usage:
     tools/check_repro_determinism.py PATH/TO/reproduce_all [--scale=0.02]
                                      [--jobs A B ...] [--profile]
-                                     [--sim-cache]
+                                     [--sim-cache] [--telemetry]
 
 Runs the binary once per jobs value (default: 1 and 4) and asserts the
 smtu-repro-v1 JSON artifacts are identical after stripping the host-timing
-keys (any key containing "wall_ms", plus the "harness" and "host"
-sections). Everything else — cycle counts, speedups, utilization grids,
-full RunStats — must match exactly; a single differing leaf fails the
-check.
+keys (any key containing "wall_ms", plus the "harness", "host", and
+"telemetry" sections). Everything else — cycle counts, speedups,
+utilization grids, full RunStats — must match exactly; a single differing
+leaf fails the check.
 
 --profile additionally passes --profile to every run, so each per-matrix
 record carries a full smtu-profile-v1 section (cycle attribution, stall
@@ -22,6 +22,12 @@ bit-identical standard.
 --sim-cache directory (a cold run populating it, then a warm run replaying
 from it) and holds both artifacts to the same standard: caching must not
 change a single simulated number (HACKING.md "Host performance").
+
+--telemetry additionally runs the binary once more with host telemetry
+collection on (docs/TELEMETRY.md) and asserts the artifact is bit-identical
+to the telemetry-off reference after the strip — i.e. instrumentation only
+*adds* the skipped "telemetry" section and never perturbs a simulated
+metric (threshold 0, in bench_diff terms).
 
 Exit status: 0 identical, 1 mismatch, 2 usage/run failure.
 """
@@ -40,14 +46,15 @@ def strip_timing(value):
         return {
             key: strip_timing(child)
             for key, child in value.items()
-            if key not in ("harness", "host") and "wall_ms" not in key
+            if key not in ("harness", "host", "telemetry") and "wall_ms" not in key
         }
     if isinstance(value, list):
         return [strip_timing(child) for child in value]
     return value
 
 
-def run_once(binary, scale, jobs, tmp, profile=False, sim_cache=None, tag=""):
+def run_once(binary, scale, jobs, tmp, profile=False, sim_cache=None, tag="",
+             telemetry=False):
     report = os.path.join(tmp, f"report_j{jobs}{tag}.md")
     artifact = os.path.join(tmp, f"repro_j{jobs}{tag}.json")
     command = [binary, f"--scale={scale}", f"--jobs={jobs}",
@@ -56,6 +63,8 @@ def run_once(binary, scale, jobs, tmp, profile=False, sim_cache=None, tag=""):
         command.append("--profile")
     if sim_cache:
         command.append(f"--sim-cache={sim_cache}")
+    if telemetry:
+        command.append("--telemetry")
     result = subprocess.run(command, capture_output=True, text=True, check=False)
     if result.returncode != 0:
         print(f"check_repro_determinism: {' '.join(command)} failed "
@@ -98,6 +107,11 @@ def main():
                         help="also run cold+warm with a shared --sim-cache "
                              "directory and assert both artifacts identical "
                              "to the uncached reference")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="also run with --telemetry and assert the "
+                             "artifact identical to the telemetry-off "
+                             "reference (instrumentation must not perturb "
+                             "any simulated metric)")
     args = parser.parse_args()
 
     if len(args.jobs) < 2:
@@ -115,6 +129,11 @@ def main():
                 cached_docs[tag] = run_once(args.binary, args.scale, args.jobs[0],
                                             tmp, args.profile, cache_dir,
                                             f"_{tag}")
+        telemetry_doc = None
+        if args.telemetry:
+            telemetry_doc = run_once(args.binary, args.scale, args.jobs[0], tmp,
+                                     args.profile, tag="_telemetry",
+                                     telemetry=True)
 
     reference_jobs = args.jobs[0]
     reference = strip_timing(docs[reference_jobs])
@@ -135,6 +154,18 @@ def main():
             return 1
         print(f"check_repro_determinism: --sim-cache {tag} run identical to "
               f"uncached -j{reference_jobs} (modulo wall_ms/host)")
+    if telemetry_doc is not None:
+        if "telemetry" not in telemetry_doc:
+            print("check_repro_determinism: --telemetry run is missing its "
+                  "\"telemetry\" section", file=sys.stderr)
+            return 1
+        difference = first_difference(reference, strip_timing(telemetry_doc))
+        if difference:
+            print(f"check_repro_determinism: telemetry-off vs telemetry-on "
+                  f"runs differ at {difference}", file=sys.stderr)
+            return 1
+        print(f"check_repro_determinism: --telemetry run identical to "
+              f"telemetry-off -j{reference_jobs} (modulo wall_ms/host/telemetry)")
     return 0
 
 

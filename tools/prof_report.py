@@ -4,7 +4,7 @@
 Usage:
     tools/prof_report.py show [PROFILE.json] [--top=10] [--matrix=NAME]
                          [--kernel=hism|crs] [--per-core]
-                         [--host=INTERP.json]
+                         [--host=INTERP.json] [--telemetry=TELEMETRY.json]
     tools/prof_report.py diff OLD.json NEW.json [--top=10] [--matrix=NAME]
                          [--kernel=hism|crs]
 
@@ -31,6 +31,15 @@ time, plus the threaded-over-switch speedup per kernel. These are host-machine
 speeds, not simulated metrics — bench_diff.py never gates on them. With a
 PROFILE.json too, the records print after the simulated-cycle rollups; with
 ``--host`` alone (the CI invocation) only the throughput tables print.
+
+``--telemetry=TELEMETRY.json`` renders host telemetry (docs/TELEMETRY.md):
+counters/gauges, one table row per latency histogram (count, min, p50/p90/
+p95/p99, max, mean), and a cache hit-rate rollup derived from the
+``cache.<name>.{hits,misses}_total`` counters. Accepts a standalone
+smtu-telemetry-v1 document (``--telemetry-json`` on any bench binary or
+vsim_run) or a bench/repro report produced with ``--telemetry`` (the
+embedded "telemetry" section). Host-side metrics — bench_diff.py never
+gates on them.
 
 ``diff`` compares two profiles of the same program bucket by bucket, region
 by region, and line by line, printing the largest movers first — the tool for
@@ -209,8 +218,12 @@ def show_host(document):
     document (bench/micro_host --interp-json). Host speed, not simulated
     cycles: one row per (kernel class, dispatch mode), then the
     threaded-over-switch speedup per kernel class."""
-    records = document.get("host", {}).get("dispatch", [])
-    if document.get("schema") != "smtu-hostmicro-v1" or not records:
+    records = None
+    if isinstance(document, dict) and document.get("schema") == "smtu-hostmicro-v1":
+        host = document.get("host")
+        if isinstance(host, dict) and isinstance(host.get("dispatch"), list):
+            records = host["dispatch"]
+    if not records:
         fail("no host.dispatch records (expected bench/micro_host "
              "--interp-json output, schema smtu-hostmicro-v1)")
 
@@ -241,6 +254,68 @@ def show_host(document):
         print("  threaded-dispatch speedup over the legacy switch "
               "(HACKING.md \"Interpreter internals\"):")
         print_table(["kernel", "threaded/switch"], rows)
+
+
+def extract_telemetry(document):
+    """The smtu-telemetry-v1 object of a standalone document or a bench/repro
+    report's embedded "telemetry" section; one-line failure otherwise."""
+    telemetry = None
+    if isinstance(document, dict):
+        if document.get("schema") == "smtu-telemetry-v1":
+            telemetry = document
+        elif isinstance(document.get("telemetry"), dict) and \
+                document["telemetry"].get("schema") == "smtu-telemetry-v1":
+            telemetry = document["telemetry"]
+    if telemetry is None:
+        fail("no telemetry section (expected an smtu-telemetry-v1 document "
+             "or a report produced with --telemetry)")
+    return telemetry
+
+
+def show_telemetry(document):
+    """Render host telemetry (docs/TELEMETRY.md): counters/gauges, latency
+    histograms, and the cache hit-rate rollup. Host-side metrics, never
+    gated by bench_diff."""
+    telemetry = extract_telemetry(document)
+    counters = telemetry.get("counters", {})
+    gauges = telemetry.get("gauges", {})
+    histograms = telemetry.get("histograms", {})
+    print("== host telemetry (docs/TELEMETRY.md; host-side metrics, "
+          "never gated) ==\n")
+
+    rows = [[name, str(value)] for name, value in counters.items()]
+    rows += [[name, f"{value} (peak)"] for name, value in gauges.items()]
+    if rows:
+        print_table(["metric", "value"], rows)
+
+    rows = []
+    for name, hist in histograms.items():
+        count = hist.get("count", 0)
+        mean = f"{hist['sum'] / count:.1f}" if count else "-"
+        rows.append([name, str(count), str(hist.get("min", 0)),
+                     str(hist.get("p50", 0)), str(hist.get("p90", 0)),
+                     str(hist.get("p95", 0)), str(hist.get("p99", 0)),
+                     str(hist.get("max", 0)), mean])
+    if rows:
+        print_table(["histogram", "count", "min", "p50", "p90", "p95", "p99",
+                     "max", "mean"], rows)
+
+    caches = {}
+    for name, value in counters.items():
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "cache" and \
+                parts[2] in ("hits_total", "misses_total"):
+            caches.setdefault(parts[1], {})[parts[2]] = value
+    rows = []
+    for name in sorted(caches):
+        hits = caches[name].get("hits_total", 0)
+        misses = caches[name].get("misses_total", 0)
+        total = hits + misses
+        rate = f"{100.0 * hits / total:.1f}%" if total else "-"
+        rows.append([name, str(hits), str(misses), rate])
+    if rows:
+        print("  cache hit rates:")
+        print_table(["cache", "hits", "misses", "hit rate"], rows)
 
 
 def diff_numeric(name, old, new, rows):
@@ -322,11 +397,17 @@ def main():
                       help="smtu-hostmicro-v1 file (micro_host --interp-json):"
                            " print its dispatch-throughput records after the "
                            "simulated-cycle rollups (or alone)")
+    show.add_argument("--telemetry", default=None, metavar="TELEMETRY_JSON",
+                      help="smtu-telemetry-v1 file (--telemetry-json on any "
+                           "bench binary / vsim_run) or a --telemetry report: "
+                           "print host metric tables and the cache hit-rate "
+                           "rollup (docs/TELEMETRY.md)")
     args = parser.parse_args()
 
     if args.command == "show":
-        if args.profile is None and args.host is None:
-            fail("show needs a profile file and/or --host=INTERP_JSON")
+        if args.profile is None and args.host is None and args.telemetry is None:
+            fail("show needs a profile file, --host=INTERP_JSON, and/or "
+                 "--telemetry=TELEMETRY_JSON")
         if args.profile is not None:
             document = load(args.profile)
             if document.get("schema") == "smtu-scaling-v1":
@@ -339,6 +420,8 @@ def main():
                     show_profile(label, profile, args.top)
         if args.host is not None:
             show_host(load(args.host))
+        if args.telemetry is not None:
+            show_telemetry(load(args.telemetry))
         return 0
 
     old = extract_profiles(load(args.old), args.matrix, args.kernel)

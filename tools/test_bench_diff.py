@@ -129,6 +129,60 @@ class BenchDiffGating(unittest.TestCase):
         self.assertNotIn("[new]", out)
         self.assertNotIn("dispatch", out)
 
+    def test_telemetry_section_is_invisible(self):
+        # A telemetry-on report embeds a "telemetry" section absent from the
+        # telemetry-off baseline; it must diff clean even at threshold 0.
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 10.0)
+        new["telemetry"] = {
+            "schema": "smtu-telemetry-v1",
+            "counters": {"cache.program.hits_total": 59,
+                         "pool.tasks_total": 220},
+            "gauges": {"pool.queue_depth_peak": 4},
+            "histograms": {
+                "bench.item_wall_us": {"count": 60, "sum": 120000, "min": 90,
+                                       "max": 9000, "p50": 1500, "p90": 4000,
+                                       "p95": 6000, "p99": 9000,
+                                       "buckets": [{"le": 2047, "n": 40},
+                                                   {"le": 16383, "n": 20}]},
+            },
+        }
+        code, out = run_diff(old, new, "--all", "--threshold=0")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[new]", out)
+        self.assertNotIn("telemetry", out)
+        self.assertNotIn("hits_total", out)
+
+    def test_telemetry_suffix_keys_are_invisible(self):
+        # Defense in depth: stray telemetry leaves outside the "telemetry"
+        # section are suffix-matched by unit (_us/_pct/_peak/_total) and
+        # skipped wherever they appear.
+        old = report(1000, 5.0, 10.0)
+        new = report(1000, 5.0, 10.0)
+        new["matrices"][0]["stage.build_us"] = 431
+        new["matrices"][0]["pool.worker_util_pct"] = 99
+        new["matrices"][0]["pool.queue_depth_peak"] = 7
+        new["matrices"][0]["cache.sim.bytes_total"] = 123456
+        code, out = run_diff(old, new, "--all", "--threshold=0")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[new]", out)
+        self.assertNotIn("build_us", out)
+        self.assertNotIn("util_pct", out)
+
+    def test_simulated_bytes_keys_still_gate(self):
+        # "_bytes" is deliberately NOT a skipped suffix: simulated memory
+        # footprints (mem_contiguous_bytes, storage_bytes) are real metrics,
+        # and one vanishing must still fail the run.
+        old = report(1000, 5.0, 10.0)
+        old["matrices"][0]["mem_contiguous_bytes"] = 4096
+        old["matrices"][0]["storage_bytes"] = 8192
+        new = report(1000, 5.0, 10.0)
+        new["matrices"][0]["mem_contiguous_bytes"] = 4096
+        code, out = run_diff(old, new)
+        self.assertEqual(code, 1, out)
+        self.assertIn("[gone]", out)
+        self.assertIn("storage_bytes", out)
+
     def test_cycle_regression_still_fails(self):
         old = report(1000, 5.0, 10.0)
         new = report(1500, 5.0, 10.0)  # 50% more simulated cycles

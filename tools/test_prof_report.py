@@ -108,6 +108,41 @@ def hostmicro_report():
     }
 
 
+def telemetry_doc():
+    """What --telemetry-json writes: an smtu-telemetry-v1 document with the
+    three metric families (docs/TELEMETRY.md)."""
+    return {
+        "schema": "smtu-telemetry-v1",
+        "counters": {
+            "cache.program.hits_total": 59,
+            "cache.program.misses_total": 3,
+            "cache.stage.hits_total": 30,
+            "cache.stage.misses_total": 30,
+            "pool.tasks_total": 220,
+        },
+        "gauges": {"pool.queue_depth_peak": 4},
+        "histograms": {
+            "bench.item_wall_us": {
+                "count": 60, "sum": 120000, "min": 90, "max": 9000,
+                "p50": 1500, "p90": 4000, "p95": 6000, "p99": 9000,
+                "buckets": [{"le": 2047, "n": 40}, {"le": 16383, "n": 20}],
+            },
+        },
+    }
+
+
+def run_show_with_telemetry(doc):
+    """Run `show --telemetry=DOC.json` on a synthetic document."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "telemetry.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        result = subprocess.run(
+            [sys.executable, PROF_REPORT, "show", f"--telemetry={path}"],
+            capture_output=True, text=True, check=False)
+    return result.returncode, result.stdout + result.stderr
+
+
 def run_show_with_host(host_doc, profile_doc=None, flags=()):
     """Run `show [PROFILE] --host=HOST.json` on synthetic documents."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -246,12 +281,72 @@ class ProfReportHost(unittest.TestCase):
         code, out = run_show_with_host(profile())
         self.assertEqual(code, 2, out)
         self.assertIn("smtu-hostmicro-v1", out)
+        self.assertNotIn("Traceback", out)
+        self.assertEqual(len(out.strip().splitlines()), 1, out)
+
+    def test_hostmicro_without_records_fails_cleanly(self):
+        # Right schema but no host.dispatch list (e.g. a truncated artifact):
+        # same one-line usage error, never a stack trace.
+        doc = {"schema": "smtu-hostmicro-v1", "host": {}}
+        code, out = run_show_with_host(doc)
+        self.assertEqual(code, 2, out)
+        self.assertNotIn("Traceback", out)
+        self.assertEqual(len(out.strip().splitlines()), 1, out)
 
     def test_show_without_any_input_fails(self):
         result = subprocess.run([sys.executable, PROF_REPORT, "show"],
                                 capture_output=True, text=True, check=False)
         self.assertEqual(result.returncode, 2, result.stderr)
         self.assertIn("--host", result.stderr)
+
+
+class ProfReportTelemetry(unittest.TestCase):
+    def test_standalone_document_renders_all_tables(self):
+        code, out = run_show_with_telemetry(telemetry_doc())
+        self.assertEqual(code, 0, out)
+        self.assertIn("host telemetry", out)
+        # counter + gauge rows (gauges tagged as peaks)
+        self.assertIn("pool.tasks_total", out)
+        self.assertIn("220", out)
+        self.assertIn("4 (peak)", out)
+        # histogram row: count, percentiles, mean = 120000/60
+        self.assertIn("bench.item_wall_us", out)
+        self.assertIn("1500", out)
+        self.assertIn("2000.0", out)
+        # cache hit-rate rollup: 59/(59+3) and 30/(30+30)
+        self.assertIn("cache hit rates:", out)
+        self.assertIn("95.2%", out)
+        self.assertIn("50.0%", out)
+
+    def test_embedded_telemetry_section_renders(self):
+        # A bench/repro report produced with --telemetry carries the same
+        # object under its "telemetry" key.
+        doc = bench_report(profile())
+        doc["telemetry"] = telemetry_doc()
+        code, out = run_show_with_telemetry(doc)
+        self.assertEqual(code, 0, out)
+        self.assertIn("cache hit rates:", out)
+        self.assertIn("95.2%", out)
+
+    def test_missing_telemetry_fails_with_one_line(self):
+        # A report without a telemetry section is a usage error: one clear
+        # line on stderr and exit 2, not a stack trace.
+        doc = bench_report(profile())
+        code, out = run_show_with_telemetry(doc)
+        self.assertEqual(code, 2, out)
+        self.assertIn("smtu-telemetry-v1", out)
+        self.assertNotIn("Traceback", out)
+        self.assertEqual(len(out.strip().splitlines()), 1, out)
+
+    def test_empty_histogram_renders_dash_mean(self):
+        doc = telemetry_doc()
+        doc["histograms"]["vsim.run_us"] = {
+            "count": 0, "sum": 0, "min": 0, "max": 0,
+            "p50": 0, "p90": 0, "p95": 0, "p99": 0, "buckets": [],
+        }
+        code, out = run_show_with_telemetry(doc)
+        self.assertEqual(code, 0, out)
+        self.assertIn("vsim.run_us", out)
 
 
 class ProfReportDiff(unittest.TestCase):

@@ -1,0 +1,121 @@
+// smtu_serve: the transpose-as-a-service driver (docs/SERVING.md).
+//
+// Two modes:
+//
+//   smtu_serve --generate --trace-out=FILE [generator options]
+//     Samples a seeded open-loop request trace and writes the smtu-trace-v1
+//     document. Generation is deterministic in its options.
+//
+//   smtu_serve --replay=FILE [--json=FILE] [scheduler options]
+//     Replays a recorded trace through the batch-serving engine and writes
+//     the smtu-serve-v1 report. The report's "virtual" section is
+//     bit-identical across -j values, runs, and machines; "host" carries the
+//     wall-clock measurements.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+#include "support/assert.hpp"
+#include "support/cli.hpp"
+#include "support/telemetry.hpp"
+
+namespace smtu::serve {
+namespace {
+
+int serve_main(int argc, const char* const* argv) {
+  CommandLine cli(argc, argv);
+
+  // Mode selection.
+  const bool generate = cli.get_flag("generate");
+  const std::string replay_path = cli.get_string("replay", "");
+
+  // Generator options.
+  GeneratorOptions gen;
+  gen.seed = static_cast<u64>(cli.get_int("seed", static_cast<i64>(gen.seed)));
+  gen.set = cli.get_string("set", gen.set);
+  gen.suite.scale = cli.get_double("scale", gen.suite.scale);
+  gen.requests = static_cast<u32>(cli.get_int("requests", gen.requests));
+  gen.arrival.mode = cli.get_string("arrival", gen.arrival.mode);
+  gen.arrival.rate_rps = cli.get_double("rate", gen.arrival.rate_rps);
+  gen.arrival.zipf_skew = cli.get_double("zipf", gen.arrival.zipf_skew);
+  gen.arrival.hism_fraction = cli.get_double("hism-fraction", gen.arrival.hism_fraction);
+  gen.arrival.alt_config_fraction =
+      cli.get_double("alt-config-fraction", gen.arrival.alt_config_fraction);
+  const std::string trace_out = cli.get_string("trace-out", "");
+
+  // Scheduler options.
+  ServeOptions options;
+  options.dedup = !cli.get_flag("no-dedup");
+  options.batching = !cli.get_flag("no-batching");
+  options.queue_depth = static_cast<u32>(cli.get_int("queue-depth", options.queue_depth));
+  options.virtual_workers = static_cast<u32>(cli.get_int("workers", options.virtual_workers));
+  options.cycles_per_us = static_cast<u32>(cli.get_int("cycles-per-us", options.cycles_per_us));
+  options.replay_vus = static_cast<u32>(cli.get_int("replay-vus", options.replay_vus));
+  options.closed_loop = static_cast<u32>(cli.get_int("closed-loop", options.closed_loop));
+  const i64 jobs = cli.get_int("jobs", 0);
+  SMTU_CHECK_MSG(jobs >= 0, "--jobs must be >= 0 (0 = all hardware threads)");
+  options.jobs = static_cast<u32>(jobs);
+  const std::string sim_cache = cli.get_string("sim-cache", "");
+  if (!sim_cache.empty()) options.sim_cache_dir = sim_cache;
+
+  const std::string json_out = cli.get_string("json", "");
+  const bool telemetry_on = cli.get_flag("telemetry");
+  const std::string telemetry_json = cli.get_string("telemetry-json", "");
+  cli.finish();
+
+  if (telemetry_on || !telemetry_json.empty()) telemetry::set_enabled(true);
+
+  SMTU_CHECK_MSG(generate || !replay_path.empty(),
+                 "pass one of --generate or --replay=FILE");
+  SMTU_CHECK_MSG(!(generate && !replay_path.empty()),
+                 "pass only one of --generate or --replay=FILE");
+
+  if (generate) {
+    SMTU_CHECK_MSG(!trace_out.empty(), "--generate requires --trace-out=FILE");
+    const Trace trace = generate_trace(gen);
+    write_trace_file(trace_out, trace);
+    std::fprintf(stderr, "wrote %zu-request %s trace (set=%s scale=%g zipf=%g) to %s\n",
+                 trace.requests.size(), trace.arrival.mode.c_str(), trace.set.c_str(),
+                 trace.suite.scale, trace.arrival.zipf_skew, trace_out.c_str());
+    return 0;
+  }
+
+  const Trace trace = load_trace_file(replay_path);
+  const ServeReport report = serve_trace(trace, options);
+
+  if (!json_out.empty()) {
+    write_serve_report_file(json_out, trace, options, report);
+    std::fprintf(stderr, "wrote serve report to %s\n", json_out.c_str());
+  } else {
+    JsonWriter json(std::cout);
+    write_serve_report_json(json, trace, options, report);
+    std::cout << '\n';
+  }
+
+  if (!telemetry_json.empty()) {
+    std::ofstream out(telemetry_json);
+    SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open telemetry output " + telemetry_json);
+    JsonWriter json(out);
+    telemetry::write_telemetry_json(json);
+    out << '\n';
+  }
+
+  std::fprintf(stderr,
+               "served %zu requests: %llu simulated, %llu coalesced, %llu warm, %llu shed "
+               "(%.0f req/s host, p99 total %llu vus)\n",
+               trace.requests.size(),
+               static_cast<unsigned long long>(report.virt.simulated_requests),
+               static_cast<unsigned long long>(report.virt.coalesced_requests),
+               static_cast<unsigned long long>(report.virt.warm_requests),
+               static_cast<unsigned long long>(report.virt.shed_requests),
+               report.host.req_per_sec,
+               static_cast<unsigned long long>(report.virt.total.p99));
+  return 0;
+}
+
+}  // namespace
+}  // namespace smtu::serve
+
+int main(int argc, char** argv) { return smtu::serve::serve_main(argc, argv); }

@@ -1,0 +1,356 @@
+#include "serve/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace smtu::serve {
+namespace {
+
+constexpr std::string_view kSchema = "smtu-trace-v1";
+
+// Cumulative Zipf table over `count` popularity ranks: rank r gets weight
+// 1/(r+1)^skew. Popularity is detached from matrix index by a seeded
+// permutation (otherwise "popular" would always mean "lowest locality").
+struct ZipfSampler {
+  std::vector<double> cumulative;
+  std::vector<u32> rank_to_matrix;
+
+  ZipfSampler(u32 count, double skew, Rng& rng) {
+    cumulative.reserve(count);
+    double total = 0.0;
+    for (u32 rank = 0; rank < count; ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank + 1), skew);
+      cumulative.push_back(total);
+    }
+    for (double& value : cumulative) value /= total;
+    rank_to_matrix.resize(count);
+    for (u32 i = 0; i < count; ++i) rank_to_matrix[i] = i;
+    rng.shuffle(rank_to_matrix);
+  }
+
+  u32 sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const usize rank = std::min<usize>(static_cast<usize>(it - cumulative.begin()),
+                                       cumulative.size() - 1);
+    return rank_to_matrix[rank];
+  }
+};
+
+// One inter-arrival gap in virtual microseconds, >= 1 so arrivals strictly
+// advance within a burst only when the rate allows it (equal times are fine).
+u64 next_gap_us(const ArrivalSpec& arrival, u64 now_us, Rng& rng) {
+  const double mean_gap_us = 1e6 / arrival.rate_rps;
+  double gap;
+  if (arrival.mode == "bursty") {
+    const u64 period = arrival.burst_on_us + arrival.burst_off_us;
+    const bool on = period == 0 || (now_us % period) < arrival.burst_on_us;
+    const double rate_scale = on ? arrival.burst_multiplier : 0.2;
+    gap = -std::log(1.0 - rng.uniform()) * mean_gap_us / rate_scale;
+  } else if (arrival.mode == "heavytail") {
+    // Pareto with tail index alpha, scaled so the (uncapped) mean matches
+    // the requested rate; the 100x cap keeps a single draw from stalling
+    // the whole trace.
+    const double alpha = arrival.heavytail_alpha;
+    SMTU_CHECK_MSG(alpha > 1.0, "heavytail_alpha must be > 1 for a finite mean");
+    const double scale = mean_gap_us * (alpha - 1.0) / alpha;
+    gap = scale * std::pow(1.0 - rng.uniform(), -1.0 / alpha);
+    gap = std::min(gap, 100.0 * mean_gap_us);
+  } else {
+    SMTU_CHECK_MSG(arrival.mode == "poisson",
+                   "unknown arrival mode '" + arrival.mode + "'");
+    gap = -std::log(1.0 - rng.uniform()) * mean_gap_us;
+  }
+  return std::max<u64>(1, static_cast<u64>(std::llround(gap)));
+}
+
+u64 get_u64(const JsonValue& object, std::string_view key, u64 fallback) {
+  const JsonValue* value = object.find(key);
+  return value != nullptr && value->is_number() ? value->as_u64() : fallback;
+}
+
+double get_double(const JsonValue& object, std::string_view key, double fallback) {
+  const JsonValue* value = object.find(key);
+  return value != nullptr && value->is_number() ? value->as_double() : fallback;
+}
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+const char* kernel_name(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kHism:
+      return "hism";
+    case Kernel::kCrs:
+      return "crs";
+  }
+  return "?";
+}
+
+bool kernel_from_name(const std::string& name, Kernel& kernel) {
+  for (u32 i = 0; i < kKernelCount; ++i) {
+    if (name == kernel_name(static_cast<Kernel>(i))) {
+      kernel = static_cast<Kernel>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+vsim::MachineConfig machine_config_for(const ConfigSpec& spec) {
+  vsim::MachineConfig config;
+  config.section = spec.section;
+  config.stm.section = spec.section;
+  config.stm.bandwidth = spec.stm_bandwidth;
+  config.stm.lines = spec.stm_lines;
+  return config;
+}
+
+Trace generate_trace(const GeneratorOptions& options) {
+  SMTU_CHECK_MSG(options.requests > 0, "trace generator needs at least one request");
+  const auto set = suite::build_dsab_set(options.set, options.suite);
+  SMTU_CHECK_MSG(!set.empty(), "suite set '" + options.set + "' is empty");
+
+  Trace trace;
+  trace.seed = options.seed;
+  trace.set = options.set;
+  trace.suite = options.suite;
+  trace.arrival = options.arrival;
+  trace.matrix_count = static_cast<u32>(set.size());
+  // Variant 0 is the paper's default machine; variant 1 a narrower STM
+  // (B=2, L=2). Distinct variants change the kernel source (strip-mining)
+  // and the timing, so they exercise the ProgramCache/SimCache keying.
+  trace.configs.push_back(ConfigSpec{});
+  trace.configs.push_back(ConfigSpec{64, 2, 2});
+
+  Rng rng(options.seed);
+  const ZipfSampler popularity(trace.matrix_count, options.arrival.zipf_skew, rng);
+  u64 now_us = 0;
+  trace.requests.reserve(options.requests);
+  for (u32 id = 0; id < options.requests; ++id) {
+    // Fixed draw order per request (gap, matrix, kernel, config) keeps the
+    // trace a pure function of the options.
+    now_us += next_gap_us(options.arrival, now_us, rng);
+    Request request;
+    request.id = id;
+    request.matrix = popularity.sample(rng);
+    request.kernel = rng.chance(options.arrival.hism_fraction) ? Kernel::kHism : Kernel::kCrs;
+    request.config = rng.chance(options.arrival.alt_config_fraction) ? 1u : 0u;
+    request.arrival_us = now_us;
+    trace.requests.push_back(request);
+  }
+  return trace;
+}
+
+void write_trace_json(JsonWriter& json, const Trace& trace) {
+  json.begin_object();
+  json.key("schema");
+  json.value(std::string(kSchema));
+  json.key("seed");
+  json.value(trace.seed);
+  json.key("set");
+  json.value(trace.set);
+  json.key("suite");
+  json.begin_object();
+  json.key("seed");
+  json.value(trace.suite.seed);
+  json.key("scale");
+  json.value(trace.suite.scale);
+  json.end_object();
+  json.key("arrival");
+  json.begin_object();
+  json.key("mode");
+  json.value(trace.arrival.mode);
+  json.key("rate_rps");
+  json.value(trace.arrival.rate_rps);
+  json.key("zipf_skew");
+  json.value(trace.arrival.zipf_skew);
+  json.key("hism_fraction");
+  json.value(trace.arrival.hism_fraction);
+  json.key("alt_config_fraction");
+  json.value(trace.arrival.alt_config_fraction);
+  json.key("burst_on_us");
+  json.value(trace.arrival.burst_on_us);
+  json.key("burst_off_us");
+  json.value(trace.arrival.burst_off_us);
+  json.key("burst_multiplier");
+  json.value(trace.arrival.burst_multiplier);
+  json.key("heavytail_alpha");
+  json.value(trace.arrival.heavytail_alpha);
+  json.end_object();
+  json.key("configs");
+  json.begin_array();
+  for (const ConfigSpec& spec : trace.configs) {
+    json.begin_object();
+    json.key("section");
+    json.value(static_cast<u64>(spec.section));
+    json.key("stm_bandwidth");
+    json.value(static_cast<u64>(spec.stm_bandwidth));
+    json.key("stm_lines");
+    json.value(static_cast<u64>(spec.stm_lines));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("matrices");
+  json.value(static_cast<u64>(trace.matrix_count));
+  json.key("requests");
+  json.begin_array();
+  for (const Request& request : trace.requests) {
+    json.begin_object();
+    json.key("id");
+    json.value(static_cast<u64>(request.id));
+    json.key("matrix");
+    json.value(static_cast<u64>(request.matrix));
+    json.key("kernel");
+    json.value(kernel_name(request.kernel));
+    json.key("config");
+    json.value(static_cast<u64>(request.config));
+    json.key("arrival_us");
+    json.value(request.arrival_us);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  SMTU_CHECK_MSG(static_cast<bool>(out), "cannot open trace output " + path);
+  JsonWriter json(out);
+  write_trace_json(json, trace);
+  out << '\n';
+}
+
+std::optional<Trace> parse_trace(const JsonValue& document, std::string* error) {
+  if (!document.is_object()) {
+    set_error(error, "trace is not a JSON object");
+    return std::nullopt;
+  }
+  const JsonValue* schema = document.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->as_string() != kSchema) {
+    set_error(error, "missing or wrong schema tag (expected \"smtu-trace-v1\")");
+    return std::nullopt;
+  }
+
+  Trace trace;
+  trace.seed = get_u64(document, "seed", 0);
+  const JsonValue* set = document.find("set");
+  if (set == nullptr || !set->is_string()) {
+    set_error(error, "missing \"set\" name");
+    return std::nullopt;
+  }
+  trace.set = set->as_string();
+  if (const JsonValue* suite = document.find("suite"); suite != nullptr && suite->is_object()) {
+    trace.suite.seed = get_u64(*suite, "seed", trace.suite.seed);
+    trace.suite.scale = get_double(*suite, "scale", trace.suite.scale);
+  }
+  if (const JsonValue* arrival = document.find("arrival");
+      arrival != nullptr && arrival->is_object()) {
+    if (const JsonValue* mode = arrival->find("mode"); mode != nullptr && mode->is_string()) {
+      trace.arrival.mode = mode->as_string();
+    }
+    trace.arrival.rate_rps = get_double(*arrival, "rate_rps", trace.arrival.rate_rps);
+    trace.arrival.zipf_skew = get_double(*arrival, "zipf_skew", trace.arrival.zipf_skew);
+    trace.arrival.hism_fraction =
+        get_double(*arrival, "hism_fraction", trace.arrival.hism_fraction);
+    trace.arrival.alt_config_fraction =
+        get_double(*arrival, "alt_config_fraction", trace.arrival.alt_config_fraction);
+    trace.arrival.burst_on_us = get_u64(*arrival, "burst_on_us", trace.arrival.burst_on_us);
+    trace.arrival.burst_off_us = get_u64(*arrival, "burst_off_us", trace.arrival.burst_off_us);
+    trace.arrival.burst_multiplier =
+        get_double(*arrival, "burst_multiplier", trace.arrival.burst_multiplier);
+    trace.arrival.heavytail_alpha =
+        get_double(*arrival, "heavytail_alpha", trace.arrival.heavytail_alpha);
+  }
+
+  const JsonValue* configs = document.find("configs");
+  if (configs == nullptr || !configs->is_array() || configs->size() == 0) {
+    set_error(error, "missing \"configs\" variant table");
+    return std::nullopt;
+  }
+  for (const JsonValue& item : configs->items()) {
+    if (!item.is_object()) {
+      set_error(error, "config variant is not an object");
+      return std::nullopt;
+    }
+    ConfigSpec spec;
+    spec.section = static_cast<u32>(get_u64(item, "section", spec.section));
+    spec.stm_bandwidth = static_cast<u32>(get_u64(item, "stm_bandwidth", spec.stm_bandwidth));
+    spec.stm_lines = static_cast<u32>(get_u64(item, "stm_lines", spec.stm_lines));
+    trace.configs.push_back(spec);
+  }
+  trace.matrix_count = static_cast<u32>(get_u64(document, "matrices", 0));
+  if (trace.matrix_count == 0) {
+    set_error(error, "missing or zero \"matrices\" count");
+    return std::nullopt;
+  }
+
+  const JsonValue* requests = document.find("requests");
+  if (requests == nullptr || !requests->is_array()) {
+    set_error(error, "missing \"requests\" array");
+    return std::nullopt;
+  }
+  u64 previous_arrival = 0;
+  for (const JsonValue& item : requests->items()) {
+    if (!item.is_object()) {
+      set_error(error, "request is not an object");
+      return std::nullopt;
+    }
+    Request request;
+    request.id = static_cast<u32>(get_u64(item, "id", trace.requests.size()));
+    request.matrix = static_cast<u32>(get_u64(item, "matrix", trace.matrix_count));
+    if (request.matrix >= trace.matrix_count) {
+      set_error(error, format("request %u: matrix index out of range", request.id));
+      return std::nullopt;
+    }
+    const JsonValue* kernel = item.find("kernel");
+    if (kernel == nullptr || !kernel->is_string() ||
+        !kernel_from_name(kernel->as_string(), request.kernel)) {
+      set_error(error, format("request %u: unknown kernel", request.id));
+      return std::nullopt;
+    }
+    request.config = static_cast<u32>(get_u64(item, "config", trace.configs.size()));
+    if (request.config >= trace.configs.size()) {
+      set_error(error, format("request %u: config index out of range", request.id));
+      return std::nullopt;
+    }
+    request.arrival_us = get_u64(item, "arrival_us", 0);
+    if (request.arrival_us < previous_arrival) {
+      set_error(error, format("request %u: arrival_us decreases", request.id));
+      return std::nullopt;
+    }
+    previous_arrival = request.arrival_us;
+    trace.requests.push_back(request);
+  }
+  if (trace.requests.empty()) {
+    set_error(error, "trace has no requests");
+    return std::nullopt;
+  }
+  return trace;
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  SMTU_CHECK_MSG(static_cast<bool>(in), "cannot open trace " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string parse_error;
+  const std::optional<JsonValue> document = parse_json(text.view(), &parse_error);
+  SMTU_CHECK_MSG(document.has_value(), "trace " + path + ": " + parse_error);
+  std::string trace_error;
+  std::optional<Trace> trace = parse_trace(*document, &trace_error);
+  SMTU_CHECK_MSG(trace.has_value(), "trace " + path + ": " + trace_error);
+  return std::move(*trace);
+}
+
+}  // namespace smtu::serve

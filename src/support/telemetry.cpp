@@ -322,11 +322,16 @@ HostSpan::HostSpan(const char* histogram_name) : name_(histogram_name), armed_(e
   if (armed_) start_us_ = now_us();
 }
 
+HostSpan::HostSpan(const char* histogram_name, LatencyHistogram& histogram)
+    : name_(histogram_name), resolved_(&histogram), armed_(enabled()) {
+  if (armed_) start_us_ = now_us();
+}
+
 HostSpan::~HostSpan() {
   if (!armed_) return;
   const u64 end_us = now_us();
   const u64 dur_us = end_us - start_us_;
-  histogram(name_).record(dur_us);
+  (resolved_ != nullptr ? *resolved_ : histogram(name_)).record(dur_us);
   if (host_trace_enabled()) {
     HostTraceEvent event{name_, thread_slot(), start_us_, dur_us};
     std::lock_guard<std::mutex> lock(trace_mutex());

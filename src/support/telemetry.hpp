@@ -210,6 +210,12 @@ std::vector<HostTraceEvent> host_trace_events();
 class HostSpan {
  public:
   explicit HostSpan(const char* histogram_name);
+  // Pre-resolved variant for hot call sites (per-request serving paths):
+  // skips the registry lookup (mutex + name search) on every destruction.
+  // Metrics are never destroyed, so callers may resolve once into a
+  // function-local static and reuse the reference forever. `histogram_name`
+  // still labels the host-trace event.
+  HostSpan(const char* histogram_name, LatencyHistogram& histogram);
   ~HostSpan();
 
   HostSpan(const HostSpan&) = delete;
@@ -217,6 +223,7 @@ class HostSpan {
 
  private:
   const char* name_;
+  LatencyHistogram* resolved_ = nullptr;
   bool armed_;
   u64 start_us_ = 0;
 };

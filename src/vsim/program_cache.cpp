@@ -15,9 +15,9 @@ std::shared_ptr<const Program> ProgramCache::get(std::string_view source) {
   telemetry::HostSpan span("cache.program.lookup_us");
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // Heterogeneous lookup through a temporary key: sources are a few KB at
-    // most and only materialise on the first probe per call site.
-    const auto it = entries_.find(std::string(source));
+    // Heterogeneous lookup: hits probe with the caller's view directly, so
+    // the multi-KB source is only copied when inserting a new entry.
+    const auto it = entries_.find(source);
     if (it != entries_.end()) {
       ++stats_.hits;
       if (telemetry::enabled()) telemetry::counter("cache.program.hits_total").add(1);

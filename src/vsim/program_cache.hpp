@@ -33,8 +33,20 @@ class ProgramCache {
   void clear();
 
  private:
+  // Transparent hashing so get() can probe with the string_view it was
+  // handed: under serving load the same multi-KB sources are looked up per
+  // request, and materializing a std::string key inside the lock both
+  // allocates and lengthens the critical section.
+  struct SourceHash {
+    using is_transparent = void;
+    usize operator()(std::string_view source) const {
+      return std::hash<std::string_view>{}(source);
+    }
+  };
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const Program>> entries_;
+  std::unordered_map<std::string, std::shared_ptr<const Program>, SourceHash, std::equal_to<>>
+      entries_;
   Stats stats_;
 };
 

@@ -118,10 +118,29 @@ std::optional<SimCache::Entry> SimCache::read_entry(const std::string& key) cons
 std::optional<SimCache::Entry> SimCache::lookup(const std::string& key, bool need_verified,
                                                 bool need_profile) {
   telemetry::HostSpan span("cache.sim.lookup_us");
-  std::optional<Entry> entry = read_entry(key);
-  if (entry.has_value() &&
-      ((need_verified && !entry->verified) || (need_profile && entry->profile_json.empty()))) {
-    entry.reset();  // the cached run produced less than this lookup needs
+  const auto satisfies = [&](const Entry& entry) {
+    return (!need_verified || entry.verified) && (!need_profile || !entry.profile_json.empty());
+  };
+
+  std::optional<Entry> entry;
+  {
+    // Memo first: the disk round-trip (open + read + JSON parse) is the
+    // expensive part of a hit and its result cannot go stale — entries only
+    // ever gain information (store() merges, never downgrades).
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = memo_.find(key); it != memo_.end() && satisfies(it->second)) {
+      entry = it->second;
+    }
+  }
+  if (!entry.has_value()) {
+    entry = read_entry(key);
+    if (entry.has_value() && !satisfies(*entry)) {
+      entry.reset();  // the cached run produced less than this lookup needs
+    }
+    if (entry.has_value()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      memo_[key] = *entry;
+    }
   }
   if (telemetry::enabled()) {
     telemetry::counter(entry.has_value() ? "cache.sim.hits_total" : "cache.sim.misses_total")
@@ -183,6 +202,7 @@ void SimCache::store(const std::string& key, const Entry& entry) {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
+  memo_[key] = merged;
 }
 
 SimCache::Stats SimCache::stats() const {

@@ -23,6 +23,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "vsim/machine.hpp"
@@ -85,6 +86,11 @@ class SimCache {
   std::string dir_;
   mutable std::mutex mutex_;
   Stats stats_;
+  // In-memory memo of on-disk entries: under serving load the same key is
+  // looked up once per duplicate request, and re-reading + re-parsing the
+  // JSON file each time dominated the lookup profile. Negative results are
+  // not memoized (a concurrent process may store the entry at any moment).
+  std::unordered_map<std::string, Entry> memo_;
 };
 
 }  // namespace smtu::vsim

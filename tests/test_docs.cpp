@@ -264,5 +264,48 @@ TEST(Docs, InterpreterInternalsDocumented) {
   }
 }
 
+TEST(Docs, ServingReferenceCoversSchemasSchedulerAndGating) {
+  const std::string doc = read_doc("SERVING.md");
+  ASSERT_FALSE(doc.empty());
+  // The driver, its two modes, and both JSON schemas.
+  for (const char* needle :
+       {"smtu_serve", "--generate", "--replay", "smtu-trace-v1",
+        "smtu-serve-v1", "--trace-out", "--json"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/SERVING.md does not mention " << needle;
+  }
+  // The scheduler semantics: the four outcomes, the knobs behind them, and
+  // the service-time model.
+  for (const char* needle :
+       {"`simulated`", "`coalesced`", "`warm`", "`shed`", "--no-dedup",
+        "--no-batching", "--queue-depth", "--closed-loop", "cycles_per_us",
+        "replay_vus", "admission"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/SERVING.md does not describe " << needle;
+  }
+  // The determinism contract and the gating split: _vus gates, wall clock
+  // never does, scheduler counters match exactly.
+  for (const char* needle :
+       {"_vus", "bit-identical", "req_per_sec", "never gate", "exact",
+        "bench_diff", "prof_report.py", "check_repro_determinism.py",
+        "serve_sweep", "test_serve.cpp"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/SERVING.md does not mention " << needle;
+  }
+  // The host-side batching story names the caches it leans on.
+  for (const char* needle : {"ProgramCache", "MatrixStageCache", "SimCache"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/SERVING.md does not mention " << needle;
+  }
+
+  // Cross-links: the top-level docs route here.
+  const std::string readme = read_doc("../README.md");
+  EXPECT_NE(readme.find("docs/SERVING.md"), std::string::npos)
+      << "README.md does not link docs/SERVING.md";
+  const std::string hacking = read_doc("../HACKING.md");
+  EXPECT_NE(hacking.find("docs/SERVING.md"), std::string::npos)
+      << "HACKING.md does not link docs/SERVING.md";
+}
+
 }  // namespace
 }  // namespace smtu::vsim

@@ -13,10 +13,14 @@ array elements carrying a "name"/"matrix" field are keyed by that name, so
 reordering a suite does not produce spurious diffs.
 
 A metric's direction decides what counts as a regression:
-  * higher-is-better (key contains "speedup" or "utilization"):
+  * higher-is-better (key contains "speedup" or "utilization", or the
+    serve reports' virtual-throughput "krps" leaves):
         regression when NEW < OLD * (1 - threshold)
-  * lower-is-better (key contains "cycles"):
+  * lower-is-better (key contains "cycles", or ends in "_vus" — the serve
+    reports' deterministic virtual-time latencies, docs/SERVING.md):
         regression when NEW > OLD * (1 + threshold)
+  * exact (deterministic scheduler counters such as shed_requests /
+    coalesced_requests): any difference at all fails, threshold ignored
   * anything else (sizes, counts, configuration echoes) is reported with
     --all but never fails the run.
 
@@ -57,8 +61,11 @@ SKIPPED_KEYS = {"schema", "bench", "seed", "scale", "jobs", "harness", "host",
 # Any key containing one of these fragments is host-timing noise, never a
 # simulated metric; skipped at flatten time so it cannot gate or diff.
 # "per_sec" covers the interpreter-throughput records micro_host emits
-# (insts_per_sec / cycles_per_sec): host speed, not simulated behavior.
-TIMING_KEY_FRAGMENTS = ("wall_ms", "per_sec")
+# (insts_per_sec / cycles_per_sec) plus the serve reports' req_per_sec;
+# "wall_us" covers the serve reports' wall_us/sim_wall_us wall-clock
+# measurements (also caught by the "_us" suffix rule — defense in depth,
+# since these must never gate a "smtu-serve-v1" diff at threshold 0).
+TIMING_KEY_FRAGMENTS = ("wall_ms", "wall_us", "per_sec")
 
 # Telemetry metric names end in a unit suffix (docs/TELEMETRY.md naming
 # scheme). Suffix (not substring) matched so simulated byte counters such as
@@ -99,13 +106,32 @@ def flatten(value, prefix, out):
             flatten(child, f"{prefix}[{label}]", out)
 
 
+# Deterministic scheduler counters from the serve reports' "virtual"
+# section (docs/SERVING.md determinism contract): pure functions of
+# (trace, options), so any drift at all is a regression — no threshold.
+EXACT_LEAVES = ("shed_requests", "coalesced_requests", "warm_requests",
+                "simulated_requests", "admitted_requests", "distinct_sims",
+                "max_queue_depth")
+
+
 def direction(path):
-    """'up' = higher is better, 'down' = lower is better, None = neutral."""
+    """'up' = higher is better, 'down' = lower is better,
+    'exact' = must match bit for bit, None = neutral."""
     leaf = path.rsplit(".", 1)[-1]
     if "speedup" in leaf or "utilization" in leaf:
         return "up"
     if "cycles" in leaf:
         return "down"
+    # Virtual-time serving metrics: latencies/makespans in virtual
+    # microseconds ("_vus" — deliberately not "_us", which the telemetry
+    # suffix rule skips) are lower-is-better; virtual throughput is
+    # higher-is-better. Both are deterministic (docs/SERVING.md).
+    if leaf.endswith("_vus"):
+        return "down"
+    if "krps" in leaf:
+        return "up"
+    if leaf in EXACT_LEAVES:
+        return "exact"
     return None
 
 
@@ -155,6 +181,14 @@ def main():
             delta = 0.0 if new == 0.0 else float("inf")
         else:
             delta = (new - old) / old
+        if sense == "exact":
+            if old != new:
+                regressions += 1
+                print(f"  [REGRESS] {path}: {old:g} -> {new:g} "
+                      f"(deterministic counter must match exactly)")
+            elif args.all:
+                print(f"  [ok]      {path}: {old:g} (exact)")
+            continue
         worse = -delta if sense == "up" else delta
         if worse > args.threshold:
             regressions += 1

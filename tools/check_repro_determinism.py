@@ -29,6 +29,13 @@ to the telemetry-off reference after the strip — i.e. instrumentation only
 *adds* the skipped "telemetry" section and never perturbs a simulated
 metric (threshold 0, in bench_diff terms).
 
+--serve SMTU_SERVE TRACE additionally replays the given smtu-trace-v1 file
+through the serving driver once per jobs value and holds the smtu-serve-v1
+reports to the same standard: everything outside the "host"/"telemetry"
+sections — the whole "virtual" section, every _vus latency, every
+scheduler counter — must be bit-identical across -j values
+(docs/SERVING.md determinism contract).
+
 Exit status: 0 identical, 1 mismatch, 2 usage/run failure.
 """
 
@@ -46,7 +53,9 @@ def strip_timing(value):
         return {
             key: strip_timing(child)
             for key, child in value.items()
-            if key not in ("harness", "host", "telemetry") and "wall_ms" not in key
+            if key not in ("harness", "host", "telemetry")
+            and "wall_ms" not in key and "wall_us" not in key
+            and "per_sec" not in key
         }
     if isinstance(value, list):
         return [strip_timing(child) for child in value]
@@ -65,6 +74,19 @@ def run_once(binary, scale, jobs, tmp, profile=False, sim_cache=None, tag="",
         command.append(f"--sim-cache={sim_cache}")
     if telemetry:
         command.append("--telemetry")
+    result = subprocess.run(command, capture_output=True, text=True, check=False)
+    if result.returncode != 0:
+        print(f"check_repro_determinism: {' '.join(command)} failed "
+              f"(exit {result.returncode}):\n{result.stderr}", file=sys.stderr)
+        sys.exit(2)
+    with open(artifact, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def run_serve(binary, trace, jobs, tmp):
+    artifact = os.path.join(tmp, f"serve_j{jobs}.json")
+    command = [binary, f"--replay={trace}", f"--jobs={jobs}",
+               f"--json={artifact}"]
     result = subprocess.run(command, capture_output=True, text=True, check=False)
     if result.returncode != 0:
         print(f"check_repro_determinism: {' '.join(command)} failed "
@@ -112,6 +134,10 @@ def main():
                              "artifact identical to the telemetry-off "
                              "reference (instrumentation must not perturb "
                              "any simulated metric)")
+    parser.add_argument("--serve", nargs=2, metavar=("SMTU_SERVE", "TRACE"),
+                        help="also replay TRACE through the smtu_serve binary "
+                             "once per jobs value and assert the smtu-serve-v1 "
+                             "reports' deterministic sections are identical")
     args = parser.parse_args()
 
     if len(args.jobs) < 2:
@@ -134,6 +160,11 @@ def main():
             telemetry_doc = run_once(args.binary, args.scale, args.jobs[0], tmp,
                                      args.profile, tag="_telemetry",
                                      telemetry=True)
+        serve_docs = {}
+        if args.serve:
+            serve_binary, serve_trace = args.serve
+            serve_docs = {jobs: run_serve(serve_binary, serve_trace, jobs, tmp)
+                          for jobs in args.jobs}
 
     reference_jobs = args.jobs[0]
     reference = strip_timing(docs[reference_jobs])
@@ -166,6 +197,17 @@ def main():
             return 1
         print(f"check_repro_determinism: --telemetry run identical to "
               f"telemetry-off -j{reference_jobs} (modulo wall_ms/host/telemetry)")
+    if serve_docs:
+        serve_reference = strip_timing(serve_docs[reference_jobs])
+        for jobs in args.jobs[1:]:
+            difference = first_difference(serve_reference,
+                                          strip_timing(serve_docs[jobs]))
+            if difference:
+                print(f"check_repro_determinism: smtu_serve -j{reference_jobs} "
+                      f"vs -j{jobs} differ at {difference}", file=sys.stderr)
+                return 1
+            print(f"check_repro_determinism: smtu_serve -j{jobs} report "
+                  f"identical to -j{reference_jobs} (modulo host/telemetry)")
     return 0
 
 

@@ -5,6 +5,7 @@ Usage:
     tools/prof_report.py show [PROFILE.json] [--top=10] [--matrix=NAME]
                          [--kernel=hism|crs] [--per-core]
                          [--host=INTERP.json] [--telemetry=TELEMETRY.json]
+                         [--serve=SERVE.json]
     tools/prof_report.py diff OLD.json NEW.json [--top=10] [--matrix=NAME]
                          [--kernel=hism|crs]
 
@@ -40,6 +41,13 @@ smtu-telemetry-v1 document (``--telemetry-json`` on any bench binary or
 vsim_run) or a bench/repro report produced with ``--telemetry`` (the
 embedded "telemetry" section). Host-side metrics — bench_diff.py never
 gates on them.
+
+``--serve=SERVE.json`` renders an smtu-serve-v1 report (``smtu_serve
+--json``, docs/SERVING.md): the deterministic virtual-time latency
+percentile table (queue/service/total), the request-outcome and dedup
+rollups (coalesced / warm / shed shares, cycle dedup factor), and the host
+wall-clock summary. The virtual metrics are gated by bench_diff.py; the
+host line is wall clock and never gated.
 
 ``diff`` compares two profiles of the same program bucket by bucket, region
 by region, and line by line, printing the largest movers first — the tool for
@@ -318,6 +326,75 @@ def show_telemetry(document):
         print_table(["cache", "hits", "misses", "hit rate"], rows)
 
 
+def show_serve(document):
+    """Render an smtu-serve-v1 report (smtu_serve --json, docs/SERVING.md):
+    the virtual-time latency percentile table, the dedup/result-cache
+    rollup, shed count, and the host wall-clock summary."""
+    if not (isinstance(document, dict) and
+            document.get("schema") == "smtu-serve-v1" and
+            isinstance(document.get("virtual"), dict)):
+        fail("no serve report (expected an smtu-serve-v1 document from "
+             "smtu_serve --json)")
+    virt = document["virtual"]
+    trace = document.get("trace", {})
+    options = document.get("options", {})
+
+    print(f"== serve report (docs/SERVING.md): {trace.get('requests', '?')} "
+          f"requests, set={trace.get('set', '?')} "
+          f"scale={trace.get('scale', '?')} "
+          f"arrival={trace.get('arrival_mode', '?')} "
+          f"zipf={trace.get('zipf_skew', '?')} ==\n")
+
+    rows = []
+    for metric in ("queue", "service", "total"):
+        rows.append([metric] +
+                    [str(virt.get(f"{metric}_{point}_vus", 0))
+                     for point in ("min", "p50", "p90", "p95", "p99", "max")] +
+                    [f"{virt.get(f'{metric}_mean_vus', 0.0):.1f}"])
+    print("  virtual-time latency (vus; deterministic, gated by "
+          "bench_diff.py):")
+    print_table(["latency", "min", "p50", "p90", "p95", "p99", "max", "mean"],
+                rows)
+
+    admitted = virt.get("admitted_requests", 0)
+    shed = virt.get("shed_requests", 0)
+    offered = admitted + shed
+
+    def share(count):
+        return f"{100.0 * count / offered:.1f}%" if offered else "-"
+
+    rows = [[name, str(virt.get(key, 0)), share(virt.get(key, 0))]
+            for name, key in (("simulated (fresh)", "simulated_requests"),
+                              ("coalesced (in-flight dedup)",
+                               "coalesced_requests"),
+                              ("warm (result cache)", "warm_requests"),
+                              ("shed (queue full)", "shed_requests"))]
+    print(f"  outcomes over {offered} requests "
+          f"(queue depth {options.get('queue_depth', '?')}, "
+          f"{options.get('virtual_workers', '?')} virtual workers):")
+    print_table(["outcome", "requests", "share"], rows)
+
+    sim_cycles = virt.get("sim_cycles", 0)
+    offered_cycles = virt.get("offered_cycles", 0)
+    dedup = f"{offered_cycles / sim_cycles:.2f}x" if sim_cycles else "-"
+    rows = [
+        ["distinct simulations", str(virt.get("distinct_sims", 0))],
+        ["simulated cycles", str(sim_cycles)],
+        ["offered cycles (dedup-less)", str(offered_cycles)],
+        ["cycle dedup factor", dedup],
+        ["max queue depth", str(virt.get("max_queue_depth", 0))],
+        ["makespan (vus)", str(virt.get("makespan_vus", 0))],
+    ]
+    print_table(["rollup", "value"], rows)
+
+    host = document.get("host")
+    if isinstance(host, dict):
+        print(f"  host: {host.get('simulations', '?')} simulations, "
+              f"{host.get('req_per_sec', 0.0):.0f} req/s over "
+              f"{host.get('wall_us', 0.0) / 1000.0:.1f} ms wall "
+              f"(jobs={host.get('jobs', '?')}; wall clock, never gated)\n")
+
+
 def diff_numeric(name, old, new, rows):
     if old == new:
         return
@@ -402,12 +479,17 @@ def main():
                            "bench binary / vsim_run) or a --telemetry report: "
                            "print host metric tables and the cache hit-rate "
                            "rollup (docs/TELEMETRY.md)")
+    show.add_argument("--serve", default=None, metavar="SERVE_JSON",
+                      help="smtu-serve-v1 file (smtu_serve --json): print the "
+                           "virtual-time latency percentiles, dedup/result-"
+                           "cache rollup, and shed count (docs/SERVING.md)")
     args = parser.parse_args()
 
     if args.command == "show":
-        if args.profile is None and args.host is None and args.telemetry is None:
-            fail("show needs a profile file, --host=INTERP_JSON, and/or "
-                 "--telemetry=TELEMETRY_JSON")
+        if args.profile is None and args.host is None and \
+                args.telemetry is None and args.serve is None:
+            fail("show needs a profile file, --host=INTERP_JSON, "
+                 "--telemetry=TELEMETRY_JSON, and/or --serve=SERVE_JSON")
         if args.profile is not None:
             document = load(args.profile)
             if document.get("schema") == "smtu-scaling-v1":
@@ -422,6 +504,8 @@ def main():
             show_host(load(args.host))
         if args.telemetry is not None:
             show_telemetry(load(args.telemetry))
+        if args.serve is not None:
+            show_serve(load(args.serve))
         return 0
 
     old = extract_profiles(load(args.old), args.matrix, args.kernel)

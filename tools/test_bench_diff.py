@@ -241,5 +241,91 @@ class BenchDiffGating(unittest.TestCase):
         self.assertIn("[gone]", out)
 
 
+def serve_report(total_p99_vus=179, shed=0, req_per_sec=19414.0, wall_us=30905.0):
+    """A minimal smtu-serve-v1 shape (docs/SERVING.md)."""
+    return {
+        "schema": "smtu-serve-v1",
+        "trace": {"seed": 25252749037, "set": "locality", "scale": 0.05,
+                  "requests": 600},
+        "options": {"queue_depth": 64, "virtual_workers": 4,
+                    "cycles_per_us": 1000, "replay_vus": 20},
+        "virtual": {
+            "admitted_requests": 600,
+            "shed_requests": shed,
+            "coalesced_requests": 68,
+            "warm_requests": 497,
+            "simulated_requests": 35,
+            "distinct_sims": 35,
+            "max_queue_depth": 3,
+            "sim_cycles": 2053716,
+            "offered_cycles": 19633941,
+            "makespan_vus": 10545,
+            "total_p50_vus": 20,
+            "total_p99_vus": total_p99_vus,
+        },
+        "host": {"jobs": 1, "simulations": 35, "wall_us": wall_us,
+                 "req_per_sec": req_per_sec, "sim_wall_us": wall_us * 0.9},
+    }
+
+
+class ServeReportGating(unittest.TestCase):
+    def test_identical_serve_reports_diff_clean_at_zero(self):
+        doc = serve_report()
+        code, out = run_diff(doc, doc, "--threshold=0")
+        self.assertEqual(code, 0, out)
+
+    def test_wall_clock_serve_fragments_never_gate(self):
+        # 10x slower host (req_per_sec, wall_us, sim_wall_us) with identical
+        # virtual-time metrics: clean even at threshold 0, and the host keys
+        # must not appear in the output at all.
+        old = serve_report(req_per_sec=19414.0, wall_us=30905.0)
+        new = serve_report(req_per_sec=1941.0, wall_us=309050.0)
+        code, out = run_diff(old, new, "--all", "--threshold=0")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("req_per_sec", out)
+        self.assertNotIn("wall_us", out)
+
+    def test_virtual_latency_regression_gates(self):
+        # "_vus" leaves are deterministic virtual-time latencies: lower is
+        # better, and a tail blowup past the threshold must fail.
+        old = serve_report(total_p99_vus=179)
+        new = serve_report(total_p99_vus=400)
+        code, out = run_diff(old, new, "--threshold=0.10")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[REGRESS]", out)
+        self.assertIn("total_p99_vus", out)
+
+    def test_virtual_latency_improvement_passes(self):
+        old = serve_report(total_p99_vus=400)
+        new = serve_report(total_p99_vus=179)
+        code, out = run_diff(old, new, "--threshold=0.10")
+        self.assertEqual(code, 0, out)
+        self.assertIn("[better]", out)
+
+    def test_deterministic_counter_drift_gates_exactly(self):
+        # shed_requests is a pure function of (trace, options): even a
+        # one-request drift inside the relative threshold must fail.
+        old = serve_report(shed=0)
+        new = serve_report(shed=1)
+        code, out = run_diff(old, new, "--threshold=0.10")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[REGRESS]", out)
+        self.assertIn("shed_requests", out)
+        self.assertIn("exactly", out)
+
+    def test_virtual_krps_regression_gates(self):
+        # The sweep report's virtual throughput is higher-is-better.
+        old = {"schema": "smtu-serve-sweep-v1",
+               "open_loop": [{"rate_rps": 20000.0, "virtual_krps": 22.1,
+                              "total_p99_vus": 179}]}
+        new = {"schema": "smtu-serve-sweep-v1",
+               "open_loop": [{"rate_rps": 20000.0, "virtual_krps": 11.0,
+                              "total_p99_vus": 179}]}
+        code, out = run_diff(old, new, "--threshold=0.10")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[REGRESS]", out)
+        self.assertIn("virtual_krps", out)
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -143,6 +143,47 @@ def run_show_with_telemetry(doc):
     return result.returncode, result.stdout + result.stderr
 
 
+def run_show_with_serve(doc):
+    """Run `show --serve=DOC.json` on a synthetic document."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "serve.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        result = subprocess.run(
+            [sys.executable, PROF_REPORT, "show", f"--serve={path}"],
+            capture_output=True, text=True, check=False)
+    return result.returncode, result.stdout + result.stderr
+
+
+def serve_doc():
+    """What smtu_serve --json writes: an smtu-serve-v1 report
+    (docs/SERVING.md) with its virtual/host sections."""
+    virtual = {
+        "admitted_requests": 590, "shed_requests": 10,
+        "coalesced_requests": 68, "warm_requests": 487,
+        "simulated_requests": 35, "distinct_sims": 35,
+        "max_queue_depth": 64, "sim_cycles": 2000000,
+        "offered_cycles": 19000000, "first_arrival_vus": 9,
+        "makespan_vus": 10545,
+    }
+    for metric in ("queue", "service", "total"):
+        for point, value in (("min", 0), ("p50", 20), ("p90", 30),
+                             ("p95", 146), ("p99", 179), ("max", 187)):
+            virtual[f"{metric}_{point}_vus"] = value
+        virtual[f"{metric}_mean_vus"] = 22.6
+    return {
+        "schema": "smtu-serve-v1",
+        "trace": {"seed": 1, "set": "locality", "scale": 0.05,
+                  "requests": 600, "arrival_mode": "poisson",
+                  "zipf_skew": 1.0, "rate_rps": 60000.0},
+        "options": {"queue_depth": 64, "virtual_workers": 4,
+                    "cycles_per_us": 1000, "replay_vus": 20},
+        "virtual": virtual,
+        "host": {"jobs": 1, "simulations": 35, "wall_us": 30905.0,
+                 "req_per_sec": 19414.0, "sim_wall_us": 28000.0},
+    }
+
+
 def run_show_with_host(host_doc, profile_doc=None, flags=()):
     """Run `show [PROFILE] --host=HOST.json` on synthetic documents."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -347,6 +388,55 @@ class ProfReportTelemetry(unittest.TestCase):
         code, out = run_show_with_telemetry(doc)
         self.assertEqual(code, 0, out)
         self.assertIn("vsim.run_us", out)
+
+
+class ProfReportServe(unittest.TestCase):
+    def test_serve_report_renders_all_tables(self):
+        code, out = run_show_with_serve(serve_doc())
+        self.assertEqual(code, 0, out)
+        # latency percentile table: the three metrics with their p99s
+        self.assertIn("virtual-time latency", out)
+        self.assertIn("queue", out)
+        self.assertIn("service", out)
+        self.assertIn("179", out)
+        # outcome rollup with shares over admitted + shed
+        self.assertIn("warm (result cache)", out)
+        self.assertIn("81.2%", out)  # 487/600
+        self.assertIn("shed (queue full)", out)
+        # dedup rollup: 19000000 / 2000000
+        self.assertIn("9.50x", out)
+        # host line is labeled as never gated
+        self.assertIn("never gated", out)
+        self.assertIn("19414", out)
+
+    def test_shed_count_visible(self):
+        doc = serve_doc()
+        doc["virtual"]["shed_requests"] = 128
+        doc["virtual"]["admitted_requests"] = 472
+        code, out = run_show_with_serve(doc)
+        self.assertEqual(code, 0, out)
+        self.assertIn("128", out)
+        self.assertIn("21.3%", out)  # 128/600 shed share
+
+    def test_missing_serve_section_fails_with_one_line(self):
+        # A non-serve document is a usage error: one clear line on stderr
+        # and exit 2, not a stack trace.
+        doc = bench_report(profile())
+        code, out = run_show_with_serve(doc)
+        self.assertEqual(code, 2, out)
+        self.assertIn("smtu-serve-v1", out)
+        self.assertNotIn("Traceback", out)
+        self.assertEqual(len(out.strip().splitlines()), 1, out)
+
+    def test_serve_without_host_section_renders(self):
+        # The host section is optional (a purely virtual replay): the
+        # virtual tables must still render.
+        doc = serve_doc()
+        del doc["host"]
+        code, out = run_show_with_serve(doc)
+        self.assertEqual(code, 0, out)
+        self.assertIn("virtual-time latency", out)
+        self.assertNotIn("never gated", out)
 
 
 class ProfReportDiff(unittest.TestCase):
